@@ -1,0 +1,23 @@
+//! # adp-baselines
+//!
+//! The prior authenticated-query-processing schemes the paper compares
+//! against (Section 2.3), implemented honestly so benches measure real
+//! systems:
+//!
+//! | Scheme | Completeness | Projection | Boundary exposure | Update cost |
+//! |--------|--------------|------------|-------------------|-------------|
+//! | [`devanbu`] (Merkle tree over the table \[10\]) | ✅ | ❌ all columns | ❌ exposes out-of-range tuples | root path + root re-sign |
+//! | [`ma`] (per-tuple MHT + condensed sigs \[13\]) | ❌ | ✅ | — | 1 signature |
+//! | [`vbtree`] (signed-digest B-tree \[20\]) | ❌ | ✅ (modeled at record granularity) | — | node path of signatures |
+//!
+//! The signature-chain scheme in `adp-core` is the only one achieving
+//! completeness *and* precision simultaneously.
+
+pub mod devanbu;
+pub mod ma;
+pub mod vbtree;
+pub(crate) mod wirecompat;
+
+pub use devanbu::{MhtCertificate, MhtRangeVO, MhtTable};
+pub use ma::{MaCertificate, MaTable, MaVO};
+pub use vbtree::{VbCertificate, VbTree, VbVO};

@@ -1,0 +1,32 @@
+//! Record encoding shared by the baseline schemes (kept locally so the
+//! baselines crate does not depend on `adp-core`).
+
+use adp_relation::Record;
+
+/// Canonical byte encoding of a record: length-prefixed value encodings.
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(record.arity() as u32).to_le_bytes());
+    for v in record.values() {
+        let enc = v.encode();
+        out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+        out.extend_from_slice(&enc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_relation::Value;
+
+    #[test]
+    fn encoding_is_injective() {
+        let a = Record::new(vec![Value::from("ab"), Value::from("c")]);
+        let b = Record::new(vec![Value::from("a"), Value::from("bc")]);
+        assert_ne!(encode_record(&a), encode_record(&b));
+        let c = Record::new(vec![Value::Int(1)]);
+        let d = Record::new(vec![Value::Int(2)]);
+        assert_ne!(encode_record(&c), encode_record(&d));
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! measured counterparts of Table 1's `C_hash` and `C_sign`, plus the
+//! primitives the scheme leans on (chains, Merkle trees, aggregation).
+
+use adp_crypto::{
+    chain_extend, chain_from_value, AggregateSignature, HashDomain, Hasher, Keypair, MerkleTree,
+    Signature,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn keypair_1024() -> Keypair {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    Keypair::generate(1024, &mut rng)
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let hasher = Hasher::new(16);
+    let mut g = c.benchmark_group("hash");
+    for size in [64usize, 1024] {
+        let msg = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256_trunc128/{size}B"), |b| {
+            b.iter(|| hasher.hash(HashDomain::Data, std::hint::black_box(&msg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let hasher = Hasher::new(16);
+    let mut g = c.benchmark_group("chain");
+    g.bench_function("from_value/64steps", |b| {
+        b.iter(|| chain_from_value(&hasher, b"key-bytes", 0, 64))
+    });
+    let seed = chain_from_value(&hasher, b"key-bytes", 0, 0);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("extend/1000steps", |b| {
+        b.iter(|| chain_extend(&hasher, std::hint::black_box(seed), 1000))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let hasher = Hasher::new(16);
+    let kp = keypair_1024();
+    let digest = hasher.hash(HashDomain::Data, b"bench message");
+    let sig = kp.sign(&hasher, &digest);
+    let mut g = c.benchmark_group("rsa1024");
+    g.sample_size(20);
+    g.bench_function("sign_crt", |b| b.iter(|| kp.sign(&hasher, &digest)));
+    g.bench_function("verify", |b| {
+        b.iter(|| kp.public().verify(&hasher, &digest, &sig))
+    });
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let hasher = Hasher::new(16);
+    let kp = keypair_1024();
+    let digests: Vec<_> = (0..100u32)
+        .map(|i| hasher.hash(HashDomain::Data, &i.to_le_bytes()))
+        .collect();
+    let sigs: Vec<Signature> = digests.iter().map(|d| kp.sign(&hasher, d)).collect();
+    let refs: Vec<&Signature> = sigs.iter().collect();
+    let mut g = c.benchmark_group("aggregate");
+    g.sample_size(20);
+    g.bench_function("combine/100", |b| {
+        b.iter(|| AggregateSignature::combine(kp.public(), &refs))
+    });
+    let agg = AggregateSignature::combine(kp.public(), &refs);
+    g.bench_function("verify/100", |b| {
+        b.iter(|| agg.verify(&hasher, kp.public(), &digests))
+    });
+    // The Section 5.2 claim: one aggregated verification beats |Q|
+    // individual verifications.
+    g.bench_function("verify_individually/100", |b| {
+        b.iter(|| {
+            digests
+                .iter()
+                .zip(&sigs)
+                .all(|(d, s)| kp.public().verify(&hasher, d, s))
+        })
+    });
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let hasher = Hasher::new(16);
+    let leaves: Vec<_> = (0..1000u32)
+        .map(|i| hasher.hash(HashDomain::Leaf, &i.to_le_bytes()))
+        .collect();
+    let mut g = c.benchmark_group("merkle");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("build/1000", |b| {
+        b.iter_batched(
+            || leaves.clone(),
+            |l| MerkleTree::build(hasher, l),
+            BatchSize::SmallInput,
+        )
+    });
+    let tree = MerkleTree::build(hasher, leaves);
+    g.bench_function("prove/1000", |b| b.iter(|| tree.prove(500)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_chains,
+    bench_rsa,
+    bench_aggregation,
+    bench_merkle
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **Figure 9** reproduction: user traffic overhead (%) vs record size, for
+//! result sizes |Q| ∈ {1, 2, 5, 10, 100}.
+//!
+//! Two panels:
+//! 1. the paper's analytic formula (4) with Table 1 constants — the exact
+//!    curves of Figure 9;
+//! 2. measured: real VO byte sizes produced by this implementation (wire
+//!    encoding, 128-bit digests, 1024-bit aggregated signature) divided by
+//!    the encoded result bytes.
+//!
+//! Expected shape (the paper's reading): overhead drops sharply as |Q|
+//! grows beyond 1 — the single aggregated signature amortizes — and
+//! stabilizes around |Q| = 5; larger records dilute the per-entry digests.
+
+use adp_bench::{bench_owner, f2, TablePrinter, WorkloadSpec};
+use adp_core::costmodel::{self, CostParams, FIG9_RESULT_SIZES};
+use adp_core::prelude::*;
+use adp_core::wire;
+use adp_relation::{KeyRange, SelectQuery};
+
+fn main() {
+    let params = CostParams::default();
+    let m = 32; // 4-byte integer keys, B = 2 (the paper's running setting)
+
+    println!("\n=== Figure 9 (analytic, formula (4), m = 32) ===");
+    println!("traffic overhead % = M_user / (|Q| * M_r) * 100\n");
+    let headers: Vec<String> = std::iter::once("M_r (bytes)".to_string())
+        .chain(FIG9_RESULT_SIZES.iter().map(|q| format!("|Q|={q}")))
+        .collect();
+    let t = TablePrinter::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for row in costmodel::figure9(&params, m) {
+        if ![64, 128, 256, 512, 1024, 1536, 2048].contains(&(row.record_bytes as i64)) {
+            continue;
+        }
+        let mut cells = vec![row.record_bytes.to_string()];
+        cells.extend(row.overhead_pct.iter().map(|v| f2(*v)));
+        t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    println!("\n=== Figure 9 (measured: encoded VO bytes / encoded result bytes) ===\n");
+    let owner = bench_owner(); // 1024-bit signatures, matching M_sign
+    let t = TablePrinter::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for target_mr in [64usize, 256, 512, 1024, 2048] {
+        // Size the payload so the encoded record is ≈ target_mr bytes.
+        // Fixed overhead: k (9) + grp (9) + payload framing (5) + record
+        // framing in the result encoding (4).
+        let payload = target_mr.saturating_sub(27).max(1);
+        let (st, cert) = WorkloadSpec::new(120)
+            .payload(payload)
+            .signed(owner, SchemeConfig::default());
+        let publisher = Publisher::new(&st);
+        let domain = *st.domain();
+        let mut cells = vec![target_mr.to_string()];
+        for &q in &FIG9_RESULT_SIZES {
+            let beta = domain.key_min() + (q as i64 - 1) * 10;
+            let query = SelectQuery::range(KeyRange::closed(domain.key_min(), beta));
+            let (result, vo) = publisher.answer_select(&query).unwrap();
+            assert_eq!(result.len() as u64, q, "workload selectivity");
+            let report = verify_select(&cert, &query, &result, &vo).unwrap();
+            assert_eq!(report.matched as u64, q);
+            let vo_bytes = wire::encode_vo(&vo).len();
+            let result_bytes = wire::encode_records(&result).len();
+            cells.push(f2(100.0 * vo_bytes as f64 / result_bytes as f64));
+        }
+        t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+    println!(
+        "\nShape check (both panels): overhead falls rapidly with |Q| (aggregated\n\
+         signature amortized), stabilizing near |Q| = 5; larger records reduce\n\
+         relative overhead. Measured values differ from analytic by the wire\n\
+         framing bytes and the real (not worst-case) boundary-proof sizes.\n"
+    );
+}

@@ -1,0 +1,73 @@
+//! Owner-side costs: signing throughput vs table size, parallel speedup,
+//! and per-scheme dissemination sizes.
+//!
+//! The paper's Section 6.3 frames owner costs as "analogous to creating
+//! B+-trees on those attributes"; this harness quantifies them for this
+//! implementation: signature-chain construction is embarrassingly parallel
+//! per record (crossbeam fan-out in `Owner::sign_table`), and the shipped
+//! material is one signature per record (+2 delimiters).
+
+use adp_bench::{bench_owner_small, f2, TablePrinter, WorkloadSpec};
+use adp_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!("\n=== Owner-side signing costs (512-bit keys, B = 2) ===\n");
+    let owner = bench_owner_small();
+    let t = TablePrinter::new(&[
+        "rows",
+        "sign time s",
+        "rows/s",
+        "hash ops/row",
+        "shipped KiB",
+    ]);
+    for n in [1_000usize, 5_000, 20_000] {
+        let (table, domain) = WorkloadSpec::new(n).build();
+        adp_crypto::reset_hash_ops();
+        let start = Instant::now();
+        let st = owner
+            .sign_table(table, domain, SchemeConfig::default())
+            .unwrap();
+        let elapsed = start.elapsed();
+        let ops = adp_crypto::hash_ops();
+        t.row(&[
+            &n.to_string(),
+            &format!("{:.2}", elapsed.as_secs_f64()),
+            &format!("{:.0}", n as f64 / elapsed.as_secs_f64()),
+            &format!("{:.0}", ops as f64 / (n + 2) as f64),
+            &format!("{}", st.dissemination_size() / 1024),
+        ]);
+    }
+
+    // Update-locality recap at the largest size (the Section 6.3 point):
+    let (table, domain) = WorkloadSpec::new(20_000).build();
+    let mut st = owner
+        .sign_table(table, domain, SchemeConfig::default())
+        .unwrap();
+    let key = {
+        let row = st.table().row(10_000);
+        row.record.key(st.table().schema())
+    };
+    let start = Instant::now();
+    let report = owner
+        .update_record(
+            &mut st,
+            key,
+            0,
+            adp_relation::Record::new(vec![
+                adp_relation::Value::Int(key),
+                adp_relation::Value::Int(-1),
+                adp_relation::Value::Bytes(vec![0u8; 64]),
+            ]),
+        )
+        .unwrap();
+    let upd = start.elapsed();
+    println!(
+        "\nsingle update in the 20k-row table: {} signatures, {} index leaves, {} ms\n\
+         (constant-cost updates regardless of n — the contrast with MHT\n\
+         root-path schemes is measured in sec63_updates)",
+        report.signatures_recomputed,
+        report.index_leaves_touched,
+        f2(upd.as_secs_f64() * 1e3)
+    );
+}

@@ -1,0 +1,76 @@
+//! **Section 6.2** reproduction: the paper's absolute user-cost numbers.
+//!
+//! "With B = 2, m = 32 … formula (5) reduces to
+//! `C_user = 6.8 (n-a+1) + 8.7 msec`. Thus, C_user is roughly 15.5 msec,
+//! 689 msec and 6.81 sec for result size of 1, 100 and 1000 records."
+//!
+//! We print the analytic values, this implementation's measured hash-op
+//! counts (and what they would cost at the paper's 50 µs/hash), and the
+//! measured wall-clock on this machine.
+
+use adp_bench::{bench_owner_small, f2, TablePrinter};
+use adp_core::costmodel::{self, CostParams};
+use adp_core::prelude::*;
+use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
+use std::time::Instant;
+
+fn main() {
+    let params = CostParams::default();
+    let (slope, intercept) = costmodel::sec62_linear_form(&params);
+    println!("\n=== Section 6.2: C_user = {:.1} q + {:.1} ms (paper: 6.8 q + 8.7) ===\n", slope, intercept);
+
+    // Build: B = 2 over a 2^32 domain (m = 32), 1100 records.
+    let domain = Domain::new(0, (1i64 << 32) + 4);
+    let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+    let mut table = Table::new("s62", schema);
+    for i in 0..1100i64 {
+        table
+            .insert(Record::new(vec![Value::Int(domain.key_min() + i * 100)]))
+            .unwrap();
+    }
+    let owner = bench_owner_small();
+    let st = owner
+        .sign_table(table, domain, SchemeConfig::default())
+        .unwrap();
+    let cert = owner.certificate(&st);
+    let publisher = Publisher::new(&st);
+
+    let t = TablePrinter::new(&[
+        "result size",
+        "paper ms",
+        "formula ops",
+        "measured ops",
+        "ops@50us+5ms",
+        "measured ms",
+    ]);
+    for q in [1u64, 100, 1000] {
+        let beta = domain.key_min() + (q as i64 - 1) * 100;
+        let query = SelectQuery::range(KeyRange::closed(domain.key_min(), beta));
+        let (result, vo) = publisher.answer_select(&query).unwrap();
+        assert_eq!(result.len() as u64, q);
+        adp_crypto::reset_hash_ops();
+        verify_select(&cert, &query, &result, &vo).unwrap();
+        let ops = adp_crypto::hash_ops();
+        let iters = if q >= 1000 { 3 } else { 10 };
+        let start = Instant::now();
+        for _ in 0..iters {
+            verify_select(&cert, &query, &result, &vo).unwrap();
+        }
+        let measured_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+        let paper_ms = costmodel::cuser_ms(&params, 2, 32, q);
+        let projected = ops as f64 * params.c_hash_us / 1000.0 + params.c_sign_ms;
+        let cells = [q.to_string(),
+            f2(paper_ms),
+            costmodel::cuser_hashes(2, 32, q).to_string(),
+            ops.to_string(),
+            f2(projected),
+            format!("{measured_ms:.3}")];
+        t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+    println!(
+        "\nThe paper's 15.5 ms / 689 ms / 6.81 s column reproduces from formula\n\
+         (5); the measured op counts track the formula (the small surplus is\n\
+         Merkle bookkeeping), and modern hashing is ~2-3 orders of magnitude\n\
+         faster than the 2005 constant, so wall-clock is correspondingly lower.\n"
+    );
+}

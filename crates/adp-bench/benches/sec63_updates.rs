@@ -1,0 +1,102 @@
+//! **Section 6.3** reproduction: update locality.
+//!
+//! The paper argues the signature-chain scheme updates like a doubly-linked
+//! list — a record update re-signs the record and its two neighbours, which
+//! live in at most two adjacent B+-tree leaves — whereas Merkle-hash-tree
+//! schemes (Devanbu [10], VB-tree-like structures) must recompute a digest
+//! path to the root and re-sign the root, a locking hot-spot.
+//!
+//! Measured here per random in-place update:
+//! * signature-chain: signatures recomputed, B+-tree leaves/nodes touched,
+//!   wall time;
+//! * Devanbu MHT: digest path length recomputed, root re-signs, wall time.
+
+use adp_bench::{bench_owner_small, ms, TablePrinter, WorkloadSpec};
+use adp_baselines::devanbu::MhtTable;
+use adp_core::prelude::*;
+use adp_crypto::Hasher;
+use adp_relation::{Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    println!("\n=== Section 6.3: update cost (per in-place record update) ===\n");
+    let owner = bench_owner_small();
+    let updates = 30usize;
+
+    let t = TablePrinter::new(&[
+        "scheme",
+        "table rows",
+        "sigs/update",
+        "digests/paths",
+        "leaves touched",
+        "ms/update",
+    ]);
+
+    for n in [1_000usize, 10_000] {
+        // --- signature chain ---
+        let (mut st, _cert) = WorkloadSpec::new(n).signed(owner, SchemeConfig::default());
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut sigs = 0usize;
+        let mut leaves = 0u64;
+        let mut nodes = 0u64;
+        let start = Instant::now();
+        for _ in 0..updates {
+            let pos = rng.gen_range(0..st.len());
+            let row = st.table().row(pos);
+            let key = row.record.key(st.table().schema());
+            let replica = row.replica;
+            let mut vals = row.record.values().to_vec();
+            vals[1] = Value::Int(rng.gen_range(0..1_000_000));
+            let report = owner
+                .update_record(&mut st, key, replica, Record::new(vals))
+                .unwrap();
+            sigs += report.signatures_recomputed;
+            leaves += report.index_leaves_touched;
+            nodes += report.index_nodes_touched;
+        }
+        let elapsed = start.elapsed() / updates as u32;
+        t.row(&[
+            "sig-chain",
+            &n.to_string(),
+            &format!("{:.1}", sigs as f64 / updates as f64),
+            &format!("{:.1} nodes", nodes as f64 / updates as f64),
+            &format!("{:.1}", leaves as f64 / updates as f64),
+            &ms(elapsed),
+        ]);
+
+        // --- Devanbu MHT ---
+        let (table, _domain) = WorkloadSpec::new(n).build();
+        let mut rng2 = StdRng::seed_from_u64(0x4D48);
+        let mut kp_rng = StdRng::seed_from_u64(0x4D49);
+        let keypair = adp_crypto::Keypair::generate(512, &mut kp_rng);
+        let mut mht = MhtTable::publish(&keypair, Hasher::default(), table);
+        let start = Instant::now();
+        for _ in 0..updates {
+            let pos = rng2.gen_range(0..mht.table().len());
+            let row = mht.table().row(pos);
+            let mut vals = row.record.values().to_vec();
+            vals[1] = Value::Int(rng2.gen_range(0..1_000_000));
+            mht.update_record(&keypair, pos, Record::new(vals));
+        }
+        let elapsed = start.elapsed() / updates as u32;
+        t.row(&[
+            "devanbu-mht",
+            &n.to_string(),
+            &format!("{:.1}", mht.root_resignatures.get() as f64 / updates as f64),
+            &format!(
+                "{:.1} path digests",
+                mht.update_digests_recomputed.get() as f64 / updates as f64
+            ),
+            "root (hot-spot)",
+            &ms(elapsed),
+        ]);
+    }
+    println!(
+        "\nShape check: the signature chain's work per update is constant (3\n\
+         signatures, a couple of adjacent leaves) regardless of table size;\n\
+         the Merkle tree's digest path grows with log n and every update\n\
+         serializes on the root signature.\n"
+    );
+}

@@ -1,0 +1,69 @@
+//! **Table 1** reproduction: the paper's cost parameters next to values
+//! measured for this implementation on this machine.
+
+use adp_bench::{f2, timed_avg, TablePrinter};
+use adp_core::costmodel::CostParams;
+use adp_crypto::{hasher::HashDomain, Hasher, Keypair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("\n=== Table 1: cost parameters (paper defaults vs measured) ===\n");
+    let paper = CostParams::default();
+
+    // C_hash: one application of h over a 100-byte pre-image.
+    let hasher = Hasher::new(16);
+    let msg = vec![0xa5u8; 100];
+    let chash = timed_avg(20_000, || {
+        std::hint::black_box(hasher.hash(HashDomain::Data, &msg));
+    });
+
+    // C_sign / C_verify with the paper's M_sign = 1024 bits.
+    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    let keypair = Keypair::generate(1024, &mut rng);
+    let digest = hasher.hash(HashDomain::Data, b"message");
+    let csign = timed_avg(50, || {
+        std::hint::black_box(keypair.sign(&hasher, &digest));
+    });
+    let sig = keypair.sign(&hasher, &digest);
+    let cverify = timed_avg(200, || {
+        std::hint::black_box(keypair.public().verify(&hasher, &digest, &sig));
+    });
+
+    let t = TablePrinter::new(&["parameter", "paper (2005)", "measured here"]);
+    t.row(&[
+        "C_hash",
+        &format!("{} us", paper.c_hash_us),
+        &format!("{:.3} us", chash.as_secs_f64() * 1e6),
+    ]);
+    t.row(&[
+        "C_sign(1024b)",
+        "-",
+        &format!("{:.3} ms", csign.as_secs_f64() * 1e3),
+    ]);
+    t.row(&[
+        "C_verify",
+        &format!("{} ms", paper.c_sign_ms),
+        &format!("{:.3} ms", cverify.as_secs_f64() * 1e3),
+    ]);
+    t.row(&[
+        "M_digest",
+        &format!("{} bits", paper.m_digest_bits),
+        &format!("{} bits", hasher.digest_bits()),
+    ]);
+    t.row(&[
+        "M_sign",
+        &format!("{} bits", paper.m_sign_bits),
+        &format!("{} bits", keypair.public().bits()),
+    ]);
+    t.row(&[
+        "verify/hash ratio",
+        &f2(paper.c_sign_ms * 1000.0 / paper.c_hash_us),
+        &f2(cverify.as_secs_f64() / chash.as_secs_f64()),
+    ]);
+    println!(
+        "\nNote: the paper's Section 5.2 cites signature verification as ~100x\n\
+         a hash operation; the measured ratio above plays the same role in\n\
+         the aggregation savings (one verification per result instead of |Q|).\n"
+    );
+}

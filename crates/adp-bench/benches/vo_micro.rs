@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the scheme's hot paths: owner signing,
+//! publisher VO generation, user verification, and the wire codec.
+
+use adp_bench::{bench_owner_small, WorkloadSpec};
+use adp_core::prelude::*;
+use adp_core::wire;
+use adp_relation::{KeyRange, SelectQuery};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_owner_sign(c: &mut Criterion) {
+    let owner = bench_owner_small();
+    let mut g = c.benchmark_group("owner");
+    g.sample_size(10);
+    for n in [100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("sign_table/{n}"), |b| {
+            b.iter(|| {
+                let (table, domain) = WorkloadSpec::new(n).build();
+                owner
+                    .sign_table(table, domain, SchemeConfig::default())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let owner = bench_owner_small();
+    let (st, cert) = WorkloadSpec::new(2000).signed(owner, SchemeConfig::default());
+    let publisher = Publisher::new(&st);
+    let domain = *st.domain();
+    for q in [10usize, 100] {
+        let beta = domain.key_min() + (q as i64 - 1) * 10;
+        let query = SelectQuery::range(KeyRange::closed(domain.key_min(), beta));
+        let (result, vo) = publisher.answer_select(&query).unwrap();
+        assert_eq!(result.len(), q);
+        let mut g = c.benchmark_group(format!("query_q{q}"));
+        g.sample_size(20);
+        g.bench_function("publisher_answer", |b| {
+            b.iter(|| publisher.answer_select(&query).unwrap())
+        });
+        g.bench_function("user_verify", |b| {
+            b.iter(|| verify_select(&cert, &query, &result, &vo).unwrap())
+        });
+        let vo_bytes = wire::encode_vo(&vo);
+        let rec_bytes = wire::encode_records(&result);
+        g.bench_function("wire_encode", |b| {
+            b.iter(|| (wire::encode_vo(&vo), wire::encode_records(&result)))
+        });
+        g.bench_function("wire_decode", |b| {
+            b.iter(|| {
+                (
+                    wire::decode_vo(&vo_bytes).unwrap(),
+                    wire::decode_records(&rec_bytes).unwrap(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let owner = bench_owner_small();
+    let mut g = c.benchmark_group("update");
+    g.sample_size(20);
+    g.bench_function("insert+delete/5000rows", |b| {
+        let (mut st, _) = WorkloadSpec::new(5000).signed(owner, SchemeConfig::default());
+        let domain = *st.domain();
+        let key = domain.key_min() + 7; // between existing keys
+        let mut i = 0u64;
+        b.iter(|| {
+            let rec = adp_relation::Record::new(vec![
+                adp_relation::Value::Int(key),
+                adp_relation::Value::Int(i as i64),
+                adp_relation::Value::Bytes(vec![0u8; 16]),
+            ]);
+            owner.insert_record(&mut st, rec).unwrap();
+            owner.delete_record(&mut st, key, 0).unwrap();
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_owner_sign, bench_query_paths, bench_updates);
+criterion_main!(benches);

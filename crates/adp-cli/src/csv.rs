@@ -1,0 +1,103 @@
+//! A small CSV reader/writer for the CLI (RFC-4180 subset: quoted fields
+//! with `""` escapes, no embedded newlines).
+
+/// Parses one CSV line into fields.
+pub fn parse_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated quoted field".into()),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cur.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => cur.push(c),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(cur);
+                        return Ok(fields);
+                    }
+                    Some(',') => {
+                        fields.push(std::mem::take(&mut cur));
+                    }
+                    Some(c) => return Err(format!("unexpected '{c}' after quoted field")),
+                }
+            }
+            Some(_) => {
+                loop {
+                    match chars.peek() {
+                        None | Some(',') => break,
+                        _ => cur.push(chars.next().unwrap()),
+                    }
+                }
+                if chars.peek() == Some(&',') {
+                    chars.next();
+                    fields.push(std::mem::take(&mut cur));
+                } else {
+                    fields.push(std::mem::take(&mut cur));
+                    return Ok(fields);
+                }
+            }
+        }
+    }
+}
+
+/// Quotes a field if needed.
+pub fn write_field(f: &str) -> String {
+    if f.contains(',') || f.contains('"') {
+        format!("\"{}\"", f.replace('"', "\"\""))
+    } else {
+        f.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        assert_eq!(parse_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_line("").unwrap(), vec![""]);
+        assert_eq!(parse_line("x").unwrap(), vec!["x"]);
+        assert_eq!(parse_line("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert_eq!(parse_line("a,b,").unwrap(), vec!["a", "b", ""]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        assert_eq!(parse_line("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
+        assert_eq!(parse_line("\"he said \"\"hi\"\"\"").unwrap(), vec!["he said \"hi\""]);
+        assert_eq!(parse_line("a,\"\"").unwrap(), vec!["a", ""]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_line("\"open").is_err());
+        assert!(parse_line("\"x\"y").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        for f in ["plain", "with,comma", "with\"quote", ""] {
+            let line = write_field(f);
+            assert_eq!(parse_line(&line).unwrap(), vec![f.to_string()]);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Extension (the paper's Section 7 future work): *"generalizing the
+//! proposed scheme for non-relational structures, e.g. directed acyclic
+//! graphs."*
+//!
+//! The relational scheme proves completeness of an *ordered list* by
+//! chaining neighbour digests. For a DAG the natural completeness questions
+//! are about *adjacency*: "give me all children (or parents) of node `v` —
+//! and prove none was withheld." The generalization implemented here:
+//!
+//! * Each node `v` carries a digest
+//!   `g(v) = h(id | payload-digest | MHT(children-ids) | MHT(parent-ids))`,
+//!   committing to the **exact, complete adjacency lists** (with their
+//!   cardinalities) rather than to a linear order.
+//! * The owner signs every `g(v)` (aggregatable, same condensed-RSA as the
+//!   relational scheme).
+//! * A neighbourhood query returns the adjacent node ids plus the signature
+//!   of `v`; the verifier rebuilds both adjacency-MHT roots from the
+//!   returned lists, so omitting or injecting an edge breaks `g(v)`.
+//! * Reachability queries compose: a verified path `v → … → w` is a chain
+//!   of verified child-list memberships; a verified *frontier* (BFS layer)
+//!   is the union of verified child lists, giving complete multi-hop
+//!   expansions.
+//!
+//! This mirrors the relational design exactly: contiguity (the signature
+//! binds neighbours) becomes adjacency, and the per-record attribute MHT
+//! becomes the payload digest.
+
+use adp_crypto::{AggregateSignature, Digest, HashDomain, Hasher, Keypair, PublicKey, Signature};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A node identifier.
+pub type NodeId = u64;
+
+/// A DAG with byte payloads on nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    /// node → payload
+    nodes: BTreeMap<NodeId, Vec<u8>>,
+    /// node → sorted children
+    children: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// node → sorted parents
+    parents: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+/// Errors constructing or querying DAGs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    DuplicateNode(NodeId),
+    UnknownNode(NodeId),
+    CycleDetected,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::DuplicateNode(id) => write!(f, "duplicate node {id}"),
+            DagError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            DagError::CycleDetected => write!(f, "edge would create a cycle"),
+        }
+    }
+}
+impl std::error::Error for DagError {}
+
+impl Dag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, id: NodeId, payload: Vec<u8>) -> Result<(), DagError> {
+        if self.nodes.contains_key(&id) {
+            return Err(DagError::DuplicateNode(id));
+        }
+        self.nodes.insert(id, payload);
+        self.children.entry(id).or_default();
+        self.parents.entry(id).or_default();
+        Ok(())
+    }
+
+    /// Adds an edge `from → to`, rejecting cycles.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        if !self.nodes.contains_key(&from) {
+            return Err(DagError::UnknownNode(from));
+        }
+        if !self.nodes.contains_key(&to) {
+            return Err(DagError::UnknownNode(to));
+        }
+        if from == to || self.reaches(to, from) {
+            return Err(DagError::CycleDetected);
+        }
+        self.children.get_mut(&from).unwrap().insert(to);
+        self.parents.get_mut(&to).unwrap().insert(from);
+        Ok(())
+    }
+
+    /// DFS reachability (owner-side validation only).
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            if seen.insert(v) {
+                stack.extend(self.children.get(&v).into_iter().flatten().copied());
+            }
+        }
+        false
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children of a node.
+    pub fn children_of(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        self.children.get(&id).map(|s| s.iter().copied().collect())
+    }
+
+    /// Parents of a node.
+    pub fn parents_of(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        self.parents.get(&id).map(|s| s.iter().copied().collect())
+    }
+
+    /// Payload of a node.
+    pub fn payload(&self, id: NodeId) -> Option<&[u8]> {
+        self.nodes.get(&id).map(Vec::as_slice)
+    }
+}
+
+/// Digest over an adjacency list: cardinality + each id as a leaf digest,
+/// hashed in sorted order. (A flat hash suffices — the verifier always
+/// holds the complete list; Merkle paths are unnecessary because partial
+/// adjacency disclosure is not part of the query model.)
+fn adjacency_digest(hasher: &Hasher, ids: &BTreeSet<NodeId>) -> Digest {
+    let mut parts: Vec<Vec<u8>> = Vec::with_capacity(ids.len() + 1);
+    parts.push((ids.len() as u64).to_le_bytes().to_vec());
+    for id in ids {
+        parts.push(id.to_le_bytes().to_vec());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+    hasher.hash_parts(HashDomain::Node, &refs)
+}
+
+/// `g(v)` for the DAG scheme.
+fn node_digest(
+    hasher: &Hasher,
+    id: NodeId,
+    payload: &[u8],
+    children: &BTreeSet<NodeId>,
+    parents: &BTreeSet<NodeId>,
+) -> Digest {
+    let payload_d = hasher.hash(HashDomain::Leaf, payload);
+    let child_d = adjacency_digest(hasher, children);
+    let parent_d = adjacency_digest(hasher, parents);
+    hasher.hash_parts(
+        HashDomain::Link,
+        &[&id.to_le_bytes(), payload_d.as_bytes(), child_d.as_bytes(), parent_d.as_bytes()],
+    )
+}
+
+/// A DAG signed for publishing.
+pub struct SignedDag {
+    dag: Dag,
+    signatures: BTreeMap<NodeId, Signature>,
+    public_key: PublicKey,
+    hasher: Hasher,
+}
+
+/// The user-facing certificate for a signed DAG.
+#[derive(Clone, Debug)]
+pub struct DagCertificate {
+    pub public_key: PublicKey,
+    pub hasher: Hasher,
+}
+
+/// A verified neighbourhood answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighbourhoodProof {
+    /// The queried node's payload.
+    pub payload: Vec<u8>,
+    /// Complete child list.
+    pub children: Vec<NodeId>,
+    /// Complete parent list.
+    pub parents: Vec<NodeId>,
+    /// `sig(v)`.
+    pub signature: Signature,
+}
+
+/// Verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagVerifyError {
+    SignatureInvalid,
+    AdjacencyNotSorted,
+    FrontierMismatch,
+    SignatureCountMismatch,
+}
+
+impl fmt::Display for DagVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DagVerifyError::SignatureInvalid => "node signature invalid",
+            DagVerifyError::AdjacencyNotSorted => "adjacency list not sorted/deduplicated",
+            DagVerifyError::FrontierMismatch => "frontier does not equal the union of child lists",
+            DagVerifyError::SignatureCountMismatch => "signature count mismatch",
+        };
+        f.write_str(s)
+    }
+}
+impl std::error::Error for DagVerifyError {}
+
+impl SignedDag {
+    /// Owner-side: signs every node's `g(v)`.
+    pub fn publish(keypair: &Keypair, hasher: Hasher, dag: Dag) -> Self {
+        let mut signatures = BTreeMap::new();
+        for (id, payload) in &dag.nodes {
+            let g = node_digest(
+                &hasher,
+                *id,
+                payload,
+                &dag.children[id],
+                &dag.parents[id],
+            );
+            signatures.insert(*id, keypair.sign(&hasher, &g));
+        }
+        SignedDag { dag, signatures, public_key: keypair.public().clone(), hasher }
+    }
+
+    /// The underlying DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// User-facing certificate.
+    pub fn certificate(&self) -> DagCertificate {
+        DagCertificate { public_key: self.public_key.clone(), hasher: self.hasher }
+    }
+
+    /// Publisher-side: answers "neighbourhood of `v`".
+    pub fn answer_neighbourhood(&self, id: NodeId) -> Result<NeighbourhoodProof, DagError> {
+        let payload = self.dag.payload(id).ok_or(DagError::UnknownNode(id))?.to_vec();
+        Ok(NeighbourhoodProof {
+            payload,
+            children: self.dag.children_of(id).unwrap(),
+            parents: self.dag.parents_of(id).unwrap(),
+            signature: self.signatures[&id].clone(),
+        })
+    }
+
+    /// Publisher-side: answers a BFS frontier expansion from `roots`
+    /// (`depth` hops), returning per-node proofs for every expanded node
+    /// and an aggregate signature.
+    pub fn answer_frontier(
+        &self,
+        roots: &[NodeId],
+        depth: usize,
+    ) -> Result<(Vec<(NodeId, NeighbourhoodProof)>, AggregateSignature), DagError> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut layer: Vec<NodeId> = roots.to_vec();
+        let mut out = Vec::new();
+        for _ in 0..=depth {
+            let mut next = Vec::new();
+            for id in layer {
+                if !seen.insert(id) {
+                    continue;
+                }
+                let proof = self.answer_neighbourhood(id)?;
+                next.extend(proof.children.iter().copied());
+                out.push((id, proof));
+            }
+            layer = next;
+        }
+        let sigs: Vec<&Signature> = out.iter().map(|(_, p)| &p.signature).collect();
+        let agg = AggregateSignature::combine(&self.public_key, &sigs);
+        Ok((out, agg))
+    }
+}
+
+/// User-side: verifies a single neighbourhood proof.
+pub fn verify_neighbourhood(
+    cert: &DagCertificate,
+    id: NodeId,
+    proof: &NeighbourhoodProof,
+) -> Result<(), DagVerifyError> {
+    let g = rebuild_digest(cert, id, proof)?;
+    if cert.public_key.verify(&cert.hasher, &g, &proof.signature) {
+        Ok(())
+    } else {
+        Err(DagVerifyError::SignatureInvalid)
+    }
+}
+
+fn rebuild_digest(
+    cert: &DagCertificate,
+    id: NodeId,
+    proof: &NeighbourhoodProof,
+) -> Result<Digest, DagVerifyError> {
+    let children = sorted_set(&proof.children)?;
+    let parents = sorted_set(&proof.parents)?;
+    Ok(node_digest(&cert.hasher, id, &proof.payload, &children, &parents))
+}
+
+fn sorted_set(ids: &[NodeId]) -> Result<BTreeSet<NodeId>, DagVerifyError> {
+    let set: BTreeSet<NodeId> = ids.iter().copied().collect();
+    if set.len() != ids.len() || !ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(DagVerifyError::AdjacencyNotSorted);
+    }
+    Ok(set)
+}
+
+/// User-side: verifies a frontier expansion — every node's adjacency proof
+/// plus the BFS closure property (the expansion visited exactly the nodes
+/// reachable within `depth` hops of `roots`).
+pub fn verify_frontier(
+    cert: &DagCertificate,
+    roots: &[NodeId],
+    depth: usize,
+    proofs: &[(NodeId, NeighbourhoodProof)],
+    aggregate: &AggregateSignature,
+) -> Result<(), DagVerifyError> {
+    // 1. Per-node digests + the aggregate.
+    let mut digests = Vec::with_capacity(proofs.len());
+    let mut by_id: BTreeMap<NodeId, &NeighbourhoodProof> = BTreeMap::new();
+    for (id, p) in proofs {
+        digests.push(rebuild_digest(cert, *id, p)?);
+        by_id.insert(*id, p);
+    }
+    if aggregate.count() != digests.len() {
+        return Err(DagVerifyError::SignatureCountMismatch);
+    }
+    if !aggregate.verify(&cert.hasher, &cert.public_key, &digests) {
+        return Err(DagVerifyError::SignatureInvalid);
+    }
+    // 2. Closure: recompute the BFS from the verified child lists and
+    //    demand the proof set matches exactly.
+    let mut expected: BTreeSet<NodeId> = BTreeSet::new();
+    let mut layer: Vec<NodeId> = roots.to_vec();
+    for _ in 0..=depth {
+        let mut next = Vec::new();
+        for id in layer {
+            if !expected.insert(id) {
+                continue;
+            }
+            let p = by_id.get(&id).ok_or(DagVerifyError::FrontierMismatch)?;
+            next.extend(p.children.iter().copied());
+        }
+        layer = next;
+    }
+    let got: BTreeSet<NodeId> = by_id.keys().copied().collect();
+    if got != expected {
+        return Err(DagVerifyError::FrontierMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    fn keypair() -> &'static Keypair {
+        static K: OnceLock<Keypair> = OnceLock::new();
+        K.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xDA6);
+            Keypair::generate(512, &mut rng)
+        })
+    }
+
+    /// A small software-dependency-style DAG:
+    ///   1 → 2 → 4
+    ///   1 → 3 → 4 → 5
+    fn diamond() -> Dag {
+        let mut d = Dag::new();
+        for id in 1..=5u64 {
+            d.add_node(id, format!("pkg-{id}").into_bytes()).unwrap();
+        }
+        for (a, b) in [(1u64, 2u64), (1, 3), (2, 4), (3, 4), (4, 5)] {
+            d.add_edge(a, b).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn construction_rejects_cycles_and_duplicates() {
+        let mut d = diamond();
+        assert_eq!(d.add_node(3, vec![]), Err(DagError::DuplicateNode(3)));
+        assert_eq!(d.add_edge(5, 1), Err(DagError::CycleDetected));
+        assert_eq!(d.add_edge(4, 4), Err(DagError::CycleDetected));
+        assert_eq!(d.add_edge(9, 1), Err(DagError::UnknownNode(9)));
+    }
+
+    #[test]
+    fn neighbourhood_verifies() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        for id in 1..=5u64 {
+            let proof = sd.answer_neighbourhood(id).unwrap();
+            verify_neighbourhood(&cert, id, &proof).unwrap();
+        }
+        let p4 = sd.answer_neighbourhood(4).unwrap();
+        assert_eq!(p4.children, vec![5]);
+        assert_eq!(p4.parents, vec![2, 3]);
+    }
+
+    #[test]
+    fn omitted_edge_detected() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let mut proof = sd.answer_neighbourhood(4).unwrap();
+        proof.parents.retain(|&p| p != 3); // hide an incoming edge
+        assert_eq!(
+            verify_neighbourhood(&cert, 4, &proof),
+            Err(DagVerifyError::SignatureInvalid)
+        );
+        let mut proof = sd.answer_neighbourhood(1).unwrap();
+        proof.children.pop(); // hide a child
+        assert!(verify_neighbourhood(&cert, 1, &proof).is_err());
+    }
+
+    #[test]
+    fn injected_edge_detected() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let mut proof = sd.answer_neighbourhood(2).unwrap();
+        proof.children.push(5); // claim a fabricated edge 2 → 5
+        assert!(verify_neighbourhood(&cert, 2, &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_payload_detected() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let mut proof = sd.answer_neighbourhood(3).unwrap();
+        proof.payload = b"pkg-3-evil".to_vec();
+        assert_eq!(
+            verify_neighbourhood(&cert, 3, &proof),
+            Err(DagVerifyError::SignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn unsorted_adjacency_rejected() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let mut proof = sd.answer_neighbourhood(4).unwrap();
+        proof.parents.reverse();
+        assert_eq!(
+            verify_neighbourhood(&cert, 4, &proof),
+            Err(DagVerifyError::AdjacencyNotSorted)
+        );
+    }
+
+    #[test]
+    fn frontier_expansion_verifies() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let (proofs, agg) = sd.answer_frontier(&[1], 2, ).unwrap();
+        // Depth 2 from node 1: {1, 2, 3, 4}.
+        let ids: BTreeSet<NodeId> = proofs.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, BTreeSet::from([1, 2, 3, 4]));
+        verify_frontier(&cert, &[1], 2, &proofs, &agg).unwrap();
+    }
+
+    #[test]
+    fn frontier_omission_detected() {
+        // Dropping node 3 (and its proof) from the frontier must fail: node
+        // 1's verified child list names 3, so the closure check notices.
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let (mut proofs, _) = sd.answer_frontier(&[1], 2).unwrap();
+        proofs.retain(|(id, _)| *id != 3);
+        let sigs: Vec<&Signature> = proofs.iter().map(|(_, p)| &p.signature).collect();
+        let agg = AggregateSignature::combine(&cert.public_key, &sigs);
+        assert_eq!(
+            verify_frontier(&cert, &[1], 2, &proofs, &agg),
+            Err(DagVerifyError::FrontierMismatch)
+        );
+    }
+
+    #[test]
+    fn frontier_depth_zero_is_roots_only() {
+        let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
+        let cert = sd.certificate();
+        let (proofs, agg) = sd.answer_frontier(&[2, 3], 0).unwrap();
+        assert_eq!(proofs.len(), 2);
+        verify_frontier(&cert, &[2, 3], 0, &proofs, &agg).unwrap();
+    }
+
+    #[test]
+    fn larger_random_dag_roundtrip() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0xD4C);
+        let mut d = Dag::new();
+        for id in 0..120u64 {
+            d.add_node(id, vec![id as u8; 8]).unwrap();
+        }
+        // Edges only forward (guaranteed acyclic).
+        for id in 0..120u64 {
+            for _ in 0..rng.gen_range(0..4) {
+                let to = rng.gen_range(id + 1..=120.min(id + 20)).min(119);
+                if to > id {
+                    let _ = d.add_edge(id, to);
+                }
+            }
+        }
+        let sd = SignedDag::publish(keypair(), Hasher::default(), d);
+        let cert = sd.certificate();
+        let (proofs, agg) = sd.answer_frontier(&[0, 1, 2], 3).unwrap();
+        verify_frontier(&cert, &[0, 1, 2], 3, &proofs, &agg).unwrap();
+    }
+}

@@ -1,0 +1,145 @@
+//! Verification failures.
+//!
+//! Every way a verification can fail gets its own variant so tests can
+//! assert *why* a malicious result was rejected, mirroring the case
+//! analysis of Section 3.2.
+
+use std::fmt;
+
+/// Why a query result failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The query range is empty by construction but the publisher returned
+    /// rows anyway.
+    ExpectedEmptyResult,
+    /// VO variant does not match the result shape (e.g. a range VO with an
+    /// empty result, or an empty-proof VO alongside returned rows).
+    VoShapeMismatch { detail: &'static str },
+    /// A returned record's key lies outside the normalized query range
+    /// (precision violation).
+    KeyOutOfRange { key: i64 },
+    /// A returned record fails the query's non-key filters (precision
+    /// violation).
+    FilterViolation { entry: usize },
+    /// A filtered-entry proof does not actually demonstrate that any filter
+    /// predicate fails.
+    FilteredNotProven { entry: usize },
+    /// A filtered entry appears in a non-multipoint query.
+    UnexpectedFilteredEntry { entry: usize },
+    /// The attribute Merkle root recomputed from disclosed values and
+    /// digests disagrees with the root in the VO.
+    AttrRootMismatch { entry: usize },
+    /// The attribute proof does not cover each non-key column exactly once.
+    AttrCoverageInvalid { entry: usize },
+    /// A record does not match the expected projection arity/typing.
+    ProjectionMismatch { entry: usize },
+    /// Record values violate the schema.
+    SchemaViolation { entry: usize, detail: String },
+    /// Number of returned records does not match the number of Match
+    /// entries in the VO.
+    ResultCountMismatch { records: usize, matches: usize },
+    /// The boundary proof carries the wrong number of intermediate digests.
+    BoundaryShapeInvalid { side: &'static str },
+    /// The boundary proof's representation selector is malformed
+    /// (e.g. non-canonical index out of range).
+    BoundarySelectorInvalid { side: &'static str },
+    /// Signature verification failed — covers omission, truncation, fake
+    /// boundaries, spurious or tampered tuples (Cases 1–5 of Section 3.2
+    /// all funnel into a signature/link mismatch).
+    SignatureInvalid,
+    /// Signature count disagrees with the entry count.
+    SignatureCountMismatch { expected: usize, got: usize },
+    /// A DISTINCT query's result contains duplicate projected rows
+    /// (precision violation), or duplicate-elimination entries appear for a
+    /// non-DISTINCT query.
+    DistinctViolation { detail: &'static str },
+    /// A duplicate-elimination entry references a nonexistent result row.
+    DuplicateRefInvalid { entry: usize },
+    /// A duplicate-elimination entry's disclosed projection does not match
+    /// the referenced result row.
+    DuplicateMismatch { entry: usize },
+    /// The key column is missing from the projected result.
+    KeyColumnMissing,
+    /// Join verification: a result pairing references a foreign key with no
+    /// authenticated inner record.
+    JoinPairingBroken { fk: i64 },
+    /// Join verification: an inner (S-side) record proof failed.
+    JoinInnerInvalid { detail: String },
+    /// Band join: the claimed extremum is inconsistent with the partitions.
+    BandJoinBoundsInvalid { detail: String },
+    /// Query not supported by the verification scheme.
+    Unsupported { detail: &'static str },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ExpectedEmptyResult => {
+                write!(f, "query range is empty by construction but rows were returned")
+            }
+            VerifyError::VoShapeMismatch { detail } => write!(f, "VO shape mismatch: {detail}"),
+            VerifyError::KeyOutOfRange { key } => {
+                write!(f, "record key {key} outside the query range (precision violation)")
+            }
+            VerifyError::FilterViolation { entry } => {
+                write!(f, "result entry {entry} fails the query filters (precision violation)")
+            }
+            VerifyError::FilteredNotProven { entry } => {
+                write!(f, "filtered entry {entry} does not prove any failing predicate")
+            }
+            VerifyError::UnexpectedFilteredEntry { entry } => {
+                write!(f, "filtered entry {entry} in a non-multipoint query")
+            }
+            VerifyError::AttrRootMismatch { entry } => {
+                write!(f, "attribute Merkle root mismatch at entry {entry}")
+            }
+            VerifyError::AttrCoverageInvalid { entry } => {
+                write!(f, "attribute proof coverage invalid at entry {entry}")
+            }
+            VerifyError::ProjectionMismatch { entry } => {
+                write!(f, "projection shape mismatch at entry {entry}")
+            }
+            VerifyError::SchemaViolation { entry, detail } => {
+                write!(f, "schema violation at entry {entry}: {detail}")
+            }
+            VerifyError::ResultCountMismatch { records, matches } => write!(
+                f,
+                "result has {records} records but the VO proves {matches} matches"
+            ),
+            VerifyError::BoundaryShapeInvalid { side } => {
+                write!(f, "{side} boundary proof has the wrong shape")
+            }
+            VerifyError::BoundarySelectorInvalid { side } => {
+                write!(f, "{side} boundary representation selector invalid")
+            }
+            VerifyError::SignatureInvalid => write!(f, "signature verification failed"),
+            VerifyError::SignatureCountMismatch { expected, got } => {
+                write!(f, "expected {expected} signatures, got {got}")
+            }
+            VerifyError::DistinctViolation { detail } => {
+                write!(f, "DISTINCT violation: {detail}")
+            }
+            VerifyError::DuplicateRefInvalid { entry } => {
+                write!(f, "duplicate entry {entry} references a nonexistent result row")
+            }
+            VerifyError::DuplicateMismatch { entry } => {
+                write!(f, "duplicate entry {entry} does not match its referenced row")
+            }
+            VerifyError::KeyColumnMissing => {
+                write!(f, "the key column is missing from the projected result")
+            }
+            VerifyError::JoinPairingBroken { fk } => {
+                write!(f, "no authenticated inner record for foreign key {fk}")
+            }
+            VerifyError::JoinInnerInvalid { detail } => {
+                write!(f, "inner join record proof failed: {detail}")
+            }
+            VerifyError::BandJoinBoundsInvalid { detail } => {
+                write!(f, "band join bounds invalid: {detail}")
+            }
+            VerifyError::Unsupported { detail } => write!(f, "unsupported query: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

@@ -1,0 +1,897 @@
+//! The data owner (Figure 3): signs tables, maintains them under updates.
+//!
+//! For a table sorted on `K` the owner inserts the two delimiters
+//! (Section 3.1), computes `g(r)` for every entry (formula (3), Figure 7)
+//! and signs each chain link `h(g(r_{i-1}) | g(r_i) | g(r_{i+1}))`
+//! (formula (1)), with the domain edge anchors `h(L)` / `h(U)` flanking the
+//! delimiters.
+//!
+//! Updates have the locality the paper highlights in Section 6.3: an
+//! insert/delete/modify recomputes **three (or two) signatures** — the
+//! record's own and its immediate neighbours' — instead of a root path of
+//! digests as in Merkle-tree schemes. Signatures are additionally stored in
+//! a [`BPlusTree`] keyed by `(K, replica)`; its node-visit counters feed
+//! the `sec63_updates` experiment.
+
+use crate::domain::Domain;
+use crate::gdigest::{
+    attr_tree, direction_commitment, g_of_delimiter, link_digest, Direction, GDigest,
+};
+use crate::repr::Radix;
+use crate::scheme::{Mode, SchemeConfig};
+use adp_crypto::{Digest, Hasher, Keypair, PublicKey, Signature};
+use adp_relation::{BPlusTree, Record, Schema, SchemaError, Table};
+use rand::RngCore;
+use std::fmt;
+
+/// Errors raised by owner operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OwnerError {
+    /// A key value lies outside the legal key interval `[L+2, U-2]`.
+    KeyOutOfDomain { key: i64 },
+    /// The record does not match the table schema.
+    Schema(SchemaError),
+    /// The `(key, replica)` pair does not exist.
+    NoSuchRecord { key: i64, replica: u32 },
+    /// A dissemination payload carried the wrong number of signatures for
+    /// the table (`n + 2` expected).
+    SignatureCount { expected: usize, got: usize },
+}
+
+impl fmt::Display for OwnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnerError::KeyOutOfDomain { key } => {
+                write!(f, "key {key} outside the domain's legal key interval")
+            }
+            OwnerError::Schema(e) => write!(f, "schema violation: {e}"),
+            OwnerError::NoSuchRecord { key, replica } => {
+                write!(f, "no record with key {key}, replica {replica}")
+            }
+            OwnerError::SignatureCount { expected, got } => {
+                write!(f, "expected {expected} signatures for the table, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OwnerError {}
+
+impl From<SchemaError> for OwnerError {
+    fn from(e: SchemaError) -> Self {
+        OwnerError::Schema(e)
+    }
+}
+
+/// What the owner publishes for users (over an authenticated channel, e.g.
+/// a public-key certificate): everything needed to verify results.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    pub table_name: String,
+    pub schema: Schema,
+    pub domain: Domain,
+    pub config: SchemeConfig,
+    pub public_key: PublicKey,
+}
+
+/// Per-chain-position authentication material.
+#[derive(Clone, Debug)]
+pub struct SignedEntry {
+    /// The `g` triple of this entry.
+    pub g: GDigest,
+    /// Optimized mode: the rep-MHT roots (up, down) the publisher hands to
+    /// users for Figure-8b entry verification.
+    pub roots: Option<(Digest, Digest)>,
+    /// `sig(r_i)` over the link digest.
+    pub signature: Signature,
+}
+
+/// Cost accounting for one update operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Signatures recomputed (3 for insert/modify, 2 for delete).
+    pub signatures_recomputed: usize,
+    /// `g` digests recomputed (1 for insert/modify, 0 for delete).
+    pub g_recomputed: usize,
+    /// Leaf nodes of the signature B+-tree touched.
+    pub index_leaves_touched: u64,
+    /// Total B+-tree nodes touched.
+    pub index_nodes_touched: u64,
+}
+
+/// A table signed for publishing: data + signature chain + signature index.
+#[derive(Debug)]
+pub struct SignedTable {
+    table: Table,
+    domain: Domain,
+    config: SchemeConfig,
+    hasher: Hasher,
+    radix: Option<Radix>,
+    /// Chain positions `0..=n+1`; position 0 and n+1 are the delimiters.
+    entries: Vec<SignedEntry>,
+    /// Signatures keyed by `(K, replica)` in B+-tree leaves (Section 6.3).
+    sig_index: BPlusTree<Signature>,
+    public_key: PublicKey,
+}
+
+impl SignedTable {
+    /// The underlying table (real records only).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The key domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// The hasher.
+    pub fn hasher(&self) -> &Hasher {
+        &self.hasher
+    }
+
+    /// The radix (None in conceptual mode).
+    pub fn radix(&self) -> Option<&Radix> {
+        self.radix.as_ref()
+    }
+
+    /// Number of real records `n`.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table has no real records.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Chain entry at position `0..=n+1`.
+    pub fn entry(&self, chain_pos: usize) -> &SignedEntry {
+        &self.entries[chain_pos]
+    }
+
+    /// Number of chain positions (`n + 2`).
+    pub fn chain_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Key at a chain position (delimiters included).
+    pub fn key_at(&self, chain_pos: usize) -> i64 {
+        if chain_pos == 0 {
+            self.domain.left_delimiter()
+        } else if chain_pos == self.entries.len() - 1 {
+            self.domain.right_delimiter()
+        } else {
+            self.table.row(chain_pos - 1).record.key(self.table.schema())
+        }
+    }
+
+    /// `(key, replica)` at a chain position.
+    pub fn tree_key_at(&self, chain_pos: usize) -> (i64, u32) {
+        if chain_pos == 0 {
+            (self.domain.left_delimiter(), 0)
+        } else if chain_pos == self.entries.len() - 1 {
+            (self.domain.right_delimiter(), 0)
+        } else {
+            let row = self.table.row(chain_pos - 1);
+            (row.record.key(self.table.schema()), row.replica)
+        }
+    }
+
+    /// The signature B+-tree (for instrumentation).
+    pub fn sig_index(&self) -> &BPlusTree<Signature> {
+        &self.sig_index
+    }
+
+    /// The owner's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public_key
+    }
+
+    /// Bytes of authentication material the owner ships to the publisher:
+    /// `n + 2` signatures (everything else is recomputable from the data).
+    pub fn dissemination_size(&self) -> usize {
+        self.entries.iter().map(|e| e.signature.byte_len()).sum()
+    }
+
+    /// The raw `g` bytes at a chain position (used by the publisher as
+    /// opaque neighbour context).
+    pub fn g_bytes(&self, chain_pos: usize) -> Vec<u8> {
+        self.entries[chain_pos].g.to_bytes()
+    }
+
+    /// The link digest signed at `chain_pos` (recomputed from current `g`s).
+    fn link_at(&self, chain_pos: usize) -> Digest {
+        let prev = if chain_pos == 0 {
+            crate::gdigest::edge_digest(&self.hasher, self.domain.l())
+                .as_bytes()
+                .to_vec()
+        } else {
+            self.entries[chain_pos - 1].g.to_bytes()
+        };
+        let next = if chain_pos == self.entries.len() - 1 {
+            crate::gdigest::edge_digest(&self.hasher, self.domain.u())
+                .as_bytes()
+                .to_vec()
+        } else {
+            self.entries[chain_pos + 1].g.to_bytes()
+        };
+        link_digest(&self.hasher, &prev, &self.entries[chain_pos].g.to_bytes(), &next)
+    }
+
+    /// Internal consistency check: every stored signature verifies against
+    /// the recomputed link digest. `O(n)` signature verifications — test
+    /// and debugging helper.
+    pub fn audit(&self) -> bool {
+        (0..self.entries.len()).all(|i| {
+            self.public_key
+                .verify(&self.hasher, &self.link_at(i), &self.entries[i].signature)
+        })
+    }
+}
+
+/// The data owner: holds the signing keypair.
+pub struct Owner {
+    keypair: Keypair,
+}
+
+impl SignedTable {
+    /// Publisher-side reconstruction from disseminated parts: the owner
+    /// ships only the data and the `n + 2` signatures (Figure 3); the
+    /// publisher recomputes every digest itself and — since it should not
+    /// serve data it cannot prove — audits the chain against the owner's
+    /// public key.
+    ///
+    /// `signatures` must cover chain positions `0..=n+1` in order.
+    pub fn from_parts(
+        table: Table,
+        domain: Domain,
+        config: SchemeConfig,
+        signatures: Vec<Signature>,
+        public_key: PublicKey,
+    ) -> Result<Self, OwnerError> {
+        let hasher = config.hasher();
+        let radix = match config.mode {
+            Mode::Conceptual => None,
+            Mode::Optimized { base } => Some(Radix::for_width(base, domain.width())),
+        };
+        for row in table.rows() {
+            let k = row.record.key(table.schema());
+            if !domain.contains_key(k) {
+                return Err(OwnerError::KeyOutOfDomain { key: k });
+            }
+        }
+        let n = table.len();
+        if signatures.len() != n + 2 {
+            return Err(OwnerError::SignatureCount {
+                expected: n + 2,
+                got: signatures.len(),
+            });
+        }
+        let schema = table.schema().clone();
+        let mut entries = Vec::with_capacity(n + 2);
+        for (pos, signature) in signatures.into_iter().enumerate() {
+            let (g, roots) = if pos == 0 {
+                (
+                    g_of_delimiter(&hasher, &config, radix.as_ref(), &domain, domain.left_delimiter()),
+                    None,
+                )
+            } else if pos == n + 1 {
+                (
+                    g_of_delimiter(&hasher, &config, radix.as_ref(), &domain, domain.right_delimiter()),
+                    None,
+                )
+            } else {
+                let record = &table.row(pos - 1).record;
+                let key = record.key(&schema);
+                let up = direction_commitment(&hasher, &config, radix.as_ref(), &domain, key, Direction::Up);
+                let down =
+                    direction_commitment(&hasher, &config, radix.as_ref(), &domain, key, Direction::Down);
+                let attrs = attr_tree(&hasher, &schema, record).root();
+                let roots = match (up.rep_tree.as_ref(), down.rep_tree.as_ref()) {
+                    (Some(u), Some(d)) => Some((u.root(), d.root())),
+                    _ => None,
+                };
+                (GDigest { up: up.component, down: down.component, attrs }, roots)
+            };
+            entries.push(SignedEntry { g, roots, signature });
+        }
+        let mut sig_index = BPlusTree::new(64);
+        let mut st = SignedTable {
+            table,
+            domain,
+            config,
+            hasher,
+            radix,
+            entries,
+            sig_index: BPlusTree::new(64),
+            public_key,
+        };
+        for pos in 0..st.entries.len() {
+            sig_index.insert(st.tree_key_at(pos), st.entries[pos].signature.clone());
+        }
+        st.sig_index = sig_index;
+        Ok(st)
+    }
+}
+
+impl Owner {
+    /// Creates an owner with a fresh RSA keypair of `bits` bits
+    /// (1024 matches the paper's `M_sign`; tests use 512 for speed).
+    pub fn new(bits: usize, rng: &mut dyn RngCore) -> Self {
+        Owner { keypair: Keypair::generate(bits, rng) }
+    }
+
+    /// The owner's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keypair.public()
+    }
+
+    /// Computes `g` and rep-roots for one record.
+    fn materialize(
+        &self,
+        hasher: &Hasher,
+        config: &SchemeConfig,
+        radix: Option<&Radix>,
+        domain: &Domain,
+        schema: &Schema,
+        record: &Record,
+    ) -> (GDigest, Option<(Digest, Digest)>) {
+        let key = record.key(schema);
+        let up = direction_commitment(hasher, config, radix, domain, key, Direction::Up);
+        let down = direction_commitment(hasher, config, radix, domain, key, Direction::Down);
+        let attrs = attr_tree(hasher, schema, record).root();
+        let roots = match (up.rep_tree.as_ref(), down.rep_tree.as_ref()) {
+            (Some(u), Some(d)) => Some((u.root(), d.root())),
+            _ => None,
+        };
+        (GDigest { up: up.component, down: down.component, attrs }, roots)
+    }
+
+    /// Signs a table for publishing. `O(n)` hash chains + `n + 2` RSA
+    /// signatures; parallelized across available cores.
+    pub fn sign_table(
+        &self,
+        table: Table,
+        domain: Domain,
+        config: SchemeConfig,
+    ) -> Result<SignedTable, OwnerError> {
+        let hasher = config.hasher();
+        let radix = match config.mode {
+            Mode::Conceptual => None,
+            Mode::Optimized { base } => Some(Radix::for_width(base, domain.width())),
+        };
+        // Validate all keys before doing any crypto work.
+        for row in table.rows() {
+            let k = row.record.key(table.schema());
+            if !domain.contains_key(k) {
+                return Err(OwnerError::KeyOutOfDomain { key: k });
+            }
+        }
+
+        let n = table.len();
+        let schema = table.schema().clone();
+        // Materialize g for all chain positions 0..=n+1, in parallel.
+        type Material = (GDigest, Option<(Digest, Digest)>);
+        let mut materials: Vec<Option<Material>> = vec![None; n + 2];
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n + 2);
+        let chunk = (n + 2).div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, slot_chunk) in materials.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                let table = &table;
+                let schema = &schema;
+                let radix = radix.as_ref();
+                let domain = &domain;
+                let config = &config;
+                let hasher = &hasher;
+                s.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let pos = start + off;
+                        let mat = if pos == 0 {
+                            let g = g_of_delimiter(
+                                hasher,
+                                config,
+                                radix,
+                                domain,
+                                domain.left_delimiter(),
+                            );
+                            (g, None)
+                        } else if pos == n + 1 {
+                            let g = g_of_delimiter(
+                                hasher,
+                                config,
+                                radix,
+                                domain,
+                                domain.right_delimiter(),
+                            );
+                            (g, None)
+                        } else {
+                            self.materialize(
+                                hasher,
+                                config,
+                                radix,
+                                domain,
+                                schema,
+                                &table.row(pos - 1).record,
+                            )
+                        };
+                        *slot = Some(mat);
+                    }
+                });
+            }
+        })
+        .expect("signing threads panicked");
+        let materials: Vec<Material> = materials.into_iter().map(Option::unwrap).collect();
+
+        // Link digests, then signatures (parallel).
+        let edge_l = crate::gdigest::edge_digest(&hasher, domain.l()).as_bytes().to_vec();
+        let edge_u = crate::gdigest::edge_digest(&hasher, domain.u()).as_bytes().to_vec();
+        let links: Vec<Digest> = (0..n + 2)
+            .map(|i| {
+                let prev = if i == 0 { edge_l.clone() } else { materials[i - 1].0.to_bytes() };
+                let next = if i == n + 1 { edge_u.clone() } else { materials[i + 1].0.to_bytes() };
+                link_digest(&hasher, &prev, &materials[i].0.to_bytes(), &next)
+            })
+            .collect();
+
+        let mut signatures: Vec<Option<Signature>> = vec![None; n + 2];
+        crossbeam::thread::scope(|s| {
+            for (t, sig_chunk) in signatures.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                let links = &links;
+                let hasher = &hasher;
+                let keypair = &self.keypair;
+                s.spawn(move |_| {
+                    for (off, slot) in sig_chunk.iter_mut().enumerate() {
+                        *slot = Some(keypair.sign(hasher, &links[start + off]));
+                    }
+                });
+            }
+        })
+        .expect("signing threads panicked");
+
+        let entries: Vec<SignedEntry> = materials
+            .into_iter()
+            .zip(signatures)
+            .map(|((g, roots), sig)| SignedEntry { g, roots, signature: sig.unwrap() })
+            .collect();
+
+        // Populate the signature B+-tree.
+        let mut sig_index = BPlusTree::new(64);
+        let mut st = SignedTable {
+            table,
+            domain,
+            config,
+            hasher,
+            radix,
+            entries,
+            sig_index: BPlusTree::new(64),
+            public_key: self.keypair.public().clone(),
+        };
+        for pos in 0..st.entries.len() {
+            sig_index.insert(st.tree_key_at(pos), st.entries[pos].signature.clone());
+        }
+        st.sig_index = sig_index;
+        Ok(st)
+    }
+
+    /// Re-signs the given chain positions in place, updating the B+-tree.
+    fn resign(&self, st: &mut SignedTable, positions: &[usize]) {
+        for &pos in positions {
+            let link = st.link_at(pos);
+            let sig = self.keypair.sign(&st.hasher, &link);
+            st.entries[pos].signature = sig.clone();
+            st.sig_index.insert(st.tree_key_at(pos), sig);
+        }
+    }
+
+    /// Inserts a record, re-signing the record and its two neighbours
+    /// (Section 6.3: like updating a doubly-linked list).
+    pub fn insert_record(
+        &self,
+        st: &mut SignedTable,
+        record: Record,
+    ) -> Result<UpdateReport, OwnerError> {
+        let key = record.key(st.table.schema());
+        if !st.domain.contains_key(key) {
+            return Err(OwnerError::KeyOutOfDomain { key });
+        }
+        st.sig_index.stats().reset();
+        let schema = st.table.schema().clone();
+        let (g, roots) = self.materialize(
+            &st.hasher,
+            &st.config,
+            st.radix.as_ref(),
+            &st.domain,
+            &schema,
+            &record,
+        );
+        let pos = st.table.insert(record)?;
+        let cp = pos + 1;
+        // Placeholder signature replaced by resign() below.
+        let placeholder = st.entries[0].signature.clone();
+        st.entries.insert(cp, SignedEntry { g, roots, signature: placeholder });
+        self.resign(st, &[cp - 1, cp, cp + 1]);
+        Ok(UpdateReport {
+            signatures_recomputed: 3,
+            g_recomputed: 1,
+            index_leaves_touched: st.sig_index.stats().leaves_visited(),
+            index_nodes_touched: st.sig_index.stats().nodes_visited(),
+        })
+    }
+
+    /// Deletes `(key, replica)`, re-signing the two now-adjacent
+    /// neighbours.
+    pub fn delete_record(
+        &self,
+        st: &mut SignedTable,
+        key: i64,
+        replica: u32,
+    ) -> Result<UpdateReport, OwnerError> {
+        let Some(pos) = st.table.position_of(key, replica) else {
+            return Err(OwnerError::NoSuchRecord { key, replica });
+        };
+        st.sig_index.stats().reset();
+        st.table.remove_at(pos);
+        let cp = pos + 1;
+        st.entries.remove(cp);
+        st.sig_index.remove((key, replica));
+        self.resign(st, &[cp - 1, cp]);
+        Ok(UpdateReport {
+            signatures_recomputed: 2,
+            g_recomputed: 0,
+            index_leaves_touched: st.sig_index.stats().leaves_visited(),
+            index_nodes_touched: st.sig_index.stats().nodes_visited(),
+        })
+    }
+
+    /// Replaces the non-key attributes of `(key, replica)`, re-signing the
+    /// record and its two neighbours.
+    pub fn update_record(
+        &self,
+        st: &mut SignedTable,
+        key: i64,
+        replica: u32,
+        new_record: Record,
+    ) -> Result<UpdateReport, OwnerError> {
+        let Some(pos) = st.table.position_of(key, replica) else {
+            return Err(OwnerError::NoSuchRecord { key, replica });
+        };
+        if new_record.key(st.table.schema()) != key {
+            // Key changes relocate the record: delete + insert.
+            let d = self.delete_record(st, key, replica)?;
+            let i = self.insert_record(st, new_record)?;
+            return Ok(UpdateReport {
+                signatures_recomputed: d.signatures_recomputed + i.signatures_recomputed,
+                g_recomputed: d.g_recomputed + i.g_recomputed,
+                index_leaves_touched: d.index_leaves_touched + i.index_leaves_touched,
+                index_nodes_touched: d.index_nodes_touched + i.index_nodes_touched,
+            });
+        }
+        st.sig_index.stats().reset();
+        let schema = st.table.schema().clone();
+        let (g, roots) = self.materialize(
+            &st.hasher,
+            &st.config,
+            st.radix.as_ref(),
+            &st.domain,
+            &schema,
+            &new_record,
+        );
+        st.table.update_in_place(pos, new_record)?;
+        let cp = pos + 1;
+        st.entries[cp].g = g;
+        st.entries[cp].roots = roots;
+        self.resign(st, &[cp - 1, cp, cp + 1]);
+        Ok(UpdateReport {
+            signatures_recomputed: 3,
+            g_recomputed: 1,
+            index_leaves_touched: st.sig_index.stats().leaves_visited(),
+            index_nodes_touched: st.sig_index.stats().nodes_visited(),
+        })
+    }
+
+    /// Issues the user-facing certificate for a signed table.
+    pub fn certificate(&self, st: &SignedTable) -> Certificate {
+        Certificate {
+            table_name: st.table.name().to_string(),
+            schema: st.table.schema().clone(),
+            domain: st.domain,
+            config: st.config,
+            public_key: self.keypair.public().clone(),
+        }
+    }
+
+    /// Publishes a logical table under several sort orders: one
+    /// [`SignedTable`] per listed key attribute, each with its own domain
+    /// (the paper's Section 6.3 notes this is analogous to creating one
+    /// B+-tree per indexed attribute; its future work discusses
+    /// multi-dimensional schemes to avoid it).
+    pub fn sign_sort_orders(
+        &self,
+        table: &Table,
+        orders: &[(&str, Domain)],
+        config: SchemeConfig,
+    ) -> Result<Vec<SignedTable>, OwnerError> {
+        let mut out = Vec::with_capacity(orders.len());
+        for (attr, domain) in orders {
+            let schema = Schema::new(table.schema().columns().to_vec(), attr);
+            let records: Vec<Record> = table.rows().iter().map(|r| r.record.clone()).collect();
+            let renamed = format!("{}@{attr}", table.name());
+            let sorted = Table::from_records(renamed, schema, records)?;
+            out.push(self.sign_table(sorted, *domain, config)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_relation::{Column, Value, ValueType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    pub(crate) fn test_owner() -> &'static Owner {
+        static OWNER: OnceLock<Owner> = OnceLock::new();
+        OWNER.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0x0B11);
+            Owner::new(512, &mut rng)
+        })
+    }
+
+    fn emp_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+                Column::new("salary", ValueType::Int),
+                Column::new("dept", ValueType::Int),
+            ],
+            "salary",
+        )
+    }
+
+    fn figure1_table() -> Table {
+        let mut t = Table::new("emp", emp_schema());
+        for (id, name, sal, dept) in [
+            (5i64, "A", 2000i64, 1i64),
+            (2, "C", 3500, 2),
+            (1, "D", 8010, 1),
+            (4, "B", 12100, 3),
+            (3, "E", 25000, 2),
+        ] {
+            t.insert(Record::new(vec![
+                Value::Int(id),
+                Value::from(name),
+                Value::Int(sal),
+                Value::Int(dept),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    fn rec(id: i64, sal: i64) -> Record {
+        Record::new(vec![Value::Int(id), Value::from("X"), Value::Int(sal), Value::Int(1)])
+    }
+
+    #[test]
+    fn sign_and_audit() {
+        let owner = test_owner();
+        let st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        assert_eq!(st.chain_len(), 7);
+        assert_eq!(st.key_at(0), 1);
+        assert_eq!(st.key_at(6), 99_999);
+        assert_eq!(st.key_at(1), 2000);
+        assert!(st.audit());
+        assert_eq!(st.sig_index().len(), 7);
+    }
+
+    #[test]
+    fn sign_empty_table() {
+        let owner = test_owner();
+        let st = owner
+            .sign_table(
+                Table::new("empty", emp_schema()),
+                Domain::new(0, 1_000),
+                SchemeConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(st.chain_len(), 2);
+        assert!(st.audit());
+    }
+
+    #[test]
+    fn conceptual_mode_sign() {
+        let owner = test_owner();
+        let st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::conceptual())
+            .unwrap();
+        assert!(st.audit());
+        assert!(st.entry(1).roots.is_none());
+    }
+
+    #[test]
+    fn out_of_domain_key_rejected() {
+        let owner = test_owner();
+        let err = owner
+            .sign_table(figure1_table(), Domain::new(0, 10_000), SchemeConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::KeyOutOfDomain { key: 12_100 }));
+    }
+
+    #[test]
+    fn insert_resigns_three() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let report = owner.insert_record(&mut st, rec(9, 5_000)).unwrap();
+        assert_eq!(report.signatures_recomputed, 3);
+        assert_eq!(report.g_recomputed, 1);
+        assert_eq!(st.len(), 6);
+        assert!(st.audit(), "chain must remain verifiable after insert");
+        // Inserted between 3500 and 8010.
+        assert_eq!(st.key_at(3), 5_000);
+    }
+
+    #[test]
+    fn insert_at_extremes() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        owner.insert_record(&mut st, rec(9, 2)).unwrap(); // smallest legal key
+        owner.insert_record(&mut st, rec(10, 99_998)).unwrap(); // largest legal key
+        assert!(st.audit());
+        assert_eq!(st.key_at(1), 2);
+        assert_eq!(st.key_at(st.chain_len() - 2), 99_998);
+    }
+
+    #[test]
+    fn insert_duplicate_key_gets_replica() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        owner.insert_record(&mut st, rec(9, 3500)).unwrap();
+        assert!(st.audit());
+        assert_eq!(st.tree_key_at(2), (3500, 0));
+        assert_eq!(st.tree_key_at(3), (3500, 1));
+    }
+
+    #[test]
+    fn delete_resigns_two() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let report = owner.delete_record(&mut st, 8010, 0).unwrap();
+        assert_eq!(report.signatures_recomputed, 2);
+        assert_eq!(st.len(), 4);
+        assert!(st.audit(), "chain must remain verifiable after delete");
+        assert!(matches!(
+            owner.delete_record(&mut st, 8010, 0),
+            Err(OwnerError::NoSuchRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_first_and_last() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        owner.delete_record(&mut st, 2000, 0).unwrap();
+        owner.delete_record(&mut st, 25_000, 0).unwrap();
+        assert!(st.audit());
+        assert_eq!(st.len(), 3);
+    }
+
+    #[test]
+    fn update_in_place_resigns_three() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let new_rec = Record::new(vec![
+            Value::Int(1),
+            Value::from("D2"),
+            Value::Int(8010),
+            Value::Int(7),
+        ]);
+        let report = owner.update_record(&mut st, 8010, 0, new_rec).unwrap();
+        assert_eq!(report.signatures_recomputed, 3);
+        assert!(st.audit());
+        assert_eq!(
+            st.table().row(2).record.get(1),
+            &Value::from("D2")
+        );
+    }
+
+    #[test]
+    fn update_with_key_change_relocates() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let report = owner.update_record(&mut st, 8010, 0, rec(1, 30_000)).unwrap();
+        assert_eq!(report.signatures_recomputed, 5); // 2 delete + 3 insert
+        assert!(st.audit());
+        assert_eq!(st.key_at(st.chain_len() - 2), 30_000);
+    }
+
+    #[test]
+    fn update_locality_in_index() {
+        // Section 6.3: updates should touch very few B+-tree leaves.
+        let owner = test_owner();
+        let mut t = Table::new("big", emp_schema());
+        for i in 0..500i64 {
+            t.insert(rec(i, 10 + i * 3)).unwrap();
+        }
+        let mut st = owner
+            .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let report = owner
+            .update_record(
+                &mut st,
+                10 + 250 * 3,
+                0,
+                rec(250, 10 + 250 * 3),
+            )
+            .unwrap();
+        // 3 index writes, each descending height-many nodes; leaves should
+        // be a small constant, not O(n) or O(log n)·digest-path like MHTs.
+        assert!(report.index_leaves_touched <= 6, "{report:?}");
+    }
+
+    #[test]
+    fn sort_orders_publish() {
+        let owner = test_owner();
+        let t = figure1_table();
+        let signed = owner
+            .sign_sort_orders(
+                &t,
+                &[("salary", Domain::new(0, 100_000)), ("dept", Domain::new(-10, 100))],
+                SchemeConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(signed.len(), 2);
+        assert!(signed.iter().all(SignedTable::audit));
+        assert_eq!(signed[1].table().schema().key_name(), "dept");
+        // The dept-sorted chain orders by dept: 1,1,2,2,3.
+        assert_eq!(signed[1].key_at(1), 1);
+        assert_eq!(signed[1].key_at(5), 3);
+    }
+
+    #[test]
+    fn certificate_carries_scheme() {
+        let owner = test_owner();
+        let st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let cert = owner.certificate(&st);
+        assert_eq!(cert.table_name, "emp");
+        assert_eq!(cert.domain, *st.domain());
+        assert_eq!(&cert.public_key, st.public_key());
+    }
+
+    #[test]
+    fn dissemination_size_is_signatures_only() {
+        let owner = test_owner();
+        let st = owner
+            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        assert_eq!(st.dissemination_size(), 7 * 64);
+    }
+}

@@ -1,0 +1,783 @@
+//! Binary wire format for verification objects and result sets.
+//!
+//! The Figure 9 experiment measures *user traffic overhead* — the exact
+//! number of bytes of authentication information per byte of result data —
+//! so the VO needs a real, byte-exact serialization, not an estimate. No
+//! serializer crate exists in the offline dependency set, and a hand-rolled
+//! format is also the honest way to account: every digest costs
+//! `1 + M_digest/8` bytes (1-byte length), every signature
+//! `4 + M_sign/8`, and framing is explicit.
+//!
+//! The format round-trips losslessly; decoding performs bounds checking and
+//! rejects malformed input (a malicious publisher controls these bytes).
+
+use crate::vo::{
+    AttrProof, BoundaryProof, EmptyProof, EntryChains, EntryProof, PrevG, QueryVO, RangeVO,
+    RepProof, SignatureProof,
+};
+use adp_crypto::{AggregateSignature, Digest, InclusionProof, ProofStep, Signature};
+use adp_relation::{Record, Value};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decoding error: {}", self.0)
+    }
+}
+impl std::error::Error for WireError {}
+
+/// Append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn digest(&mut self, d: &Digest) {
+        self.u8(d.len() as u8);
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+
+    pub fn value(&mut self, v: &Value) {
+        self.bytes(&v.encode());
+    }
+}
+
+/// Bounds-checked byte reader.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError("unexpected end of input"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    pub fn digest(&mut self) -> Result<Digest, WireError> {
+        let len = self.u8()? as usize;
+        if !(16..=32).contains(&len) {
+            return Err(WireError("digest length out of range"));
+        }
+        Ok(Digest::from_bytes(self.take(len)?))
+    }
+
+    pub fn value(&mut self) -> Result<Value, WireError> {
+        let raw = self.bytes()?;
+        decode_value(raw)
+    }
+}
+
+/// Decodes the canonical [`Value::encode`] form.
+pub fn decode_value(raw: &[u8]) -> Result<Value, WireError> {
+    let (&tag, payload) = raw.split_first().ok_or(WireError("empty value"))?;
+    match tag {
+        0x01 => {
+            let arr: [u8; 8] = payload
+                .try_into()
+                .map_err(|_| WireError("bad int payload"))?;
+            Ok(Value::Int(i64::from_le_bytes(arr)))
+        }
+        0x02 => Ok(Value::Text(
+            String::from_utf8(payload.to_vec()).map_err(|_| WireError("bad utf8"))?,
+        )),
+        0x03 => Ok(Value::Bytes(payload.to_vec())),
+        0x04 => match payload {
+            [0] => Ok(Value::Bool(false)),
+            [1] => Ok(Value::Bool(true)),
+            _ => Err(WireError("bad bool payload")),
+        },
+        _ => Err(WireError("unknown value tag")),
+    }
+}
+
+fn write_inclusion_proof(w: &mut Writer, p: &InclusionProof) {
+    w.u32(p.leaf_index);
+    w.u8(p.steps.len() as u8);
+    for s in &p.steps {
+        w.digest(&s.sibling);
+        w.u8(s.sibling_is_left as u8);
+    }
+}
+
+fn read_inclusion_proof(r: &mut Reader) -> Result<InclusionProof, WireError> {
+    let leaf_index = r.u32()?;
+    let n = r.u8()? as usize;
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sibling = r.digest()?;
+        let sibling_is_left = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError("bad bool")),
+        };
+        steps.push(ProofStep { sibling, sibling_is_left });
+    }
+    Ok(InclusionProof { leaf_index, steps })
+}
+
+fn write_boundary(w: &mut Writer, b: &BoundaryProof) {
+    w.u32(b.intermediates.len() as u32);
+    for d in &b.intermediates {
+        w.digest(d);
+    }
+    match &b.selector {
+        None => w.u8(0),
+        Some(RepProof::Canonical { mht_root }) => {
+            w.u8(1);
+            w.digest(mht_root);
+        }
+        Some(RepProof::NonCanonical { index, canon_digest, path }) => {
+            w.u8(2);
+            w.u32(*index);
+            w.digest(canon_digest);
+            write_inclusion_proof(w, path);
+        }
+    }
+    w.digest(&b.other_component);
+    w.digest(&b.attr_root);
+}
+
+fn read_boundary(r: &mut Reader) -> Result<BoundaryProof, WireError> {
+    let n = r.u32()? as usize;
+    if n > 1 << 16 {
+        return Err(WireError("too many intermediates"));
+    }
+    let mut intermediates = Vec::with_capacity(n);
+    for _ in 0..n {
+        intermediates.push(r.digest()?);
+    }
+    let selector = match r.u8()? {
+        0 => None,
+        1 => Some(RepProof::Canonical { mht_root: r.digest()? }),
+        2 => {
+            let index = r.u32()?;
+            let canon_digest = r.digest()?;
+            let path = read_inclusion_proof(r)?;
+            Some(RepProof::NonCanonical { index, canon_digest, path })
+        }
+        _ => return Err(WireError("bad selector tag")),
+    };
+    let other_component = r.digest()?;
+    let attr_root = r.digest()?;
+    Ok(BoundaryProof { intermediates, selector, other_component, attr_root })
+}
+
+fn write_attrs(w: &mut Writer, a: &AttrProof) {
+    w.u32(a.disclosed.len() as u32);
+    for (pos, v) in &a.disclosed {
+        w.u32(*pos);
+        w.value(v);
+    }
+    w.u32(a.hidden.len() as u32);
+    for (pos, d) in &a.hidden {
+        w.u32(*pos);
+        w.digest(d);
+    }
+    w.digest(&a.root);
+}
+
+fn read_attrs(r: &mut Reader) -> Result<AttrProof, WireError> {
+    let nd = r.u32()? as usize;
+    if nd > 1 << 20 {
+        return Err(WireError("too many disclosed attrs"));
+    }
+    let mut disclosed = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let pos = r.u32()?;
+        disclosed.push((pos, r.value()?));
+    }
+    let nh = r.u32()? as usize;
+    if nh > 1 << 20 {
+        return Err(WireError("too many hidden attrs"));
+    }
+    let mut hidden = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        let pos = r.u32()?;
+        hidden.push((pos, r.digest()?));
+    }
+    let root = r.digest()?;
+    Ok(AttrProof { disclosed, hidden, root })
+}
+
+fn write_chains(w: &mut Writer, c: &EntryChains) {
+    match c {
+        EntryChains::Conceptual => w.u8(0),
+        EntryChains::Optimized { up_root, down_root } => {
+            w.u8(1);
+            w.digest(up_root);
+            w.digest(down_root);
+        }
+    }
+}
+
+fn read_chains(r: &mut Reader) -> Result<EntryChains, WireError> {
+    match r.u8()? {
+        0 => Ok(EntryChains::Conceptual),
+        1 => Ok(EntryChains::Optimized { up_root: r.digest()?, down_root: r.digest()? }),
+        _ => Err(WireError("bad chains tag")),
+    }
+}
+
+fn write_entry(w: &mut Writer, e: &EntryProof) {
+    match e {
+        EntryProof::Match { chains, attrs } => {
+            w.u8(0);
+            write_chains(w, chains);
+            write_attrs(w, attrs);
+        }
+        EntryProof::Filtered { up_component, down_component, attrs } => {
+            w.u8(1);
+            w.digest(up_component);
+            w.digest(down_component);
+            write_attrs(w, attrs);
+        }
+        EntryProof::Duplicate { of, chains, attrs } => {
+            w.u8(2);
+            w.u32(*of);
+            write_chains(w, chains);
+            write_attrs(w, attrs);
+        }
+    }
+}
+
+fn read_entry(r: &mut Reader) -> Result<EntryProof, WireError> {
+    match r.u8()? {
+        0 => Ok(EntryProof::Match { chains: read_chains(r)?, attrs: read_attrs(r)? }),
+        1 => Ok(EntryProof::Filtered {
+            up_component: r.digest()?,
+            down_component: r.digest()?,
+            attrs: read_attrs(r)?,
+        }),
+        2 => Ok(EntryProof::Duplicate {
+            of: r.u32()?,
+            chains: read_chains(r)?,
+            attrs: read_attrs(r)?,
+        }),
+        _ => Err(WireError("bad entry tag")),
+    }
+}
+
+fn write_signatures(w: &mut Writer, s: &SignatureProof) {
+    match s {
+        SignatureProof::Aggregated(a) => {
+            w.u8(0);
+            w.u32(a.count() as u32);
+            w.bytes(&a.to_bytes());
+        }
+        SignatureProof::Individual(v) => {
+            w.u8(1);
+            w.u32(v.len() as u32);
+            for sig in v {
+                w.bytes(&sig.to_bytes());
+            }
+        }
+    }
+}
+
+fn read_signatures(r: &mut Reader) -> Result<SignatureProof, WireError> {
+    match r.u8()? {
+        0 => {
+            let count = r.u32()? as usize;
+            let bytes = r.bytes()?;
+            Ok(SignatureProof::Aggregated(AggregateSignature::from_bytes(bytes, count)))
+        }
+        1 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 24 {
+                return Err(WireError("too many signatures"));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(Signature::from_bytes(r.bytes()?));
+            }
+            Ok(SignatureProof::Individual(v))
+        }
+        _ => Err(WireError("bad signature tag")),
+    }
+}
+
+/// Encodes a [`QueryVO`] to bytes.
+pub fn encode_vo(vo: &QueryVO) -> Vec<u8> {
+    let mut w = Writer::new();
+    match vo {
+        QueryVO::TriviallyEmpty => w.u8(0),
+        QueryVO::Empty(e) => {
+            w.u8(1);
+            match &e.prev {
+                PrevG::Edge => w.u8(0),
+                PrevG::Opaque(b) => {
+                    w.u8(1);
+                    w.bytes(b);
+                }
+            }
+            write_boundary(&mut w, &e.left);
+            write_boundary(&mut w, &e.right);
+            write_signatures(&mut w, &e.signature);
+        }
+        QueryVO::Range(rv) => {
+            w.u8(2);
+            write_boundary(&mut w, &rv.left);
+            write_boundary(&mut w, &rv.right);
+            w.u32(rv.entries.len() as u32);
+            for e in &rv.entries {
+                write_entry(&mut w, e);
+            }
+            write_signatures(&mut w, &rv.signatures);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`QueryVO`] from bytes, validating framing.
+pub fn decode_vo(data: &[u8]) -> Result<QueryVO, WireError> {
+    let mut r = Reader::new(data);
+    let vo = match r.u8()? {
+        0 => QueryVO::TriviallyEmpty,
+        1 => {
+            let prev = match r.u8()? {
+                0 => PrevG::Edge,
+                1 => PrevG::Opaque(r.bytes()?.to_vec()),
+                _ => return Err(WireError("bad prev tag")),
+            };
+            let left = read_boundary(&mut r)?;
+            let right = read_boundary(&mut r)?;
+            let signature = read_signatures(&mut r)?;
+            QueryVO::Empty(EmptyProof { prev, left, right, signature })
+        }
+        2 => {
+            let left = read_boundary(&mut r)?;
+            let right = read_boundary(&mut r)?;
+            let n = r.u32()? as usize;
+            if n > 1 << 24 {
+                return Err(WireError("too many entries"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(read_entry(&mut r)?);
+            }
+            let signatures = read_signatures(&mut r)?;
+            QueryVO::Range(RangeVO { left, right, entries, signatures })
+        }
+        _ => return Err(WireError("bad VO tag")),
+    };
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(vo)
+}
+
+/// Encodes a certificate (everything a user needs to verify): table name,
+/// schema, domain, scheme config, owner public key. Shipped over an
+/// authenticated channel in a real deployment.
+pub fn encode_certificate(cert: &crate::owner::Certificate) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(cert.table_name.as_bytes());
+    write_schema(&mut w, &cert.schema);
+    w.i64(cert.domain.l());
+    w.i64(cert.domain.u());
+    match cert.config.mode {
+        crate::scheme::Mode::Conceptual => w.u8(0),
+        crate::scheme::Mode::Optimized { base } => {
+            w.u8(1);
+            w.u32(base);
+        }
+    }
+    w.u8(cert.config.digest_len as u8);
+    w.u8(cert.config.aggregate_signatures as u8);
+    w.bytes(&cert.public_key.modulus().to_bytes_be());
+    w.bytes(&cert.public_key.exponent().to_bytes_be());
+    w.into_bytes()
+}
+
+/// Decodes a certificate.
+pub fn decode_certificate(data: &[u8]) -> Result<crate::owner::Certificate, WireError> {
+    let mut r = Reader::new(data);
+    let table_name = String::from_utf8(r.bytes()?.to_vec())
+        .map_err(|_| WireError("bad table name"))?;
+    let schema = read_schema(&mut r)?;
+    let l = r.i64()?;
+    let u = r.i64()?;
+    if u <= l || (u as i128 - l as i128) < 4 {
+        return Err(WireError("bad domain bounds"));
+    }
+    let mode = match r.u8()? {
+        0 => crate::scheme::Mode::Conceptual,
+        1 => {
+            let base = r.u32()?;
+            if base < 2 {
+                return Err(WireError("bad base"));
+            }
+            crate::scheme::Mode::Optimized { base }
+        }
+        _ => return Err(WireError("bad mode tag")),
+    };
+    let digest_len = r.u8()? as usize;
+    if !(16..=32).contains(&digest_len) {
+        return Err(WireError("bad digest length"));
+    }
+    let aggregate_signatures = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError("bad bool")),
+    };
+    let n = adp_crypto::BigUint::from_bytes_be(r.bytes()?);
+    let e = adp_crypto::BigUint::from_bytes_be(r.bytes()?);
+    if n.is_zero() || e.is_zero() {
+        return Err(WireError("bad public key"));
+    }
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(crate::owner::Certificate {
+        table_name,
+        schema,
+        domain: crate::domain::Domain::new(l, u),
+        config: crate::scheme::SchemeConfig {
+            mode,
+            digest_len,
+            aggregate_signatures,
+        },
+        public_key: adp_crypto::PublicKey::from_parts(n, e),
+    })
+}
+
+fn write_schema(w: &mut Writer, schema: &adp_relation::Schema) {
+    w.u32(schema.arity() as u32);
+    for col in schema.columns() {
+        w.bytes(col.name.as_bytes());
+        w.u8(match col.ty {
+            adp_relation::ValueType::Int => 0,
+            adp_relation::ValueType::Text => 1,
+            adp_relation::ValueType::Bytes => 2,
+            adp_relation::ValueType::Bool => 3,
+        });
+    }
+    w.u32(schema.key_index() as u32);
+}
+
+fn read_schema(r: &mut Reader) -> Result<adp_relation::Schema, WireError> {
+    let arity = r.u32()? as usize;
+    if arity == 0 || arity > 1 << 12 {
+        return Err(WireError("bad schema arity"));
+    }
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = String::from_utf8(r.bytes()?.to_vec())
+            .map_err(|_| WireError("bad column name"))?;
+        let ty = match r.u8()? {
+            0 => adp_relation::ValueType::Int,
+            1 => adp_relation::ValueType::Text,
+            2 => adp_relation::ValueType::Bytes,
+            3 => adp_relation::ValueType::Bool,
+            _ => return Err(WireError("bad column type")),
+        };
+        cols.push(adp_relation::Column::new(name, ty));
+    }
+    let key_idx = r.u32()? as usize;
+    if key_idx >= arity {
+        return Err(WireError("bad key index"));
+    }
+    let key_name = cols[key_idx].name.clone();
+    // Schema::new panics on inconsistencies; validate first.
+    if cols[key_idx].ty != adp_relation::ValueType::Int {
+        return Err(WireError("key column must be INT"));
+    }
+    let mut names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != cols.len() {
+        return Err(WireError("duplicate column names"));
+    }
+    Ok(adp_relation::Schema::new(cols, &key_name))
+}
+
+/// Encodes the owner → publisher dissemination payload: the signature list
+/// for chain positions `0..=n+1`.
+pub fn encode_signatures(sigs: &[Signature]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(sigs.len() as u32);
+    for s in sigs {
+        w.bytes(&s.to_bytes());
+    }
+    w.into_bytes()
+}
+
+/// Decodes a signature list.
+pub fn decode_signatures(data: &[u8]) -> Result<Vec<Signature>, WireError> {
+    let mut r = Reader::new(data);
+    let n = r.u32()? as usize;
+    if n > 1 << 24 {
+        return Err(WireError("too many signatures"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Signature::from_bytes(r.bytes()?));
+    }
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Encodes a result set (records of self-describing values).
+pub fn encode_records(records: &[Record]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(records.len() as u32);
+    for rec in records {
+        w.u32(rec.arity() as u32);
+        for v in rec.values() {
+            w.value(v);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a result set.
+pub fn decode_records(data: &[u8]) -> Result<Vec<Record>, WireError> {
+    let mut r = Reader::new(data);
+    let n = r.u32()? as usize;
+    if n > 1 << 24 {
+        return Err(WireError("too many records"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arity = r.u32()? as usize;
+        if arity > 1 << 16 {
+            return Err(WireError("record arity too large"));
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(r.value()?);
+        }
+        out.push(Record::new(values));
+    }
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_crypto::{hasher::HashDomain, Hasher};
+
+    fn d(s: &[u8]) -> Digest {
+        Hasher::default().hash(HashDomain::Data, s)
+    }
+
+    fn sample_boundary() -> BoundaryProof {
+        BoundaryProof {
+            intermediates: vec![d(b"i0"), d(b"i1"), d(b"i2")],
+            selector: Some(RepProof::NonCanonical {
+                index: 1,
+                canon_digest: d(b"canon"),
+                path: InclusionProof {
+                    leaf_index: 1,
+                    steps: vec![ProofStep { sibling: d(b"sib"), sibling_is_left: true }],
+                },
+            }),
+            other_component: d(b"other"),
+            attr_root: d(b"attr"),
+        }
+    }
+
+    fn sample_attrs() -> AttrProof {
+        AttrProof {
+            disclosed: vec![(1, Value::Int(7)), (2, Value::from("x"))],
+            hidden: vec![(0, d(b"h0"))],
+            root: d(b"root"),
+        }
+    }
+
+    #[test]
+    fn vo_roundtrip_trivially_empty() {
+        let vo = QueryVO::TriviallyEmpty;
+        assert_eq!(decode_vo(&encode_vo(&vo)).unwrap(), vo);
+    }
+
+    #[test]
+    fn vo_roundtrip_empty() {
+        let vo = QueryVO::Empty(EmptyProof {
+            prev: PrevG::Opaque(vec![1, 2, 3]),
+            left: sample_boundary(),
+            right: BoundaryProof {
+                intermediates: vec![d(b"x")],
+                selector: Some(RepProof::Canonical { mht_root: d(b"r") }),
+                other_component: d(b"o"),
+                attr_root: d(b"a"),
+            },
+            signature: SignatureProof::Individual(vec![Signature::from_bytes(&[9u8; 64])]),
+        });
+        assert_eq!(decode_vo(&encode_vo(&vo)).unwrap(), vo);
+    }
+
+    #[test]
+    fn vo_roundtrip_range() {
+        let vo = QueryVO::Range(RangeVO {
+            left: sample_boundary(),
+            right: sample_boundary(),
+            entries: vec![
+                EntryProof::Match {
+                    chains: EntryChains::Optimized { up_root: d(b"u"), down_root: d(b"dn") },
+                    attrs: sample_attrs(),
+                },
+                EntryProof::Filtered {
+                    up_component: d(b"uc"),
+                    down_component: d(b"dc"),
+                    attrs: sample_attrs(),
+                },
+                EntryProof::Duplicate {
+                    of: 0,
+                    chains: EntryChains::Conceptual,
+                    attrs: sample_attrs(),
+                },
+            ],
+            signatures: SignatureProof::Aggregated(AggregateSignature::from_bytes(&[5u8; 64], 3)),
+        });
+        assert_eq!(decode_vo(&encode_vo(&vo)).unwrap(), vo);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let records = vec![
+            Record::new(vec![Value::Int(-5), Value::from("héllo"), Value::Bool(true)]),
+            Record::new(vec![Value::from(vec![0u8, 255, 3])]),
+            Record::new(vec![]),
+        ];
+        assert_eq!(decode_records(&encode_records(&records)).unwrap(), records);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let vo = QueryVO::Range(RangeVO {
+            left: sample_boundary(),
+            right: sample_boundary(),
+            entries: vec![],
+            signatures: SignatureProof::Individual(vec![]),
+        });
+        let bytes = encode_vo(&vo);
+        for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_vo(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_vo(&QueryVO::TriviallyEmpty);
+        bytes.push(0);
+        assert!(decode_vo(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(decode_vo(&[9]).is_err());
+        assert!(decode_value(&[0x07, 1, 2]).is_err());
+        assert!(decode_value(&[]).is_err());
+        assert!(decode_value(&[0x04, 2]).is_err());
+        assert!(decode_value(&[0x01, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn value_kinds_roundtrip() {
+        for v in [
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::from(""),
+            Value::from("日本語"),
+            Value::from(Vec::<u8>::new()),
+            Value::Bool(false),
+        ] {
+            assert_eq!(decode_value(&v.encode()).unwrap(), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn digest_length_validation() {
+        let mut w = Writer::new();
+        w.u8(5); // invalid digest length
+        w.bytes(b"xxxxx");
+        let mut r = Reader::new(&[5, 1, 2, 3, 4, 5]);
+        assert!(r.digest().is_err());
+    }
+}

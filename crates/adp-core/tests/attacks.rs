@@ -1,0 +1,287 @@
+//! Threat-model tests: every cheating strategy of Section 3.2 (and several
+//! beyond) must be rejected by the verifier, in every scheme mode.
+
+use adp_core::prelude::*;
+use adp_core::publisher::malicious::{tamper, Attack};
+use adp_core::vo::{EntryProof, PrevG, QueryVO};
+use adp_relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA77AC);
+        Owner::new(512, &mut rng)
+    })
+}
+
+fn staff_table() -> Table {
+    let schema = Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Text),
+            Column::new("salary", ValueType::Int),
+            Column::new("dept", ValueType::Int),
+        ],
+        "salary",
+    );
+    let mut t = Table::new("staff", schema);
+    for i in 0..20i64 {
+        t.insert(Record::new(vec![
+            Value::Int(i),
+            Value::from(format!("emp{i}")),
+            Value::Int(1_000 + i * 500),
+            Value::Int(i % 3),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn setup(config: SchemeConfig) -> (SignedTable, Certificate) {
+    let st = owner()
+        .sign_table(staff_table(), Domain::new(0, 100_000), config)
+        .unwrap();
+    let cert = owner().certificate(&st);
+    (st, cert)
+}
+
+/// Runs `attack` against an honest answer and asserts rejection.
+fn assert_attack_caught(config: SchemeConfig, query: SelectQuery, attack: Attack) {
+    let (st, cert) = setup(config);
+    let publisher = Publisher::new(&st);
+    let (result, vo) = publisher.answer_select(&query).unwrap();
+    // Sanity: the honest answer verifies.
+    verify_select(&cert, &query, &result, &vo)
+        .unwrap_or_else(|e| panic!("honest answer must verify before {attack:?}: {e}"));
+    let Some((bad_result, bad_vo)) = tamper(&publisher, &query, &result, &vo, attack) else {
+        panic!("attack {attack:?} not applicable to this query");
+    };
+    let verdict = verify_select(&cert, &query, &bad_result, &bad_vo);
+    assert!(
+        verdict.is_err(),
+        "attack {attack:?} must be detected, got {verdict:?}"
+    );
+}
+
+fn wide_query() -> SelectQuery {
+    SelectQuery::range(KeyRange::closed(2_000, 9_000))
+}
+
+#[test]
+fn case4_omit_interior_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::OmitInterior);
+}
+
+#[test]
+fn case3_truncate_tail_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::TruncateTail);
+}
+
+#[test]
+fn case2_fake_empty_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::FakeEmpty);
+}
+
+#[test]
+fn case5_inject_spurious_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::InjectSpurious);
+}
+
+#[test]
+fn tamper_value_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::TamperValue);
+}
+
+#[test]
+fn swap_values_detected() {
+    // The Introduction's swapped-names forgery.
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::SwapValues);
+}
+
+#[test]
+fn case1_shift_left_boundary_detected() {
+    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::ShiftLeftBoundary);
+}
+
+#[test]
+fn mislabel_filtered_detected() {
+    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000))
+        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    assert_attack_caught(SchemeConfig::default(), query, Attack::MislabelFiltered);
+}
+
+#[test]
+fn fake_duplicate_detected() {
+    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000)).distinct();
+    assert_attack_caught(SchemeConfig::default(), query, Attack::FakeDuplicate);
+}
+
+#[test]
+fn attacks_detected_in_conceptual_mode() {
+    for attack in [
+        Attack::OmitInterior,
+        Attack::TruncateTail,
+        Attack::FakeEmpty,
+        Attack::TamperValue,
+        Attack::ShiftLeftBoundary,
+    ] {
+        assert_attack_caught(SchemeConfig::conceptual(), wide_query(), attack);
+    }
+}
+
+#[test]
+fn attacks_detected_across_bases() {
+    for base in [3u32, 10] {
+        for attack in [Attack::OmitInterior, Attack::TruncateTail, Attack::ShiftLeftBoundary] {
+            assert_attack_caught(SchemeConfig::with_base(base), wide_query(), attack);
+        }
+    }
+}
+
+#[test]
+fn replayed_vo_for_different_query_rejected() {
+    // A VO proving [2000, 9000] must not satisfy a verifier checking
+    // [2000, 9500]: the right boundary evidence lands on the wrong chain
+    // offset.
+    let (st, cert) = setup(SchemeConfig::default());
+    let q1 = SelectQuery::range(KeyRange::closed(2_000, 9_000));
+    let q2 = SelectQuery::range(KeyRange::closed(2_000, 9_500));
+    let (r1, vo1) = Publisher::new(&st).answer_select(&q1).unwrap();
+    assert!(verify_select(&cert, &q1, &r1, &vo1).is_ok());
+    assert!(verify_select(&cert, &q2, &r1, &vo1).is_err());
+}
+
+#[test]
+fn narrowed_result_for_wider_query_rejected() {
+    // Publisher answers the narrow query honestly but the user asked the
+    // wide one — must fail (this is exactly the HR-executive-vs-manager
+    // access-control distinction: same data, different proofs).
+    let (st, cert) = setup(SchemeConfig::default());
+    let narrow = SelectQuery::range(KeyRange::closed(3_000, 6_000));
+    let wide = SelectQuery::range(KeyRange::closed(2_000, 9_000));
+    let (rn, von) = Publisher::new(&st).answer_select(&narrow).unwrap();
+    assert!(verify_select(&cert, &narrow, &rn, &von).is_ok());
+    assert!(verify_select(&cert, &wide, &rn, &von).is_err());
+}
+
+#[test]
+fn cross_table_replay_rejected() {
+    // A valid (result, VO) from one signed table must not verify against a
+    // different owner key.
+    let (st, _) = setup(SchemeConfig::default());
+    let query = wide_query();
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let other_owner = Owner::new(512, &mut rng);
+    let other_st = other_owner
+        .sign_table(staff_table(), Domain::new(0, 100_000), SchemeConfig::default())
+        .unwrap();
+    let other_cert = other_owner.certificate(&other_st);
+    assert_eq!(
+        verify_select(&other_cert, &query, &result, &vo),
+        Err(VerifyError::SignatureInvalid)
+    );
+}
+
+#[test]
+fn result_records_out_of_order_rejected() {
+    let (st, cert) = setup(SchemeConfig::default());
+    let query = wide_query();
+    let (mut result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert!(result.len() >= 2);
+    result.swap(0, 1);
+    assert!(verify_select(&cert, &query, &result, &vo).is_err());
+}
+
+#[test]
+fn dropping_signatures_rejected() {
+    let (st, cert) = setup(SchemeConfig::default());
+    let query = wide_query();
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let QueryVO::Range(mut rv) = vo else { panic!("expected range VO") };
+    // Shrink the aggregate's claimed count.
+    if let adp_core::vo::SignatureProof::Aggregated(agg) = &rv.signatures {
+        let bytes = agg.to_bytes();
+        rv.signatures = adp_core::vo::SignatureProof::Aggregated(
+            adp_crypto::AggregateSignature::from_bytes(&bytes, agg.count() - 1),
+        );
+    }
+    let verdict = verify_select(&cert, &query, &result, &QueryVO::Range(rv));
+    assert!(matches!(
+        verdict,
+        Err(VerifyError::SignatureCountMismatch { .. }) | Err(VerifyError::SignatureInvalid)
+    ));
+}
+
+#[test]
+fn forged_empty_proof_with_garbage_prev_rejected() {
+    // Even full control over the opaque prev-g bytes cannot make a
+    // non-adjacent pair verify.
+    let (st, cert) = setup(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::closed(4_100, 4_400)); // truly empty (salaries step by 500)
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert!(verify_select(&cert, &query, &result, &vo).is_ok());
+    let QueryVO::Empty(mut ep) = vo else { panic!("expected empty VO") };
+    ep.prev = PrevG::Opaque(vec![0xAB; 48]);
+    assert_eq!(
+        verify_select(&cert, &query, &result, &QueryVO::Empty(ep)),
+        Err(VerifyError::SignatureInvalid)
+    );
+}
+
+#[test]
+fn filtered_entry_without_failing_value_rejected() {
+    // Take an honest multipoint VO and strip the disclosed failing value
+    // from a filtered entry.
+    let (st, cert) = setup(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000))
+        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let QueryVO::Range(mut rv) = vo else { panic!() };
+    let mut found = false;
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Filtered { attrs, .. } = e {
+            attrs.disclosed.clear();
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "query should have produced a filtered entry");
+    let verdict = verify_select(&cert, &query, &result, &QueryVO::Range(rv));
+    assert!(matches!(verdict, Err(VerifyError::FilteredNotProven { .. })));
+}
+
+#[test]
+fn wrong_digest_length_vo_rejected() {
+    // A VO built under a different digest length cannot verify.
+    let (st16, cert16) = setup(SchemeConfig::default());
+    let st32 = owner()
+        .sign_table(
+            staff_table(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default().digest_len(32),
+        )
+        .unwrap();
+    let query = wide_query();
+    let (result32, vo32) = Publisher::new(&st32).answer_select(&query).unwrap();
+    assert!(verify_select(&cert16, &query, &result32, &vo32).is_err());
+    let _ = st16;
+}
+
+#[test]
+fn precision_out_of_range_record_rejected() {
+    // Publisher appends a legitimate record that is outside the range
+    // (violating precision even though the record is authentic).
+    let (st, cert) = setup(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::closed(2_000, 6_000));
+    let (mut result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    // Add the record with salary 9500 (authentic but out of range).
+    result.push(st.table().rows().last().unwrap().record.clone());
+    let verdict = verify_select(&cert, &query, &result, &vo);
+    assert!(verdict.is_err());
+}

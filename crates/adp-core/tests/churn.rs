@@ -1,0 +1,158 @@
+//! Sustained-churn stress: interleave owner updates (insert / delete /
+//! modify / key-moving updates) with publisher queries and user
+//! verification, continuously. Guards the incremental re-signing logic
+//! (Section 6.3) against drift: after every batch the chain must audit and
+//! every query must verify and agree with a trusted reference evaluation.
+
+use adp_core::prelude::*;
+use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC4C4);
+        Owner::new(512, &mut rng)
+    })
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("gen", ValueType::Int),
+        ],
+        "k",
+    )
+}
+
+#[test]
+fn chain_survives_sustained_churn() {
+    let o = owner();
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    let mut t = Table::new("churn", schema());
+    for i in 0..60i64 {
+        t.insert(Record::new(vec![Value::Int(i * 16 + 8), Value::Int(0)])).unwrap();
+    }
+    let domain = Domain::new(0, 2_048);
+    let mut st = o.sign_table(t, domain, SchemeConfig::default()).unwrap();
+    let cert = o.certificate(&st);
+
+    for round in 0..12 {
+        // A batch of random mutations.
+        for _ in 0..6 {
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Insert at a random legal key (duplicates welcome).
+                    let k = rng.gen_range(domain.key_min()..=domain.key_max());
+                    o.insert_record(
+                        &mut st,
+                        Record::new(vec![Value::Int(k), Value::Int(round)]),
+                    )
+                    .unwrap();
+                }
+                1 if st.len() > 10 => {
+                    // Delete a random row.
+                    let pos = rng.gen_range(0..st.len());
+                    let (k, r) = {
+                        let row = st.table().row(pos);
+                        (row.record.key(st.table().schema()), row.replica)
+                    };
+                    o.delete_record(&mut st, k, r).unwrap();
+                }
+                2 => {
+                    // In-place attribute update.
+                    let pos = rng.gen_range(0..st.len());
+                    let (k, r) = {
+                        let row = st.table().row(pos);
+                        (row.record.key(st.table().schema()), row.replica)
+                    };
+                    o.update_record(
+                        &mut st,
+                        k,
+                        r,
+                        Record::new(vec![Value::Int(k), Value::Int(round + 100)]),
+                    )
+                    .unwrap();
+                }
+                _ => {
+                    // Key-moving update (delete + insert path).
+                    let pos = rng.gen_range(0..st.len());
+                    let (k, r) = {
+                        let row = st.table().row(pos);
+                        (row.record.key(st.table().schema()), row.replica)
+                    };
+                    let new_k = rng.gen_range(domain.key_min()..=domain.key_max());
+                    o.update_record(
+                        &mut st,
+                        k,
+                        r,
+                        Record::new(vec![Value::Int(new_k), Value::Int(round + 200)]),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        assert!(st.audit(), "chain must audit after round {round}");
+
+        // Random queries verified against a reference evaluation.
+        let publisher = Publisher::new(&st);
+        for _ in 0..4 {
+            let a = rng.gen_range(0..2_048i64);
+            let b = a + rng.gen_range(0..512i64);
+            let query = SelectQuery::range(KeyRange::closed(a, b));
+            let (rows, vo) = publisher.answer_select(&query).unwrap();
+            let report = verify_select(&cert, &query, &rows, &vo)
+                .unwrap_or_else(|e| panic!("round {round} [{a},{b}]: {e}"));
+            let expected = st
+                .table()
+                .rows()
+                .iter()
+                .filter(|r| {
+                    let k = r.record.key(st.table().schema());
+                    k >= a && k <= b
+                })
+                .count();
+            assert_eq!(report.matched, expected, "round {round} [{a},{b}]");
+        }
+    }
+}
+
+#[test]
+fn churn_down_to_empty_and_back() {
+    let o = owner();
+    let mut t = Table::new("drain", schema());
+    for i in 0..10i64 {
+        t.insert(Record::new(vec![Value::Int(i * 10 + 5), Value::Int(0)])).unwrap();
+    }
+    let domain = Domain::new(0, 1_000);
+    let mut st = o.sign_table(t, domain, SchemeConfig::default()).unwrap();
+    let cert = o.certificate(&st);
+
+    // Drain the table completely.
+    while st.len() > 0 {
+        let (k, r) = {
+            let row = st.table().row(0);
+            (row.record.key(st.table().schema()), row.replica)
+        };
+        o.delete_record(&mut st, k, r).unwrap();
+    }
+    assert!(st.audit());
+    let query = SelectQuery::range(KeyRange::all());
+    let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let report = verify_select(&cert, &query, &rows, &vo).unwrap();
+    assert!(report.empty);
+
+    // Refill.
+    for i in 0..10i64 {
+        o.insert_record(&mut st, Record::new(vec![Value::Int(i * 7 + 3), Value::Int(1)]))
+            .unwrap();
+    }
+    assert!(st.audit());
+    let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let report = verify_select(&cert, &query, &rows, &vo).unwrap();
+    assert_eq!(report.matched, 10);
+    assert_eq!(rows.len(), 10);
+}

@@ -1,0 +1,454 @@
+//! End-to-end owner → publisher → verifier roundtrips across scheme modes,
+//! bases, and query shapes.
+
+use adp_core::prelude::*;
+use adp_core::wire;
+use adp_relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE2E);
+        Owner::new(512, &mut rng)
+    })
+}
+
+fn emp_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Text),
+            Column::new("salary", ValueType::Int),
+            Column::new("dept", ValueType::Int),
+            Column::new("photo", ValueType::Bytes),
+        ],
+        "salary",
+    )
+}
+
+/// The paper's Figure 1 Employee table (plus a BLOB column).
+fn figure1_table() -> Table {
+    let mut t = Table::new("emp", emp_schema());
+    for (id, name, sal, dept) in [
+        (5i64, "A", 2000i64, 1i64),
+        (2, "C", 3500, 2),
+        (1, "D", 8010, 1),
+        (4, "B", 12100, 3),
+        (3, "E", 25000, 2),
+    ] {
+        t.insert(Record::new(vec![
+            Value::Int(id),
+            Value::from(name),
+            Value::Int(sal),
+            Value::Int(dept),
+            Value::from(vec![id as u8; 64]),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn signed_figure1(config: SchemeConfig) -> (SignedTable, Certificate) {
+    let st = owner()
+        .sign_table(figure1_table(), Domain::new(0, 100_000), config)
+        .unwrap();
+    let cert = owner().certificate(&st);
+    (st, cert)
+}
+
+fn run(
+    st: &SignedTable,
+    cert: &Certificate,
+    query: &SelectQuery,
+) -> Result<(Vec<Record>, VerifyReport), VerifyError> {
+    let (result, vo) = Publisher::new(st).answer_select(query).unwrap();
+    // Exercise the wire path every time: encode → decode → verify.
+    let result_bytes = wire::encode_records(&result);
+    let vo_bytes = wire::encode_vo(&vo);
+    verify_select_wire(cert, query, &result_bytes, &vo_bytes)
+}
+
+#[test]
+fn figure1_range_query_verifies() {
+    // SELECT * FROM Emp WHERE Salary < 10000 — the paper's running query.
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::less_than(10_000));
+    let (result, report) = run(&st, &cert, &query).unwrap();
+    assert_eq!(report.matched, 3);
+    assert!(!report.empty);
+    let salaries: Vec<i64> = result
+        .iter()
+        .map(|r| r.values()[2].as_int().unwrap())
+        .collect();
+    assert_eq!(salaries, vec![2000, 3500, 8010]);
+}
+
+#[test]
+fn all_bases_verify() {
+    for base in [2u32, 3, 4, 10, 16] {
+        let (st, cert) = signed_figure1(SchemeConfig::with_base(base));
+        for range in [
+            KeyRange::less_than(10_000),
+            KeyRange::at_least(10_000),
+            KeyRange::closed(3_500, 12_100),
+            KeyRange::all(),
+            KeyRange::point(8_010),
+        ] {
+            let query = SelectQuery::range(range);
+            let (_, report) = run(&st, &cert, &query)
+                .unwrap_or_else(|e| panic!("B={base} range={range:?}: {e}"));
+            assert!(report.matched > 0, "B={base} range={range:?}");
+        }
+    }
+}
+
+#[test]
+fn conceptual_mode_verifies() {
+    let (st, cert) = signed_figure1(SchemeConfig::conceptual());
+    for range in [
+        KeyRange::less_than(10_000),
+        KeyRange::closed(2_000, 2_000),
+        KeyRange::at_least(25_000),
+    ] {
+        let query = SelectQuery::range(range);
+        let (_, report) = run(&st, &cert, &query).unwrap();
+        assert!(report.matched >= 1);
+    }
+}
+
+#[test]
+fn empty_results_verify() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    for range in [
+        KeyRange::closed(4_000, 8_000),   // gap between records
+        KeyRange::less_than(2_000),       // below the smallest
+        KeyRange::at_least(25_001),       // above the largest
+        KeyRange::closed(99_000, 99_500), // far above
+    ] {
+        let query = SelectQuery::range(range);
+        let (result, report) = run(&st, &cert, &query).unwrap();
+        assert!(result.is_empty(), "range {range:?}");
+        assert!(report.empty);
+        assert_eq!(report.signatures_verified, 1);
+    }
+}
+
+#[test]
+fn trivially_empty_range() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::closed(500, 100)); // α > β
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert!(result.is_empty());
+    assert_eq!(vo, adp_core::vo::QueryVO::TriviallyEmpty);
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert!(report.empty);
+}
+
+#[test]
+fn full_table_scan_verifies() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::all());
+    let (result, report) = run(&st, &cert, &query).unwrap();
+    assert_eq!(result.len(), 5);
+    assert_eq!(report.matched, 5);
+}
+
+#[test]
+fn boundary_exactly_on_records() {
+    // α and β landing exactly on record keys.
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::closed(2_000, 25_000));
+    let (result, _) = run(&st, &cert, &query).unwrap();
+    assert_eq!(result.len(), 5);
+    let query = SelectQuery::range(KeyRange::closed(3_500, 12_100));
+    let (result, _) = run(&st, &cert, &query).unwrap();
+    assert_eq!(result.len(), 3);
+}
+
+#[test]
+fn projection_hides_columns() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    // Project salary only; the photo BLOB must not travel.
+    let query = SelectQuery::range(KeyRange::less_than(10_000)).project(&["salary"]);
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert_eq!(result[0].arity(), 1);
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert_eq!(report.matched, 3);
+    // Projected result must be much smaller than the full records.
+    let bytes = wire::encode_records(&result);
+    assert!(bytes.len() < 100, "projected result should exclude the BLOB");
+}
+
+#[test]
+fn projection_without_key_gets_key_added() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::less_than(10_000)).project(&["name"]);
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    // name + salary (forced key).
+    assert_eq!(result[0].arity(), 2);
+    assert!(verify_select(&cert, &query, &result, &vo).is_ok());
+}
+
+#[test]
+fn multipoint_query_verifies() {
+    // The paper's Section 4.4 example:
+    // SELECT * FROM Emp WHERE Salary < 10000 AND Dept = 1.
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::less_than(10_000))
+        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert_eq!(result.len(), 2); // ids 5 and 1
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert_eq!(report.matched, 2);
+    assert_eq!(report.filtered, 1); // [002, C, 3500, 2] proven filtered
+}
+
+#[test]
+fn multipoint_all_filtered() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::less_than(10_000))
+        .filter(Predicate::new("dept", CompareOp::Eq, 99i64));
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert!(result.is_empty());
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert_eq!(report.filtered, 3);
+    assert_eq!(report.matched, 0);
+}
+
+#[test]
+fn multipoint_range_filters() {
+    let (st, cert) = signed_figure1(SchemeConfig::default());
+    let query = SelectQuery::range(KeyRange::all())
+        .filter(Predicate::new("dept", CompareOp::Le, 2i64));
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    assert_eq!(result.len(), 4);
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert_eq!(report.filtered, 1); // dept 3 (id 4)
+}
+
+#[test]
+fn distinct_eliminates_duplicates_verifiably() {
+    // Table with duplicate (name) projections under DISTINCT.
+    let schema = Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("grade", ValueType::Text),
+        ],
+        "k",
+    );
+    let mut t = Table::new("grades", schema);
+    for (k, g) in [(10i64, "A"), (20, "B"), (30, "A"), (40, "B"), (50, "C")] {
+        t.insert(Record::new(vec![Value::Int(k), Value::from(g)])).unwrap();
+    }
+    let st = owner()
+        .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let cert = owner().certificate(&st);
+    // DISTINCT over (k, grade) never collides (k unique), but DISTINCT over
+    // just grade does — note the key is force-included, so duplicates here
+    // means equal (grade, k)… to exercise Duplicate entries we need equal
+    // keys too:
+    let mut t2 = Table::new("dups", Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("grade", ValueType::Text),
+            Column::new("note", ValueType::Text),
+        ],
+        "k",
+    ));
+    for (k, g, n) in [
+        (10i64, "A", "x"),
+        (10, "A", "y"), // same key, same grade, different note
+        (10, "B", "z"),
+        (20, "A", "w"),
+    ] {
+        t2.insert(Record::new(vec![Value::Int(k), Value::from(g), Value::from(n)]))
+            .unwrap();
+    }
+    let st2 = owner()
+        .sign_table(t2, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let cert2 = owner().certificate(&st2);
+    let query = SelectQuery::range(KeyRange::all()).project(&["grade"]).distinct();
+    let (result, vo) = Publisher::new(&st2).answer_select(&query).unwrap();
+    // Projections (grade, k): (A,10), (A,10) dup, (B,10), (A,20) → 3 rows.
+    assert_eq!(result.len(), 3);
+    let report = verify_select(&cert2, &query, &result, &vo).unwrap();
+    assert_eq!(report.matched, 3);
+    assert_eq!(report.duplicates, 1);
+    let _ = (st, cert);
+}
+
+#[test]
+fn duplicate_keys_roundtrip() {
+    let schema = Schema::new(
+        vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Text)],
+        "k",
+    );
+    let mut t = Table::new("dup", schema);
+    for (k, v) in [(100i64, "a"), (100, "b"), (100, "c"), (200, "d")] {
+        t.insert(Record::new(vec![Value::Int(k), Value::from(v)])).unwrap();
+    }
+    let st = owner()
+        .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let cert = owner().certificate(&st);
+    // All three replicas of key 100 must come back.
+    let query = SelectQuery::range(KeyRange::point(100));
+    let (result, report) = run(&st, &cert, &query).unwrap();
+    assert_eq!(result.len(), 3);
+    assert_eq!(report.matched, 3);
+}
+
+#[test]
+fn singleton_table() {
+    let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+    let mut t = Table::new("one", schema);
+    t.insert(Record::new(vec![Value::Int(50)])).unwrap();
+    let st = owner()
+        .sign_table(t, Domain::new(0, 100), SchemeConfig::default())
+        .unwrap();
+    let cert = owner().certificate(&st);
+    for (range, want) in [
+        (KeyRange::all(), 1usize),
+        (KeyRange::point(50), 1),
+        (KeyRange::less_than(50), 0),
+        (KeyRange::at_least(51), 0),
+    ] {
+        let query = SelectQuery::range(range);
+        let (result, _) = run(&st, &cert, &query).unwrap();
+        assert_eq!(result.len(), want, "range {range:?}");
+    }
+}
+
+#[test]
+fn empty_table_all_queries_empty() {
+    let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+    let t = Table::new("none", schema);
+    let st = owner()
+        .sign_table(t, Domain::new(0, 100), SchemeConfig::default())
+        .unwrap();
+    let cert = owner().certificate(&st);
+    for range in [KeyRange::all(), KeyRange::point(50), KeyRange::less_than(10)] {
+        let query = SelectQuery::range(range);
+        let (result, report) = run(&st, &cert, &query).unwrap();
+        assert!(result.is_empty());
+        assert!(report.empty);
+    }
+}
+
+#[test]
+fn verification_survives_updates() {
+    let (mut st, _) = signed_figure1(SchemeConfig::default());
+    let o = owner();
+    o.insert_record(
+        &mut st,
+        Record::new(vec![
+            Value::Int(9),
+            Value::from("F"),
+            Value::Int(5_000),
+            Value::Int(1),
+            Value::from(vec![9u8; 8]),
+        ]),
+    )
+    .unwrap();
+    o.delete_record(&mut st, 12_100, 0).unwrap();
+    let cert = o.certificate(&st);
+    let query = SelectQuery::range(KeyRange::less_than(10_000));
+    let (result, report) = run(&st, &cert, &query).unwrap();
+    assert_eq!(result.len(), 4); // 2000, 3500, 5000, 8010
+    assert_eq!(report.matched, 4);
+}
+
+#[test]
+fn randomized_tables_and_queries() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let schema = Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("payload", ValueType::Text),
+        ],
+        "k",
+    );
+    for trial in 0..8 {
+        let n = rng.gen_range(0..60);
+        let mut t = Table::new(format!("rand{trial}"), schema.clone());
+        for i in 0..n {
+            let k = rng.gen_range(2..9_998i64);
+            t.insert(Record::new(vec![
+                Value::Int(k),
+                Value::from(format!("row{i}")),
+            ]))
+            .unwrap();
+        }
+        let config = if trial % 2 == 0 {
+            SchemeConfig::default()
+        } else {
+            SchemeConfig::with_base(3)
+        };
+        let st = owner().sign_table(t, Domain::new(0, 10_000), config).unwrap();
+        let cert = owner().certificate(&st);
+        for _ in 0..12 {
+            let a = rng.gen_range(0..10_000i64);
+            let b = rng.gen_range(0..10_000i64);
+            let (a, b) = (a.min(b), a.max(b));
+            let query = SelectQuery::range(KeyRange::closed(a, b));
+            let (result, report) = run(&st, &cert, &query)
+                .unwrap_or_else(|e| panic!("trial {trial} [{a},{b}]: {e}"));
+            // Cross-check against direct evaluation.
+            let expected = st
+                .table()
+                .rows()
+                .iter()
+                .filter(|r| {
+                    let k = r.record.key(st.table().schema());
+                    k >= a && k <= b
+                })
+                .count();
+            assert_eq!(result.len(), expected, "trial {trial} [{a},{b}]");
+            assert_eq!(report.matched, expected);
+        }
+    }
+}
+
+#[test]
+fn individual_signatures_mode() {
+    let (st, cert) = signed_figure1(SchemeConfig::default().aggregate(false));
+    let query = SelectQuery::range(KeyRange::less_than(10_000));
+    let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    // VO with per-entry signatures is bigger than the aggregated one.
+    let (st_agg, _) = signed_figure1(SchemeConfig::default());
+    let (_, vo_agg) = Publisher::new(&st_agg).answer_select(&query).unwrap();
+    assert!(vo.wire_size() > vo_agg.wire_size());
+    let report = verify_select(&cert, &query, &result, &vo).unwrap();
+    assert_eq!(report.signatures_verified, 3);
+}
+
+#[test]
+fn vo_sizes_scale_with_result() {
+    let rng = StdRng::seed_from_u64(0x512E);
+    let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+    let mut t = Table::new("sized", schema);
+    for i in 0..200i64 {
+        t.insert(Record::new(vec![Value::Int(10 + i * 10)])).unwrap();
+    }
+    let st = owner()
+        .sign_table(t, Domain::new(0, 10_000), SchemeConfig::default())
+        .unwrap();
+    let mut last = 0usize;
+    for take in [1usize, 10, 100] {
+        let beta = 10 + (take as i64 - 1) * 10;
+        let query = SelectQuery::range(KeyRange::closed(10, beta));
+        let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        assert_eq!(result.len(), take);
+        let size = vo.wire_size();
+        assert!(size > last, "VO must grow with |Q|");
+        last = size;
+    }
+    let _ = rng;
+}

@@ -1,0 +1,298 @@
+//! Structural VO attacks: a malicious publisher rearranges *valid* proof
+//! material instead of forging digests — selector confusion, digest
+//! relocation, entry reordering, proof transplants. Every rearrangement
+//! must be rejected.
+
+use adp_core::prelude::*;
+use adp_core::vo::{EntryChains, EntryProof, QueryVO, RepProof};
+use adp_relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x57A7);
+        Owner::new(512, &mut rng)
+    })
+}
+
+fn setup(base: u32) -> (SignedTable, Certificate) {
+    let schema = Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("a", ValueType::Int),
+            Column::new("b", ValueType::Text),
+        ],
+        "k",
+    );
+    let mut t = Table::new("s", schema);
+    for i in 0..25i64 {
+        t.insert(Record::new(vec![
+            Value::Int(i * 7 + 3),
+            Value::Int(i % 4),
+            Value::from(format!("v{i}")),
+        ]))
+        .unwrap();
+    }
+    let st = owner()
+        .sign_table(t, Domain::new(0, 100_000), SchemeConfig::with_base(base))
+        .unwrap();
+    let cert = owner().certificate(&st);
+    (st, cert)
+}
+
+fn answer(
+    st: &SignedTable,
+    query: &SelectQuery,
+) -> (Vec<Record>, adp_core::vo::RangeVO) {
+    let (rows, vo) = Publisher::new(st).answer_select(query).unwrap();
+    let QueryVO::Range(rv) = vo else { panic!("expected range VO") };
+    (rows, rv)
+}
+
+#[test]
+fn swapping_boundary_proofs_rejected() {
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120));
+    let (rows, mut rv) = answer(&st, &query);
+    std::mem::swap(&mut rv.left, &mut rv.right);
+    assert!(verify_select(&cert, &query, &rows, &QueryVO::Range(rv)).is_err());
+}
+
+#[test]
+fn swapping_entry_chain_roots_rejected() {
+    // Swap the up/down rep-MHT roots of an entry: direction domains must
+    // make this fail even if the key sits at the domain midpoint.
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120));
+    let (rows, mut rv) = answer(&st, &query);
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Match { chains: EntryChains::Optimized { up_root, down_root }, .. } = e
+        {
+            std::mem::swap(up_root, down_root);
+            break;
+        }
+    }
+    assert!(verify_select(&cert, &query, &rows, &QueryVO::Range(rv)).is_err());
+}
+
+#[test]
+fn transplanting_entry_proofs_between_rows_rejected() {
+    // Give row i the (valid) chain roots of row j.
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120));
+    let (rows, mut rv) = answer(&st, &query);
+    assert!(rv.entries.len() >= 2);
+    let first = rv.entries[0].clone();
+    let second = rv.entries[1].clone();
+    rv.entries[0] = second;
+    rv.entries[1] = first;
+    // Result order unchanged → proofs no longer line up with rows.
+    assert!(verify_select(&cert, &query, &rows, &QueryVO::Range(rv)).is_err());
+}
+
+#[test]
+fn forcing_canonical_selector_rejected() {
+    // If the publisher's honest proof used a non-canonical representation,
+    // downgrading the selector to Canonical (with the true MHT root) must
+    // fail: the user's extended digits land on the non-canonical digest.
+    let (st, cert) = setup(10);
+    // Search for a query whose left boundary proof is non-canonical.
+    for beta in [40i64, 61, 82, 103, 124] {
+        for alpha in [10i64, 17, 24, 31] {
+            let query = SelectQuery::range(KeyRange::closed(alpha, beta));
+            let (rows, rv) = {
+                let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+                match vo {
+                    QueryVO::Range(rv) => (rows, rv),
+                    _ => continue,
+                }
+            };
+            if let Some(RepProof::NonCanonical { path, .. }) = &rv.left.selector {
+                // Rebuild a Canonical selector using the true root derived
+                // from the inclusion path — the strongest thing an
+                // adversary could do.
+                let mut rv2 = rv.clone();
+                let fake_root = adp_crypto::verify_inclusion(
+                    st.hasher(),
+                    *path.steps.first().map(|s| &s.sibling).unwrap_or(&rv.left.attr_root),
+                    path,
+                );
+                rv2.left.selector = Some(RepProof::Canonical { mht_root: fake_root });
+                assert!(
+                    verify_select(&cert, &query, &rows, &QueryVO::Range(rv2)).is_err(),
+                    "canonical downgrade must fail (α={alpha}, β={beta})"
+                );
+                return; // found and tested a non-canonical case
+            }
+        }
+    }
+    panic!("no non-canonical boundary found in probe space — widen the search");
+}
+
+#[test]
+fn wrong_noncanonical_index_rejected() {
+    let (st, cert) = setup(10);
+    for beta in [40i64, 61, 82, 103, 124] {
+        for alpha in [10i64, 17, 24, 31] {
+            let query = SelectQuery::range(KeyRange::closed(alpha, beta));
+            let (rows, rv) = {
+                let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+                match vo {
+                    QueryVO::Range(rv) => (rows, rv),
+                    _ => continue,
+                }
+            };
+            if let Some(RepProof::NonCanonical { index, canon_digest, path }) =
+                rv.left.selector.clone()
+            {
+                let mut rv2 = rv.clone();
+                rv2.left.selector = Some(RepProof::NonCanonical {
+                    index: index + 1,
+                    canon_digest,
+                    path,
+                });
+                let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv2));
+                assert!(verdict.is_err(), "index shift must fail");
+                return;
+            }
+        }
+    }
+    panic!("no non-canonical boundary found in probe space");
+}
+
+#[test]
+fn relocating_hidden_attr_digests_rejected() {
+    // Swap the positions of two hidden attribute digests in a projected
+    // entry: MHT leaf positions are load-bearing.
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120)).project(&["k"]);
+    let (rows, mut rv) = answer(&st, &query);
+    let mut mutated = false;
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Match { attrs, .. } = e {
+            if attrs.hidden.len() >= 2 {
+                let tmp = attrs.hidden[0].1;
+                attrs.hidden[0].1 = attrs.hidden[1].1;
+                attrs.hidden[1].1 = tmp;
+                mutated = true;
+                break;
+            }
+        }
+    }
+    assert!(mutated, "projected entries should carry 2 hidden digests");
+    assert!(verify_select(&cert, &query, &rows, &QueryVO::Range(rv)).is_err());
+}
+
+#[test]
+fn duplicate_hidden_position_rejected() {
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120)).project(&["k"]);
+    let (rows, mut rv) = answer(&st, &query);
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Match { attrs, .. } = e {
+            if attrs.hidden.len() >= 2 {
+                attrs.hidden[1].0 = attrs.hidden[0].0; // double-cover position 0
+                break;
+            }
+        }
+    }
+    let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
+    assert!(matches!(verdict, Err(VerifyError::AttrCoverageInvalid { .. })));
+}
+
+#[test]
+fn filtered_disclosure_on_wrong_column_rejected() {
+    // The filtered entry disclosess a value for a column no filter touches;
+    // even if authentic, it proves nothing.
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(3, 170))
+        .filter(Predicate::new("a", CompareOp::Eq, 1i64));
+    let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+    let QueryVO::Range(mut rv) = vo else { panic!() };
+    let mut mutated = false;
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Filtered { attrs, .. } = e {
+            // Move the disclosure to attr position 1 (column "b").
+            for (pos, _) in attrs.disclosed.iter_mut() {
+                *pos = 1;
+            }
+            // Fix hidden coverage accordingly so only the proof semantics
+            // (not coverage) are at stake.
+            attrs.hidden.retain(|(p, _)| *p != 1);
+            mutated = true;
+            break;
+        }
+    }
+    assert!(mutated);
+    let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
+    assert!(verdict.is_err());
+}
+
+#[test]
+fn duplicate_entry_forward_reference_rejected() {
+    // Duplicate entries may only reference already-verified earlier rows.
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120)).distinct();
+    let (rows, mut rv) = answer(&st, &query);
+    // Turn the first Match into a Duplicate pointing forward.
+    for e in rv.entries.iter_mut() {
+        if let EntryProof::Match { chains, attrs } = e.clone() {
+            *e = EntryProof::Duplicate { of: 5, chains, attrs };
+            break;
+        }
+    }
+    let mut rows = rows;
+    rows.remove(0);
+    let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
+    assert!(matches!(
+        verdict,
+        Err(VerifyError::DuplicateRefInvalid { .. }) | Err(VerifyError::ResultCountMismatch { .. })
+    ));
+}
+
+#[test]
+fn boundary_intermediate_count_checked() {
+    let (st, cert) = setup(2);
+    let query = SelectQuery::range(KeyRange::closed(20, 120));
+    let (rows, mut rv) = answer(&st, &query);
+    rv.left.intermediates.pop();
+    let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
+    assert!(matches!(verdict, Err(VerifyError::BoundaryShapeInvalid { side: "left" })));
+}
+
+#[test]
+fn conceptual_vo_against_optimized_cert_rejected() {
+    // Mode confusion: a VO built for the conceptual scheme presented to a
+    // verifier configured for the optimized scheme.
+    let (st_opt, cert_opt) = setup(2);
+    let schema = st_opt.table().schema().clone();
+    let records: Vec<Record> = st_opt.table().rows().iter().map(|r| r.record.clone()).collect();
+    let t = Table::from_records("s", schema, records).unwrap();
+    let st_con = owner()
+        .sign_table(t, *st_opt.domain(), SchemeConfig::conceptual())
+        .unwrap();
+    let query = SelectQuery::range(KeyRange::closed(20, 120));
+    let (rows, vo) = Publisher::new(&st_con).answer_select(&query).unwrap();
+    let verdict = verify_select(&cert_opt, &query, &rows, &vo);
+    assert!(verdict.is_err());
+}
+
+#[test]
+fn empty_proof_for_nonempty_range_rejected() {
+    // Present a (legitimate, adjacent) empty proof from a different part
+    // of the key space for a range that actually has rows.
+    let (st, cert) = setup(2);
+    // [200, 300] is beyond all keys (max key = 24*7+3 = 171) → honest empty.
+    let empty_q = SelectQuery::range(KeyRange::closed(200, 300));
+    let (_, empty_vo) = Publisher::new(&st).answer_select(&empty_q).unwrap();
+    assert!(matches!(empty_vo, QueryVO::Empty(_)));
+    // Replay it for a populated range.
+    let full_q = SelectQuery::range(KeyRange::closed(20, 120));
+    let verdict = verify_select(&cert, &full_q, &[], &empty_vo);
+    assert!(verdict.is_err());
+}

@@ -1,0 +1,217 @@
+//! The one-way hash abstraction `h(.)` used throughout the scheme, with
+//! domain separation and a global operation counter.
+//!
+//! # Domain separation
+//!
+//! The paper (Section 3.1) requires that the iterated hash `h^i(r)` has no
+//! inverse for `i < 0`; it suggests choosing `h` whose output length differs
+//! from the length of `r`, so that `h^{-1}(r) != r` trivially. We achieve the
+//! same guarantee more robustly by *domain-separating* every use of the hash
+//! function with a one-byte context tag:
+//!
+//! * `VALUE` — first application of the chain to an encoded value,
+//! * `STEP` — each subsequent chain step over a digest,
+//! * `LEAF` / `NODE` — Merkle tree leaves and internal nodes,
+//! * `LINK` — the signature-chain digest `h(g(r_{i-1}) | g(r_i) | g(r_{i+1}))`,
+//! * `SIG` — the full-domain-hash padding for RSA signing.
+//!
+//! Separation makes cross-context collisions (e.g. passing a Merkle node off
+//! as a chain step) structurally impossible rather than merely unlikely.
+//!
+//! # Operation counting
+//!
+//! The paper's cost model is expressed in *numbers of hash operations*
+//! (`C_hash` per op). A relaxed global counter lets benches report exact
+//! operation counts that can be compared with formulas (4)/(5) independently
+//! of hardware speed.
+
+use crate::digest::{Digest, MAX_DIGEST_LEN, MIN_DIGEST_LEN};
+use crate::sha256::Sha256;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Context tags for domain separation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HashDomain {
+    /// First hash application over an encoded plaintext value.
+    Value = 0x56,
+    /// A chain step: hash of a previous digest.
+    Step = 0x43,
+    /// Merkle tree leaf.
+    Leaf = 0x4c,
+    /// Merkle tree internal node.
+    Node = 0x4e,
+    /// Signature-chain link digest (formula 1 inner hash).
+    Link = 0x4b,
+    /// Full-domain-hash expansion for RSA signing.
+    Sig = 0x53,
+    /// Free-form application data.
+    Data = 0x44,
+    /// A digit-representation digest `h(δ)` (Section 5.1 of the paper):
+    /// hash over the per-digit chain digests of one representation.
+    Rep = 0x52,
+    /// A direction component `h(h(δ_t) | MHT-root)` combining the canonical
+    /// representation digest with the non-canonical-representation tree.
+    Comp = 0x4f,
+}
+
+static HASH_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of hash-function applications performed process-wide since
+/// start (or since [`reset_hash_ops`]).
+pub fn hash_ops() -> u64 {
+    HASH_OPS.load(Ordering::Relaxed)
+}
+
+/// Resets the global hash-operation counter and returns the previous value.
+pub fn reset_hash_ops() -> u64 {
+    HASH_OPS.swap(0, Ordering::Relaxed)
+}
+
+/// A configured one-way hash function: SHA-256 truncated to `digest_len`
+/// bytes (16..=32), with domain separation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hasher {
+    digest_len: usize,
+}
+
+impl Default for Hasher {
+    /// Default matches the paper's `M_digest` = 128 bits.
+    fn default() -> Self {
+        Hasher::new(16)
+    }
+}
+
+impl Hasher {
+    /// Creates a hasher producing `digest_len`-byte digests.
+    ///
+    /// # Panics
+    /// If `digest_len` is outside `16..=32`.
+    pub fn new(digest_len: usize) -> Self {
+        assert!(
+            (MIN_DIGEST_LEN..=MAX_DIGEST_LEN).contains(&digest_len),
+            "digest length {digest_len} out of range 16..=32"
+        );
+        Hasher { digest_len }
+    }
+
+    /// Digest length in bytes.
+    #[inline]
+    pub fn digest_len(&self) -> usize {
+        self.digest_len
+    }
+
+    /// Digest length in bits (the paper's `M_digest`).
+    #[inline]
+    pub fn digest_bits(&self) -> usize {
+        self.digest_len * 8
+    }
+
+    /// One application of `h` over `parts` under `domain`.
+    pub fn hash_parts(&self, domain: HashDomain, parts: &[&[u8]]) -> Digest {
+        HASH_OPS.fetch_add(1, Ordering::Relaxed);
+        let mut h = Sha256::new();
+        h.update(&[domain as u8]);
+        for p in parts {
+            // Length-prefix each part so that concatenation is injective:
+            // h(a|b) with a="x", b="yz" must differ from a="xy", b="z".
+            h.update(&(p.len() as u32).to_le_bytes());
+            h.update(p);
+        }
+        let full = h.finalize();
+        Digest::from_bytes(&full[..self.digest_len])
+    }
+
+    /// One application of `h` over a single byte string.
+    #[inline]
+    pub fn hash(&self, domain: HashDomain, data: &[u8]) -> Digest {
+        self.hash_parts(domain, &[data])
+    }
+
+    /// One application of `h` over a sequence of digests (concatenation).
+    pub fn hash_digests(&self, domain: HashDomain, digests: &[Digest]) -> Digest {
+        HASH_OPS.fetch_add(1, Ordering::Relaxed);
+        let mut h = Sha256::new();
+        h.update(&[domain as u8]);
+        for d in digests {
+            h.update(&(d.len() as u32).to_le_bytes());
+            h.update(d.as_bytes());
+        }
+        let full = h.finalize();
+        Digest::from_bytes(&full[..self.digest_len])
+    }
+
+    /// Expands a digest into `out_len` pseudo-random bytes (counter-mode
+    /// full-domain hash, used for RSA-FDH signature padding).
+    pub fn expand(&self, seed: &[u8], out_len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(out_len);
+        let mut counter = 0u32;
+        while out.len() < out_len {
+            HASH_OPS.fetch_add(1, Ordering::Relaxed);
+            let mut h = Sha256::new();
+            h.update(&[HashDomain::Sig as u8]);
+            h.update(&counter.to_le_bytes());
+            h.update(seed);
+            let block = h.finalize();
+            let take = (out_len - out.len()).min(block.len());
+            out.extend_from_slice(&block[..take]);
+            counter += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_lengths_respected() {
+        for len in [16, 20, 32] {
+            let h = Hasher::new(len);
+            assert_eq!(h.hash(HashDomain::Data, b"hello").len(), len);
+        }
+    }
+
+    #[test]
+    fn domains_separate() {
+        let h = Hasher::default();
+        assert_ne!(
+            h.hash(HashDomain::Value, b"x"),
+            h.hash(HashDomain::Step, b"x")
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let h = Hasher::default();
+        assert_ne!(
+            h.hash_parts(HashDomain::Data, &[b"ab", b"c"]),
+            h.hash_parts(HashDomain::Data, &[b"a", b"bc"])
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = Hasher::new(32);
+        assert_eq!(h.hash(HashDomain::Data, b"z"), h.hash(HashDomain::Data, b"z"));
+    }
+
+    #[test]
+    fn op_counter_counts() {
+        let h = Hasher::default();
+        let before = hash_ops();
+        let _ = h.hash(HashDomain::Data, b"1");
+        let _ = h.hash_digests(HashDomain::Node, &[h.hash(HashDomain::Leaf, b"2")]);
+        assert!(hash_ops() >= before + 3);
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let h = Hasher::default();
+        assert_eq!(h.expand(b"seed", 10).len(), 10);
+        assert_eq!(h.expand(b"seed", 100).len(), 100);
+        // Deterministic and prefix-consistent.
+        assert_eq!(h.expand(b"seed", 100)[..10], h.expand(b"seed", 10)[..]);
+    }
+}

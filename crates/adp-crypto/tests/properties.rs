@@ -1,0 +1,211 @@
+//! Property-based tests for the cryptographic substrate: algebraic laws of
+//! the big-integer arithmetic, Merkle tree soundness, chain composition,
+//! and signature scheme round-trips.
+
+use adp_crypto::bigint::{is_probable_prime, BigUint};
+use adp_crypto::{
+    chain_extend, chain_from_value, hasher::HashDomain, root_from_mixed, root_from_range,
+    verify_inclusion, AggregateSignature, Hasher, Keypair, MerkleTree, MixedLeaf,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn keypair() -> &'static Keypair {
+    static K: OnceLock<Keypair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x9909);
+        Keypair::generate(512, &mut rng)
+    })
+}
+
+prop_compose! {
+    fn arb_biguint()(bytes in prop::collection::vec(any::<u8>(), 0..40)) -> BigUint {
+        BigUint::from_bytes_be(&bytes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- BigUint ring laws ----------------
+
+    #[test]
+    fn add_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn shifts_roundtrip(a in arb_biguint(), s in 0usize..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn mod_pow_multiplicative(a in arb_biguint(), b in arb_biguint(), m in arb_biguint()) {
+        prop_assume!(m > BigUint::one());
+        // (a*b)^2 == a^2 * b^2 (mod m)
+        let two = BigUint::from_u64(2);
+        let lhs = a.mul(&b).mod_pow(&two, &m);
+        let rhs = a.mod_pow(&two, &m).mul_mod(&b.mod_pow(&two, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in arb_biguint(), m in arb_biguint()) {
+        prop_assume!(m > BigUint::one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn primes_pass_fermat(seed in any::<u64>()) {
+        // For random 64-bit odd numbers that Miller-Rabin accepts, Fermat's
+        // little theorem must hold for a few bases.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let candidate = BigUint::from_u64(rand::Rng::gen_range(&mut rng, 3u64..u64::MAX) | 1);
+        if is_probable_prime(&candidate, 16, &mut rng) {
+            for base in [2u64, 3, 5, 7] {
+                let b = BigUint::from_u64(base);
+                let exp = candidate.sub(&BigUint::one());
+                prop_assert_eq!(b.mod_pow(&exp, &candidate), BigUint::one());
+            }
+        }
+    }
+
+    // ---------------- Merkle trees ----------------
+
+    #[test]
+    fn inclusion_proofs_sound(n in 1usize..50, idx in 0usize..50) {
+        let h = Hasher::default();
+        let leaves: Vec<_> = (0..n).map(|i| h.hash(HashDomain::Leaf, &(i as u64).to_le_bytes())).collect();
+        let tree = MerkleTree::build(h, leaves.clone());
+        let idx = idx % n;
+        let proof = tree.prove(idx);
+        prop_assert_eq!(verify_inclusion(&h, leaves[idx], &proof), tree.root());
+        // A different leaf with the same proof must fail.
+        if n > 1 {
+            let other = (idx + 1) % n;
+            prop_assert_ne!(verify_inclusion(&h, leaves[other], &proof), tree.root());
+        }
+    }
+
+    #[test]
+    fn range_proofs_sound(n in 1usize..40, lo in 0usize..40, len in 1usize..10) {
+        let h = Hasher::default();
+        let leaves: Vec<_> = (0..n).map(|i| h.hash(HashDomain::Leaf, &(i as u64).to_le_bytes())).collect();
+        let tree = MerkleTree::build(h, leaves.clone());
+        let lo = lo % n;
+        let hi = (lo + len - 1).min(n - 1);
+        let fringe = tree.prove_range(lo, hi);
+        let root = root_from_range(&h, n, lo, &leaves[lo..=hi], &fringe);
+        prop_assert_eq!(root, Some(tree.root()));
+    }
+
+    #[test]
+    fn mixed_roots_agree_with_plain(n in 1usize..20, mask in any::<u32>()) {
+        let h = Hasher::default();
+        let values: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; (i % 5) + 1]).collect();
+        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+        let tree = MerkleTree::from_values(h, &refs);
+        let mixed: Vec<MixedLeaf> = refs.iter().enumerate().map(|(i, v)| {
+            if mask >> (i % 32) & 1 == 1 {
+                MixedLeaf::Digest(h.hash(HashDomain::Leaf, v))
+            } else {
+                MixedLeaf::Value(v)
+            }
+        }).collect();
+        prop_assert_eq!(root_from_mixed(&h, &mixed), tree.root());
+    }
+
+    // ---------------- Chains ----------------
+
+    #[test]
+    fn chain_extension_composes(a in 0u64..200, b in 0u64..200, tag in any::<u32>()) {
+        let h = Hasher::default();
+        let part = chain_from_value(&h, b"v", tag, a);
+        prop_assert_eq!(chain_extend(&h, part, b), chain_from_value(&h, b"v", tag, a + b));
+    }
+
+    #[test]
+    fn chains_injective_over_steps(a in 0u64..100, b in 0u64..100) {
+        prop_assume!(a != b);
+        let h = Hasher::default();
+        prop_assert_ne!(
+            chain_from_value(&h, b"v", 0, a),
+            chain_from_value(&h, b"v", 0, b)
+        );
+    }
+
+    // ---------------- Signatures ----------------
+
+    #[test]
+    fn sign_verify_roundtrip(msg in prop::collection::vec(any::<u8>(), 0..100)) {
+        let h = Hasher::default();
+        let kp = keypair();
+        let d = h.hash(HashDomain::Data, &msg);
+        let sig = kp.sign(&h, &d);
+        prop_assert!(kp.public().verify(&h, &d, &sig));
+    }
+
+    #[test]
+    fn aggregates_verify_and_reject_subsets(count in 1usize..8) {
+        let h = Hasher::default();
+        let kp = keypair();
+        let digests: Vec<_> = (0..count).map(|i| h.hash(HashDomain::Data, &[i as u8])).collect();
+        let sigs: Vec<_> = digests.iter().map(|d| kp.sign(&h, d)).collect();
+        let refs: Vec<_> = sigs.iter().collect();
+        let agg = AggregateSignature::combine(kp.public(), &refs);
+        prop_assert!(agg.verify(&h, kp.public(), &digests));
+        if count > 1 {
+            prop_assert!(!agg.verify(&h, kp.public(), &digests[..count - 1]));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! A named collection of tables (the owner's master database).
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A database: tables addressed by name.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a table under its own name.
+    pub fn add_table(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.name().to_string(), table)
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Removes a table.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Table names in order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::ValueType;
+
+    fn table(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::new(vec![Column::new("k", ValueType::Int)], "k"),
+        )
+    }
+
+    #[test]
+    fn add_lookup_drop() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.add_table(table("a"));
+        db.add_table(table("b"));
+        assert_eq!(db.len(), 2);
+        assert!(db.table("a").is_some());
+        assert!(db.table_mut("b").is_some());
+        assert!(db.table("c").is_none());
+        assert_eq!(db.table_names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(db.drop_table("a").is_some());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut db = Database::new();
+        assert!(db.add_table(table("a")).is_none());
+        assert!(db.add_table(table("a")).is_some());
+        assert_eq!(db.len(), 1);
+    }
+}

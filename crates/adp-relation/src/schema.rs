@@ -1,0 +1,208 @@
+//! Table schemas.
+
+use crate::value::{Value, ValueType};
+use std::fmt;
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// A table schema: an ordered list of columns plus the index of the *key*
+/// attribute `K` the table is sorted on (the attribute the owner builds the
+/// signature chain over).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    key: usize,
+}
+
+impl Schema {
+    /// Creates a schema. `key` names the sort/key attribute.
+    ///
+    /// # Panics
+    /// If `key` is not a column, column names repeat, or the key column is
+    /// not `Int` (the signature chain requires an ordered numeric domain;
+    /// see `adp-core::domain` for the rationale and encodings).
+    pub fn new(columns: Vec<Column>, key: &str) -> Self {
+        let key_idx = columns
+            .iter()
+            .position(|c| c.name == key)
+            .unwrap_or_else(|| panic!("key column '{key}' not in schema"));
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), columns.len(), "duplicate column names");
+        assert_eq!(
+            columns[key_idx].ty,
+            ValueType::Int,
+            "key column must be INT"
+        );
+        Schema { columns, key: key_idx }
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the key column.
+    pub fn key_index(&self) -> usize {
+        self.key
+    }
+
+    /// Name of the key column.
+    pub fn key_name(&self) -> &str {
+        &self.columns[self.key].name
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Checks that `values` matches the schema (arity and types).
+    pub fn validate(&self, values: &[Value]) -> Result<(), SchemaError> {
+        if values.len() != self.columns.len() {
+            return Err(SchemaError::Arity {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (i, (v, c)) in values.iter().zip(&self.columns).enumerate() {
+            if v.value_type() != c.ty {
+                return Err(SchemaError::Type {
+                    column: i,
+                    expected: c.ty,
+                    got: v.value_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new schema extended with extra columns (used by the owner
+    /// to add per-role visibility columns, Section 4.4 Case 2).
+    pub fn with_columns(&self, extra: Vec<Column>) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(extra);
+        Schema::new(columns, self.key_name())
+    }
+}
+
+/// Schema validation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    Arity { expected: usize, got: usize },
+    Type { column: usize, expected: ValueType, got: ValueType },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Arity { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} values, got {got}")
+            }
+            SchemaError::Type { column, expected, got } => {
+                write!(f, "type mismatch in column {column}: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+                Column::new("salary", ValueType::Int),
+                Column::new("dept", ValueType::Int),
+                Column::new("photo", ValueType::Bytes),
+            ],
+            "salary",
+        )
+    }
+
+    #[test]
+    fn key_lookup() {
+        let s = emp_schema();
+        assert_eq!(s.key_index(), 2);
+        assert_eq!(s.key_name(), "salary");
+        assert_eq!(s.column_index("photo"), Some(4));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.arity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn bad_key_panics() {
+        Schema::new(vec![Column::new("a", ValueType::Int)], "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::new(
+            vec![Column::new("a", ValueType::Int), Column::new("a", ValueType::Int)],
+            "a",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key column must be INT")]
+    fn non_int_key_panics() {
+        Schema::new(vec![Column::new("a", ValueType::Text)], "a");
+    }
+
+    #[test]
+    fn validation() {
+        let s = emp_schema();
+        let good = vec![
+            Value::Int(1),
+            Value::from("A"),
+            Value::Int(2000),
+            Value::Int(1),
+            Value::from(vec![0u8; 4]),
+        ];
+        assert!(s.validate(&good).is_ok());
+        assert!(matches!(
+            s.validate(&good[..4]),
+            Err(SchemaError::Arity { expected: 5, got: 4 })
+        ));
+        let mut bad = good.clone();
+        bad[1] = Value::Int(9);
+        assert!(matches!(s.validate(&bad), Err(SchemaError::Type { column: 1, .. })));
+    }
+
+    #[test]
+    fn extension_preserves_key() {
+        let s = emp_schema().with_columns(vec![Column::new("vis_hr", ValueType::Bool)]);
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.key_name(), "salary");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the relational substrate: table ordering
+//! invariants, B+-tree/BTreeMap equivalence under arbitrary workloads,
+//! range-scan agreement, and access-control rewriting laws.
+
+use adp_relation::{
+    AccessPolicy, BPlusTree, Column, CompareOp, KeyRange, Predicate, Record, Role, RolePolicy,
+    Schema, SelectQuery, Table, Value, ValueType,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Int)],
+        "k",
+    )
+}
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Insert(i64, u32, u64),
+    Remove(i64, u32),
+    Get(i64, u32),
+    Range(i64, i64),
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0..80i64, 0..3u32, any::<u64>()).prop_map(|(k, r, v)| TreeOp::Insert(k, r, v)),
+        (0..80i64, 0..3u32).prop_map(|(k, r)| TreeOp::Remove(k, r)),
+        (0..80i64, 0..3u32).prop_map(|(k, r)| TreeOp::Get(k, r)),
+        (0..80i64, 0..80i64).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bptree_matches_btreemap(ops in prop::collection::vec(arb_tree_op(), 0..300), order in 4usize..32) {
+        let mut tree = BPlusTree::new(order);
+        let mut model: BTreeMap<(i64, u32), u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, r, v) => {
+                    prop_assert_eq!(tree.insert((k, r), v), model.insert((k, r), v));
+                }
+                TreeOp::Remove(k, r) => {
+                    prop_assert_eq!(tree.remove((k, r)), model.remove(&(k, r)));
+                }
+                TreeOp::Get(k, r) => {
+                    prop_assert_eq!(tree.get((k, r)), model.get(&(k, r)));
+                }
+                TreeOp::Range(a, b) => {
+                    let got = tree.range_keys(
+                        Bound::Included((a, 0)),
+                        Bound::Included((b, u32::MAX)),
+                    );
+                    let want: Vec<(i64, u32)> = model
+                        .range((a, 0)..=(b, u32::MAX))
+                        .map(|(k, _)| *k)
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn table_stays_sorted_with_replicas(keys in prop::collection::vec(0..50i64, 0..100)) {
+        let mut t = Table::new("t", schema());
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(Record::new(vec![Value::Int(*k), Value::Int(i as i64)])).unwrap();
+        }
+        // Sorted by (key, replica), replicas dense per key.
+        let pairs: Vec<(i64, u32)> = t.rows().iter().map(|r| r.sort_key(t.schema())).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&pairs, &sorted);
+        let mut last: Option<(i64, u32)> = None;
+        for (k, r) in pairs {
+            match last {
+                Some((lk, lr)) if lk == k => prop_assert_eq!(r, lr + 1),
+                _ => prop_assert_eq!(r, 0),
+            }
+            last = Some((k, r));
+        }
+    }
+
+    #[test]
+    fn range_positions_agree_with_filter(keys in prop::collection::vec(0..100i64, 0..60), a in 0i64..100, b in 0i64..100) {
+        let (a, b) = (a.min(b), a.max(b));
+        let mut t = Table::new("t", schema());
+        for k in &keys {
+            t.insert(Record::new(vec![Value::Int(*k), Value::Int(0)])).unwrap();
+        }
+        let (s, e) = t.key_range_positions(Bound::Included(a), Bound::Included(b));
+        let expected = t.rows().iter().filter(|r| {
+            let k = r.record.key(t.schema());
+            k >= a && k <= b
+        }).count();
+        prop_assert_eq!(e - s, expected);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(keys in prop::collection::vec(0..40i64, 0..60)) {
+        let mut incremental = Table::new("t", schema());
+        let mut records = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let rec = Record::new(vec![Value::Int(*k), Value::Int(i as i64)]);
+            records.push(rec.clone());
+            incremental.insert(rec).unwrap();
+        }
+        let bulk = Table::from_records("t", schema(), records).unwrap();
+        // Same multiset of (key, replica); values may attach to different
+        // replicas when keys collide (insertion order vs sort order), so
+        // compare keys only.
+        let a: Vec<(i64, u32)> = incremental.rows().iter().map(|r| r.sort_key(incremental.schema())).collect();
+        let b: Vec<(i64, u32)> = bulk.rows().iter().map(|r| r.sort_key(bulk.schema())).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rewrite_always_narrows(lo in -100i64..100, hi in -100i64..100, cap in -100i64..100) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut policy = AccessPolicy::new();
+        policy.set(Role::new("r"), RolePolicy {
+            key_range: Some(KeyRange::less_than(cap)),
+            ..Default::default()
+        });
+        let q = SelectQuery::range(KeyRange::closed(lo, hi));
+        let rq = policy.rewrite(&schema(), &Role::new("r"), &q);
+        // Every key admitted by the rewritten range is admitted by BOTH the
+        // original range and the policy.
+        for k in -100..100i64 {
+            if rq.range.contains(k) {
+                prop_assert!(q.range.contains(k));
+                prop_assert!(k < cap);
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_consistent_with_manual_eval(k in 0i64..50, v in 0i64..50, bound in 0i64..50) {
+        let s = schema();
+        let values = vec![Value::Int(k), Value::Int(v)];
+        for (op, expect) in [
+            (CompareOp::Eq, v == bound),
+            (CompareOp::Ne, v != bound),
+            (CompareOp::Lt, v < bound),
+            (CompareOp::Le, v <= bound),
+            (CompareOp::Gt, v > bound),
+            (CompareOp::Ge, v >= bound),
+        ] {
+            let p = Predicate::new("v", op, bound);
+            prop_assert_eq!(p.eval(&s, &values), expect);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over the whole pipeline: for arbitrary tables and
+//! queries, honest answers verify and the verified result matches a trusted
+//! re-evaluation; random mutations of the result are rejected.
+
+use adp::core::prelude::*;
+use adp::relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x9209);
+        Owner::new(512, &mut rng)
+    })
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("cat", ValueType::Int),
+            Column::new("label", ValueType::Text),
+        ],
+        "k",
+    )
+}
+
+const KEY_LO: i64 = 2;
+const KEY_HI: i64 = 998;
+
+prop_compose! {
+    fn arb_row()(k in KEY_LO..=KEY_HI, cat in 0..4i64, label in "[a-z]{0,6}") -> (i64, i64, String) {
+        (k, cat, label)
+    }
+}
+
+prop_compose! {
+    fn arb_table()(rows in prop::collection::vec(arb_row(), 0..40)) -> Table {
+        let mut t = Table::new("prop", schema());
+        for (k, cat, label) in rows {
+            t.insert(Record::new(vec![Value::Int(k), Value::Int(cat), Value::from(label)])).unwrap();
+        }
+        t
+    }
+}
+
+prop_compose! {
+    fn arb_range()(a in 0..=1_000i64, b in 0..=1_000i64) -> KeyRange {
+        KeyRange::closed(a.min(b), a.max(b))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn honest_range_answers_verify_and_match_reference(table in arb_table(), range in arb_range()) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let cert = o.certificate(&st);
+        let query = SelectQuery::range(range);
+        let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        let report = verify_select(&cert, &query, &rows, &vo).unwrap();
+        // Reference evaluation on the trusted copy.
+        let expected: Vec<i64> = st.table().rows().iter()
+            .map(|r| r.record.key(st.table().schema()))
+            .filter(|k| range.contains(*k))
+            .collect();
+        let got: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(report.matched, rows.len());
+    }
+
+    #[test]
+    fn honest_multipoint_answers_verify(table in arb_table(), range in arb_range(), cat in 0..4i64) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let cert = o.certificate(&st);
+        let query = SelectQuery::range(range).filter(Predicate::new("cat", CompareOp::Eq, cat));
+        let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        let report = verify_select(&cert, &query, &rows, &vo).unwrap();
+        let in_range = st.table().rows().iter()
+            .filter(|r| range.contains(r.record.key(st.table().schema())))
+            .count();
+        prop_assert_eq!(report.matched + report.filtered, in_range);
+        prop_assert!(rows.iter().all(|r| r.get(1).as_int() == Some(cat)));
+    }
+
+    #[test]
+    fn distinct_projections_verify(table in arb_table(), range in arb_range()) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let cert = o.certificate(&st);
+        let query = SelectQuery::range(range).project(&["cat"]).distinct();
+        let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        let report = verify_select(&cert, &query, &rows, &vo).unwrap();
+        // (cat, k) pairs are unique in the result.
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            let rendered = format!("{r}");
+            let fresh = seen.insert(rendered);
+            prop_assert!(fresh);
+        }
+        prop_assert_eq!(report.matched, rows.len());
+    }
+
+    #[test]
+    fn dropping_any_row_is_rejected(table in arb_table(), range in arb_range(), drop_idx in 0usize..40) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let cert = o.certificate(&st);
+        let query = SelectQuery::range(range);
+        let (mut rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        prop_assume!(!rows.is_empty());
+        let idx = drop_idx % rows.len();
+        rows.remove(idx);
+        prop_assert!(verify_select(&cert, &query, &rows, &vo).is_err());
+    }
+
+    #[test]
+    fn mutating_any_value_is_rejected(table in arb_table(), range in arb_range(), pick in 0usize..1000) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let cert = o.certificate(&st);
+        let query = SelectQuery::range(range);
+        let (mut rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        prop_assume!(!rows.is_empty());
+        let row = pick % rows.len();
+        let col = (pick / 7) % 3;
+        let mut vals = rows[row].values().to_vec();
+        vals[col] = match &vals[col] {
+            Value::Int(v) => Value::Int(v + 1),
+            Value::Text(s) => Value::from(format!("{s}!")),
+            other => other.clone(),
+        };
+        rows[row] = Record::new(vals);
+        prop_assert!(verify_select(&cert, &query, &rows, &vo).is_err());
+    }
+
+    #[test]
+    fn vo_wire_roundtrip_random(table in arb_table(), range in arb_range()) {
+        let o = owner();
+        let st = o.sign_table(table, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+        let query = SelectQuery::range(range);
+        let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
+        let enc = adp::core::wire::encode_vo(&vo);
+        prop_assert_eq!(adp::core::wire::decode_vo(&enc).unwrap(), vo);
+        let enc = adp::core::wire::encode_records(&rows);
+        prop_assert_eq!(adp::core::wire::decode_records(&enc).unwrap(), rows);
+    }
+}
