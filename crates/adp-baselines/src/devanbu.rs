@@ -172,18 +172,26 @@ impl MhtTable {
                 },
             );
         }
-        let rows: Vec<Record> = (lo..=hi).map(|i| self.table.row(i).record.clone()).collect();
+        let rows: Vec<Record> = (lo..=hi)
+            .map(|i| self.table.row(i).record.clone())
+            .collect();
         let fringe = self.tree.prove_range(lo, hi);
         (
             rows,
-            MhtRangeVO { lo: lo as u32, fringe, root_signature: self.root_signature.clone() },
+            MhtRangeVO {
+                lo: lo as u32,
+                fringe,
+                root_signature: self.root_signature.clone(),
+            },
         )
     }
 
     /// Owner-side update: replace the record at `pos`, recomputing the
     /// digest path and re-signing the root.
     pub fn update_record(&mut self, keypair: &Keypair, pos: usize, record: Record) {
-        self.table.update_in_place(pos, record).expect("schema-valid update");
+        self.table
+            .update_in_place(pos, record)
+            .expect("schema-valid update");
         // Rebuild (a real system would update the path in place; the cost
         // accounting below charges only the path, which is what matters
         // for the comparison).
@@ -213,7 +221,10 @@ impl MhtTable {
                 extra_rows += 1;
             }
         }
-        Disclosure { boundary_rows_exposed: extra_rows, projection_supported: false }
+        Disclosure {
+            boundary_rows_exposed: extra_rows,
+            projection_supported: false,
+        }
     }
 }
 
@@ -243,10 +254,17 @@ pub fn verify_range(
         let sentinel = cert.hasher.hash(HashDomain::Leaf, b"\x00__empty_table__");
         let root = root_from_range(&cert.hasher, 1, 0, &[sentinel], &vo.fringe)
             .ok_or(MhtError::RootMismatch)?;
-        if !cert.public_key.verify(&cert.hasher, &root, &vo.root_signature) {
+        if !cert
+            .public_key
+            .verify(&cert.hasher, &root, &vo.root_signature)
+        {
             return Err(MhtError::SignatureInvalid);
         }
-        return if rows.is_empty() { Ok(()) } else { Err(MhtError::NotContiguous) };
+        return if rows.is_empty() {
+            Ok(())
+        } else {
+            Err(MhtError::NotContiguous)
+        };
     }
     if rows.is_empty() {
         return Err(MhtError::EmptyExpansion);
@@ -258,13 +276,25 @@ pub fn verify_range(
                 .hash(HashDomain::Leaf, &crate::wirecompat::encode_record(r))
         })
         .collect();
-    let root = root_from_range(&cert.hasher, cert.row_count, vo.lo as usize, &leaves, &vo.fringe)
-        .ok_or(MhtError::NotContiguous)?;
-    if !cert.public_key.verify(&cert.hasher, &root, &vo.root_signature) {
+    let root = root_from_range(
+        &cert.hasher,
+        cert.row_count,
+        vo.lo as usize,
+        &leaves,
+        &vo.fringe,
+    )
+    .ok_or(MhtError::NotContiguous)?;
+    if !cert
+        .public_key
+        .verify(&cert.hasher, &root, &vo.root_signature)
+    {
         return Err(MhtError::SignatureInvalid);
     }
     // Boundary conditions.
-    let first_key = rows[0].get(key_index).as_int().ok_or(MhtError::BoundaryMissing)?;
+    let first_key = rows[0]
+        .get(key_index)
+        .as_int()
+        .ok_or(MhtError::BoundaryMissing)?;
     let last_key = rows[rows.len() - 1]
         .get(key_index)
         .as_int()
@@ -291,7 +321,12 @@ pub fn verify_range(
 /// user actually wanted).
 pub fn strip_expansion(key_index: usize, range: &KeyRange, rows: &[Record]) -> Vec<Record> {
     rows.iter()
-        .filter(|r| r.get(key_index).as_int().map(|k| range.contains(k)).unwrap_or(false))
+        .filter(|r| {
+            r.get(key_index)
+                .as_int()
+                .map(|k| range.contains(k))
+                .unwrap_or(false)
+        })
         .cloned()
         .collect()
 }
@@ -314,13 +349,19 @@ mod tests {
 
     fn table(n: i64) -> Table {
         let schema = Schema::new(
-            vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Text)],
+            vec![
+                Column::new("k", ValueType::Int),
+                Column::new("v", ValueType::Text),
+            ],
             "k",
         );
         let mut t = Table::new("t", schema);
         for i in 0..n {
-            t.insert(Record::new(vec![Value::Int(i * 10), Value::from(format!("r{i}"))]))
-                .unwrap();
+            t.insert(Record::new(vec![
+                Value::Int(i * 10),
+                Value::from(format!("r{i}")),
+            ]))
+            .unwrap();
         }
         t
     }
@@ -337,7 +378,11 @@ mod tests {
         assert_eq!(rows.last().unwrap().get(0), &Value::Int(130));
         let stripped = strip_expansion(0, &range, &rows);
         assert_eq!(stripped.len(), 8); // 50..=120
-        assert_eq!(mht.disclosure_beyond_query(&range, &rows).boundary_rows_exposed, 2);
+        assert_eq!(
+            mht.disclosure_beyond_query(&range, &rows)
+                .boundary_rows_exposed,
+            2
+        );
     }
 
     #[test]
@@ -345,10 +390,10 @@ mod tests {
         let mht = MhtTable::publish(keypair(), Hasher::default(), table(10));
         let cert = mht.certificate();
         for range in [
-            KeyRange::less_than(30),   // touches the left edge
-            KeyRange::at_least(60),    // touches the right edge
-            KeyRange::all(),           // whole table
-            KeyRange::closed(35, 44),  // empty (between rows)
+            KeyRange::less_than(30),  // touches the left edge
+            KeyRange::at_least(60),   // touches the right edge
+            KeyRange::all(),          // whole table
+            KeyRange::closed(35, 44), // empty (between rows)
         ] {
             let (rows, vo) = mht.answer_range(&range);
             verify_range(&cert, 0, &range, &rows, &vo)
@@ -415,8 +460,8 @@ mod tests {
         mht.update_record(keypair(), 50, new_rec);
         assert_eq!(mht.root_resignatures.get(), 1);
         assert!(mht.update_digests_recomputed.get() >= 7); // ⌈log2 100⌉
-        // Queries still verify after the update (row count unchanged, so
-        // the certificate stays valid; the signed root was refreshed).
+                                                           // Queries still verify after the update (row count unchanged, so
+                                                           // the certificate stays valid; the signed root was refreshed).
         let range = KeyRange::closed(480, 520);
         let (rows, vo) = mht.answer_range(&range);
         verify_range(&cert, 0, &range, &rows, &vo).unwrap();

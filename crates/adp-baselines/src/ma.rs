@@ -8,8 +8,8 @@
 //! undetectable, which the comparison bench demonstrates.
 
 use adp_crypto::{
-    root_from_mixed, AggregateSignature, Digest, HashDomain, Hasher, Keypair, MixedLeaf,
-    PublicKey, Signature,
+    root_from_mixed, AggregateSignature, Digest, HashDomain, Hasher, Keypair, MixedLeaf, PublicKey,
+    Signature,
 };
 use adp_relation::{KeyRange, Record, Table};
 
@@ -73,7 +73,12 @@ impl MaTable {
             .iter()
             .map(|r| keypair.sign(&hasher, &row_root(&hasher, &r.record)))
             .collect();
-        MaTable { table, signatures, public_key: keypair.public().clone(), hasher }
+        MaTable {
+            table,
+            signatures,
+            public_key: keypair.public().clone(),
+            hasher,
+        }
     }
 
     /// The underlying table.
@@ -83,7 +88,10 @@ impl MaTable {
 
     /// User-facing certificate.
     pub fn certificate(&self) -> MaCertificate {
-        MaCertificate { public_key: self.public_key.clone(), hasher: self.hasher }
+        MaCertificate {
+            public_key: self.public_key.clone(),
+            hasher: self.hasher,
+        }
     }
 
     /// Bytes the owner ships: one signature per row.
@@ -94,11 +102,7 @@ impl MaTable {
     /// Publisher-side: answers a range query with projected rows and the
     /// authenticity VO. **Completeness is not provable** — a malicious
     /// publisher can silently drop rows (see the comparison bench).
-    pub fn answer_range(
-        &self,
-        range: &KeyRange,
-        projection: &[usize],
-    ) -> (Vec<Record>, MaVO) {
+    pub fn answer_range(&self, range: &KeyRange, projection: &[usize]) -> (Vec<Record>, MaVO) {
         let (start, end) = self.table.key_range_positions(range.lo, range.hi);
         let mut rows = Vec::with_capacity(end - start);
         let mut proofs = Vec::with_capacity(end - start);
@@ -123,7 +127,13 @@ impl MaTable {
         } else {
             Some(AggregateSignature::combine(&self.public_key, &sigs))
         };
-        (rows, MaVO { rows: proofs, aggregate })
+        (
+            rows,
+            MaVO {
+                rows: proofs,
+                aggregate,
+            },
+        )
     }
 }
 

@@ -56,8 +56,7 @@ pub struct VbVO {
 impl VbVO {
     /// Approximate wire size.
     pub fn wire_size(&self) -> usize {
-        13 + (self.complement_left.len() + self.complement_right.len())
-            * (self.hash_len() + 1)
+        13 + (self.complement_left.len() + self.complement_right.len()) * (self.hash_len() + 1)
             + self.signature.byte_len()
     }
 
@@ -168,7 +167,9 @@ impl VbTree {
         }
         let node = lo / self.fanout.pow(level as u32);
         let (span_lo, span_hi) = self.span(level, node);
-        let rows: Vec<Record> = (lo..=hi).map(|i| self.table.row(i).record.clone()).collect();
+        let rows: Vec<Record> = (lo..=hi)
+            .map(|i| self.table.row(i).record.clone())
+            .collect();
         let vo = VbVO {
             level: level as u32,
             node: node as u32,

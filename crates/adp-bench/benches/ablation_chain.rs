@@ -19,7 +19,9 @@ fn build_and_probe(config: SchemeConfig, width_pow: u32) -> (u64, u64, f64) {
     let mut table = Table::new("abl", schema);
     let mid = domain.key_min() + (domain.key_max() - domain.key_min()) / 2;
     for i in 0..3i64 {
-        table.insert(Record::new(vec![Value::Int(mid + i)])).unwrap();
+        table
+            .insert(Record::new(vec![Value::Int(mid + i)]))
+            .unwrap();
     }
     let owner = bench_owner_small();
     adp_crypto::reset_hash_ops();
@@ -39,13 +41,7 @@ fn build_and_probe(config: SchemeConfig, width_pow: u32) -> (u64, u64, f64) {
 
 fn main() {
     println!("\n=== Ablation: conceptual chains vs base-B optimization ===\n");
-    let t = TablePrinter::new(&[
-        "mode",
-        "domain",
-        "owner ops/rec",
-        "verify ops",
-        "verify ms",
-    ]);
+    let t = TablePrinter::new(&["mode", "domain", "owner ops/rec", "verify ops", "verify ms"]);
     for width_pow in [8u32, 12, 16, 20] {
         let (s, v, ms) = build_and_probe(SchemeConfig::conceptual(), width_pow);
         t.row(&[

@@ -7,8 +7,8 @@
 //! boundary tuples exposed), projection support, and the owner's
 //! dissemination size.
 
-use adp_bench::{bench_owner_small, ms, TablePrinter, WorkloadSpec};
 use adp_baselines::{devanbu, ma, vbtree};
+use adp_bench::{bench_owner_small, ms, TablePrinter, WorkloadSpec};
 use adp_core::prelude::*;
 use adp_core::wire;
 use adp_crypto::Hasher;
@@ -41,9 +41,17 @@ fn main() {
 
     println!("Owner dissemination (signatures shipped to the publisher):");
     let t = TablePrinter::new(&["scheme", "bytes", "signatures"]);
-    t.row(&["sig-chain", &st.dissemination_size().to_string(), &(N + 2).to_string()]);
+    t.row(&[
+        "sig-chain",
+        &st.dissemination_size().to_string(),
+        &(N + 2).to_string(),
+    ]);
     t.row(&["devanbu-mht", &mht.dissemination_size().to_string(), "1"]);
-    t.row(&["ma-aggregate", &ma_table.dissemination_size().to_string(), &N.to_string()]);
+    t.row(&[
+        "ma-aggregate",
+        &ma_table.dissemination_size().to_string(),
+        &N.to_string(),
+    ]);
     t.row(&[
         "vb-tree",
         &vb.dissemination_size().to_string(),
@@ -89,7 +97,9 @@ fn main() {
         for _ in 0..iters {
             devanbu::verify_range(&mht_cert, 0, &range, &rows, &mvo).unwrap();
         }
-        let leaked = mht.disclosure_beyond_query(&range, &rows).boundary_rows_exposed;
+        let leaked = mht
+            .disclosure_beyond_query(&range, &rows)
+            .boundary_rows_exposed;
         t.row(&[
             "devanbu-mht",
             &mvo.wire_size().to_string(),
@@ -143,10 +153,24 @@ fn main() {
     let narrower = KeyRange::closed(domain.key_min(), domain.key_min() + 480);
     let (ma_rows, ma_vo) = ma_table.answer_range(&narrower, &proj);
     let ok = ma::verify_range(&ma_cert, &proj, 3, &ma_rows, &ma_vo).is_ok();
-    t.row(&["ma-aggregate", if ok { "NO (passes verification)" } else { "yes" }]);
+    t.row(&[
+        "ma-aggregate",
+        if ok {
+            "NO (passes verification)"
+        } else {
+            "yes"
+        },
+    ]);
     let (vb_rows, vb_vo) = vb.answer_range(&narrower);
     let ok = vbtree::verify_range(&vb_cert, &vb_rows, &vb_vo).is_ok();
-    t.row(&["vb-tree", if ok { "NO (passes verification)" } else { "yes" }]);
+    t.row(&[
+        "vb-tree",
+        if ok {
+            "NO (passes verification)"
+        } else {
+            "yes"
+        },
+    ]);
     let _ = range;
     println!(
         "\n(*) The original VB-tree works at attribute granularity; this\n\

@@ -78,12 +78,14 @@ fn main() {
             let m = costmodel::paper_m(base, 1u64 << 32);
             let formula_ops = costmodel::cuser_hashes(base, m, q);
             let projected = ops as f64 * params.c_hash_us / 1000.0 + params.c_sign_ms;
-            let cells = [base.to_string(),
+            let cells = [
+                base.to_string(),
                 q.to_string(),
                 ops.to_string(),
                 formula_ops.to_string(),
                 format!("{measured_ms:.3}"),
-                f2(projected)];
+                f2(projected),
+            ];
             t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
         }
     }

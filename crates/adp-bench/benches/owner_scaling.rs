@@ -4,7 +4,7 @@
 //! The paper's Section 6.3 frames owner costs as "analogous to creating
 //! B+-trees on those attributes"; this harness quantifies them for this
 //! implementation: signature-chain construction is embarrassingly parallel
-//! per record (crossbeam fan-out in `Owner::sign_table`), and the shipped
+//! per record (scoped-thread fan-out in `Owner::sign_table`), and the shipped
 //! material is one signature per record (+2 delimiters).
 
 use adp_bench::{bench_owner_small, f2, TablePrinter, WorkloadSpec};

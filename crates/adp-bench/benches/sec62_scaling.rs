@@ -17,7 +17,10 @@ use std::time::Instant;
 fn main() {
     let params = CostParams::default();
     let (slope, intercept) = costmodel::sec62_linear_form(&params);
-    println!("\n=== Section 6.2: C_user = {:.1} q + {:.1} ms (paper: 6.8 q + 8.7) ===\n", slope, intercept);
+    println!(
+        "\n=== Section 6.2: C_user = {:.1} q + {:.1} ms (paper: 6.8 q + 8.7) ===\n",
+        slope, intercept
+    );
 
     // Build: B = 2 over a 2^32 domain (m = 32), 1100 records.
     let domain = Domain::new(0, (1i64 << 32) + 4);
@@ -59,12 +62,14 @@ fn main() {
         let measured_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
         let paper_ms = costmodel::cuser_ms(&params, 2, 32, q);
         let projected = ops as f64 * params.c_hash_us / 1000.0 + params.c_sign_ms;
-        let cells = [q.to_string(),
+        let cells = [
+            q.to_string(),
             f2(paper_ms),
             costmodel::cuser_hashes(2, 32, q).to_string(),
             ops.to_string(),
             f2(projected),
-            format!("{measured_ms:.3}")];
+            format!("{measured_ms:.3}"),
+        ];
         t.row(&cells.iter().map(String::as_str).collect::<Vec<_>>());
     }
     println!(

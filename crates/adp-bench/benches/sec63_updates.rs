@@ -11,8 +11,8 @@
 //!   wall time;
 //! * Devanbu MHT: digest path length recomputed, root re-signs, wall time.
 
-use adp_bench::{bench_owner_small, ms, TablePrinter, WorkloadSpec};
 use adp_baselines::devanbu::MhtTable;
+use adp_bench::{bench_owner_small, ms, TablePrinter, WorkloadSpec};
 use adp_core::prelude::*;
 use adp_crypto::Hasher;
 use adp_relation::{Record, Value};

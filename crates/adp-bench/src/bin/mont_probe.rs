@@ -8,18 +8,26 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     for bits in [512usize, 1024] {
         let mut m = BigUint::random_bits(&mut rng, bits);
-        if m.is_even() { m = m.add(&BigUint::one()); }
+        if m.is_even() {
+            m = m.add(&BigUint::one());
+        }
         let base = BigUint::random_below(&mut rng, &m);
         let exp = BigUint::random_bits(&mut rng, bits);
         let iters = 20;
         let t = Instant::now();
-        for _ in 0..iters { std::hint::black_box(base.mod_pow_plain(&exp, &m)); }
+        for _ in 0..iters {
+            std::hint::black_box(base.mod_pow_plain(&exp, &m));
+        }
         let plain = t.elapsed() / iters;
         let ctx = MontgomeryCtx::new(&m).unwrap();
         let t = Instant::now();
-        for _ in 0..iters { std::hint::black_box(ctx.mod_pow(&base, &exp)); }
+        for _ in 0..iters {
+            std::hint::black_box(ctx.mod_pow(&base, &exp));
+        }
         let mont = t.elapsed() / iters;
-        println!("{bits}-bit modpow: plain {plain:?}  montgomery {mont:?}  speedup {:.1}x",
-                 plain.as_secs_f64() / mont.as_secs_f64());
+        println!(
+            "{bits}-bit modpow: plain {plain:?}  montgomery {mont:?}  speedup {:.1}x",
+            plain.as_secs_f64() / mont.as_secs_f64()
+        );
     }
 }

@@ -48,7 +48,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A spec with sensible defaults.
     pub fn new(rows: usize) -> Self {
-        WorkloadSpec { rows, payload_bytes: 64, dist: KeyDist::Spaced { gap: 10 }, seed: 42 }
+        WorkloadSpec {
+            rows,
+            payload_bytes: 64,
+            dist: KeyDist::Spaced { gap: 10 },
+            seed: 42,
+        }
     }
 
     /// Builder: payload size.
@@ -79,9 +84,7 @@ impl WorkloadSpec {
     pub fn build(&self) -> (Table, Domain) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let domain = match self.dist {
-            KeyDist::Spaced { gap } => {
-                Domain::new(0, (self.rows as i64 + 2) * gap.max(1) + 4)
-            }
+            KeyDist::Spaced { gap } => Domain::new(0, (self.rows as i64 + 2) * gap.max(1) + 4),
             KeyDist::Uniform | KeyDist::Clustered | KeyDist::Zipf => Domain::new(0, 1 << 24),
         };
         let mut t = Table::new("bench", Self::schema());
@@ -217,7 +220,10 @@ mod tests {
     fn spaced_workload_has_deterministic_selectivity() {
         let (t, domain) = WorkloadSpec::new(100).build();
         assert_eq!(t.len(), 100);
-        assert!(t.rows().iter().all(|r| domain.contains_key(r.record.key(t.schema()))));
+        assert!(t
+            .rows()
+            .iter()
+            .all(|r| domain.contains_key(r.record.key(t.schema()))));
         // Keys at key_min, key_min+10, ...
         assert_eq!(t.rows()[0].record.key(t.schema()), domain.key_min());
         assert_eq!(t.rows()[99].record.key(t.schema()), domain.key_min() + 990);
@@ -234,7 +240,10 @@ mod tests {
         let (t, _) = WorkloadSpec::new(400).dist(KeyDist::Zipf).build();
         // The hottest key should have many replicas.
         let max_replica = t.rows().iter().map(|r| r.replica).max().unwrap();
-        assert!(max_replica >= 10, "zipf should duplicate hot keys, got {max_replica}");
+        assert!(
+            max_replica >= 10,
+            "zipf should duplicate hot keys, got {max_replica}"
+        );
     }
 
     #[test]
@@ -242,7 +251,10 @@ mod tests {
         for dist in [KeyDist::Uniform, KeyDist::Clustered, KeyDist::Zipf] {
             let (t, domain) = WorkloadSpec::new(50).dist(dist).build();
             assert_eq!(t.len(), 50);
-            assert!(t.rows().iter().all(|r| domain.contains_key(r.record.key(t.schema()))));
+            assert!(t
+                .rows()
+                .iter()
+                .all(|r| domain.contains_key(r.record.key(t.schema()))));
         }
     }
 

@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn quoted_fields() {
         assert_eq!(parse_line("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
-        assert_eq!(parse_line("\"he said \"\"hi\"\"\"").unwrap(), vec!["he said \"hi\""]);
+        assert_eq!(
+            parse_line("\"he said \"\"hi\"\"\"").unwrap(),
+            vec!["he said \"hi\""]
+        );
         assert_eq!(parse_line("a,\"\"").unwrap(), vec!["a", ""]);
     }
 

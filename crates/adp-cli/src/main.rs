@@ -216,7 +216,9 @@ fn load_csv_table(path: &Path, key_col: &str) -> Result<(Table, String), String>
                 _ => Value::Text(f.clone()),
             })
             .collect();
-        table.insert(Record::new(values)).map_err(|e| e.to_string())?;
+        table
+            .insert(Record::new(values))
+            .map_err(|e| e.to_string())?;
     }
     Ok((table, text))
 }
@@ -287,7 +289,10 @@ fn value_to_text(v: &Value) -> String {
         Value::Int(i) => i.to_string(),
         Value::Text(s) => s.clone(),
         Value::Bool(b) => b.to_string(),
-        Value::Bytes(b) => format!("0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+        Value::Bytes(b) => format!(
+            "0x{}",
+            b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+        ),
     }
 }
 

@@ -45,8 +45,17 @@ fn sample_csv(dir: &Path) {
 fn publish(dir: &Path) {
     let out = adp(
         &[
-            "publish", "--csv", "emp.csv", "--key", "salary", "--domain", "0..100000",
-            "--out", "pub", "--bits", "512",
+            "publish",
+            "--csv",
+            "emp.csv",
+            "--key",
+            "salary",
+            "--domain",
+            "0..100000",
+            "--out",
+            "pub",
+            "--bits",
+            "512",
         ],
         dir,
     );
@@ -63,7 +72,9 @@ fn publish_query_verify_roundtrip() {
     }
 
     let out = adp(
-        &["query", "--dir", "pub", "--range", "0..10000", "--out", "ans"],
+        &[
+            "query", "--dir", "pub", "--range", "0..10000", "--out", "ans",
+        ],
         &dir,
     );
     assert_ok(&out, "query");
@@ -74,8 +85,13 @@ fn publish_query_verify_roundtrip() {
 
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "0..10000",
-            "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
@@ -90,16 +106,30 @@ fn projection_flag_flows_through() {
     publish(&dir);
     let out = adp(
         &[
-            "query", "--dir", "pub", "--range", "0..10000", "--project", "name",
-            "--out", "ans",
+            "query",
+            "--dir",
+            "pub",
+            "--range",
+            "0..10000",
+            "--project",
+            "name",
+            "--out",
+            "ans",
         ],
         &dir,
     );
     assert_ok(&out, "query");
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "0..10000",
-            "--project", "name", "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--project",
+            "name",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
@@ -107,12 +137,20 @@ fn projection_flag_flows_through() {
     // Wrong projection on the verifier side must fail.
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "0..10000",
-            "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
-    assert!(!out.status.success(), "projection mismatch must be rejected");
+    assert!(
+        !out.status.success(),
+        "projection mismatch must be rejected"
+    );
 }
 
 #[test]
@@ -121,14 +159,27 @@ fn empty_range_verifies() {
     sample_csv(&dir);
     publish(&dir);
     let out = adp(
-        &["query", "--dir", "pub", "--range", "4000..8000", "--out", "ans"],
+        &[
+            "query",
+            "--dir",
+            "pub",
+            "--range",
+            "4000..8000",
+            "--out",
+            "ans",
+        ],
         &dir,
     );
     assert_ok(&out, "query");
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "4000..8000",
-            "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "4000..8000",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
@@ -142,7 +193,12 @@ fn tampered_answer_rejected() {
     sample_csv(&dir);
     publish(&dir);
     assert_ok(
-        &adp(&["query", "--dir", "pub", "--range", "0..10000", "--out", "ans"], &dir),
+        &adp(
+            &[
+                "query", "--dir", "pub", "--range", "0..10000", "--out", "ans",
+            ],
+            &dir,
+        ),
         "query",
     );
     // Flip a byte in the result.
@@ -153,8 +209,13 @@ fn tampered_answer_rejected() {
     fs::write(&path, bytes).unwrap();
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "0..10000",
-            "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
@@ -169,17 +230,30 @@ fn range_replay_rejected() {
     sample_csv(&dir);
     publish(&dir);
     assert_ok(
-        &adp(&["query", "--dir", "pub", "--range", "0..10000", "--out", "ans"], &dir),
+        &adp(
+            &[
+                "query", "--dir", "pub", "--range", "0..10000", "--out", "ans",
+            ],
+            &dir,
+        ),
         "query",
     );
     let out = adp(
         &[
-            "verify", "--cert", "pub/certificate.bin", "--range", "0..13000",
-            "--answer", "ans",
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..13000",
+            "--answer",
+            "ans",
         ],
         &dir,
     );
-    assert!(!out.status.success(), "answer for a narrower range must not verify");
+    assert!(
+        !out.status.success(),
+        "answer for a narrower range must not verify"
+    );
 }
 
 #[test]
@@ -193,10 +267,15 @@ fn corrupted_publication_refused_by_publisher() {
     let text = fs::read_to_string(&table_path).unwrap();
     fs::write(&table_path, text.replace("8010", "8011")).unwrap();
     let out = adp(
-        &["query", "--dir", "pub", "--range", "0..10000", "--out", "ans"],
+        &[
+            "query", "--dir", "pub", "--range", "0..10000", "--out", "ans",
+        ],
         &dir,
     );
-    assert!(!out.status.success(), "publisher must refuse unverifiable data");
+    assert!(
+        !out.status.success(),
+        "publisher must refuse unverifiable data"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("does not match its signatures"));
 }
 
@@ -207,7 +286,9 @@ fn bad_flags_reported() {
     let out = adp(&["publish", "--csv", "emp.csv"], &dir);
     assert!(!out.status.success());
     let out = adp(
-        &["publish", "--csv", "emp.csv", "--key", "name", "--domain", "0..10", "--out", "p"],
+        &[
+            "publish", "--csv", "emp.csv", "--key", "name", "--domain", "0..10", "--out", "p",
+        ],
         &dir,
     );
     assert!(!out.status.success(), "text key column rejected");

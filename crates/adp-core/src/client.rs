@@ -29,9 +29,13 @@ pub enum ClientError {
     Publish(PublishError),
     Verify(VerifyError),
     /// The aggregate referenced a column absent from the result.
-    BadAggregateColumn { column: String },
+    BadAggregateColumn {
+        column: String,
+    },
     /// The aggregate requires numeric values.
-    NonNumericColumn { column: String },
+    NonNumericColumn {
+        column: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -104,7 +108,10 @@ impl Client {
     /// Creates a client trusting `cert` (obtained from the owner over an
     /// authenticated channel).
     pub fn new(cert: Certificate) -> Self {
-        Client { cert, stats: SessionStats::default() }
+        Client {
+            cert,
+            stats: SessionStats::default(),
+        }
     }
 
     /// The certificate in use.
@@ -156,13 +163,15 @@ impl Client {
         template: &SelectQuery,
     ) -> Result<VerifiedResult, ClientError> {
         let mut below = template.clone();
-        below.range = template
-            .range
-            .intersect(&KeyRange { lo: Bound::Unbounded, hi: Bound::Excluded(alpha) });
+        below.range = template.range.intersect(&KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(alpha),
+        });
         let mut above = template.clone();
-        above.range = template
-            .range
-            .intersect(&KeyRange { lo: Bound::Excluded(alpha), hi: Bound::Unbounded });
+        above.range = template.range.intersect(&KeyRange {
+            lo: Bound::Excluded(alpha),
+            hi: Bound::Unbounded,
+        });
         let lo = self.select(publisher, &below)?;
         let hi = self.select(publisher, &above)?;
         let mut rows = lo.rows;
@@ -205,22 +214,30 @@ impl Client {
             return Ok(AggregateValue::Count(verified.rows.len() as u64));
         }
         // Locate the column in the effective projection.
-        let proj = crate::publisher::effective_projection(&self.cert.schema, &q.projection, &q.filters)
-            .ok_or_else(|| ClientError::BadAggregateColumn { column: column.to_string() })?;
-        let col_idx = self
-            .cert
-            .schema
-            .column_index(column)
-            .ok_or_else(|| ClientError::BadAggregateColumn { column: column.to_string() })?;
-        let slot = proj
-            .iter()
-            .position(|&c| c == col_idx)
-            .ok_or_else(|| ClientError::BadAggregateColumn { column: column.to_string() })?;
+        let proj =
+            crate::publisher::effective_projection(&self.cert.schema, &q.projection, &q.filters)
+                .ok_or_else(|| ClientError::BadAggregateColumn {
+                    column: column.to_string(),
+                })?;
+        let col_idx = self.cert.schema.column_index(column).ok_or_else(|| {
+            ClientError::BadAggregateColumn {
+                column: column.to_string(),
+            }
+        })?;
+        let slot = proj.iter().position(|&c| c == col_idx).ok_or_else(|| {
+            ClientError::BadAggregateColumn {
+                column: column.to_string(),
+            }
+        })?;
         let mut values = Vec::with_capacity(verified.rows.len());
         for r in &verified.rows {
             match r.get(slot) {
                 Value::Int(v) => values.push(*v),
-                _ => return Err(ClientError::NonNumericColumn { column: column.to_string() }),
+                _ => {
+                    return Err(ClientError::NonNumericColumn {
+                        column: column.to_string(),
+                    })
+                }
             }
         }
         Ok(match kind {
@@ -294,7 +311,11 @@ mod tests {
             .unwrap();
         }
         let st = owner()
-            .sign_table(t, crate::domain::Domain::new(0, 1_000), SchemeConfig::default())
+            .sign_table(
+                t,
+                crate::domain::Domain::new(0, 1_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         let cert = owner().certificate(&st);
         (st, cert)
@@ -349,23 +370,33 @@ mod tests {
         let q = SelectQuery::range(KeyRange::closed(0, 100));
         // Rows k=5..95: amounts 0,100,…,900.
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Count).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Count)
+                .unwrap(),
             AggregateValue::Count(10)
         );
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Sum).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Sum)
+                .unwrap(),
             AggregateValue::Sum(4_500)
         );
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Min).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Min)
+                .unwrap(),
             AggregateValue::Min(Some(0))
         );
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Max).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Max)
+                .unwrap(),
             AggregateValue::Max(Some(900))
         );
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Avg).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Avg)
+                .unwrap(),
             AggregateValue::Avg(Some(450.0))
         );
     }
@@ -377,11 +408,15 @@ mod tests {
         let publisher = Publisher::new(&st);
         let q = SelectQuery::range(KeyRange::closed(996, 998));
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Sum).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Sum)
+                .unwrap(),
             AggregateValue::Sum(0)
         );
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Avg).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Avg)
+                .unwrap(),
             AggregateValue::Avg(None)
         );
     }
@@ -396,7 +431,9 @@ mod tests {
             .project(&["k"]);
         // Even rows: amounts 0,200,…,1800 → sum 9000.
         assert_eq!(
-            client.aggregate(&publisher, &q, "amount", AggregateKind::Sum).unwrap(),
+            client
+                .aggregate(&publisher, &q, "amount", AggregateKind::Sum)
+                .unwrap(),
             AggregateValue::Sum(9_000)
         );
     }
@@ -427,7 +464,11 @@ mod tests {
             let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
             let t = Table::new("ledger", schema);
             other
-                .sign_table(t, crate::domain::Domain::new(0, 1_000), SchemeConfig::default())
+                .sign_table(
+                    t,
+                    crate::domain::Domain::new(0, 1_000),
+                    SchemeConfig::default(),
+                )
                 .unwrap()
         };
         let mut client = Client::new(other.certificate(&other_st));

@@ -36,7 +36,12 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { c_hash_us: 50.0, c_sign_ms: 5.0, m_digest_bits: 128, m_sign_bits: 1024 }
+        CostParams {
+            c_hash_us: 50.0,
+            c_sign_ms: 5.0,
+            m_digest_bits: 128,
+            m_sign_bits: 1024,
+        }
     }
 }
 
@@ -147,8 +152,7 @@ pub fn sec62_linear_form(params: &CostParams) -> (f64, f64) {
     let base = 2u32;
     let m = 32u32;
     let per_entry = 2.0 * (base as f64 * (m as f64 + 1.0) + 2.0) * params.c_hash_us / 1_000.0;
-    let constant = (base as f64 * (m as f64 + 1.0) + ceil_log2(m) as f64 + 3.0)
-        * params.c_hash_us
+    let constant = (base as f64 * (m as f64 + 1.0) + ceil_log2(m) as f64 + 3.0) * params.c_hash_us
         / 1_000.0
         + params.c_sign_ms;
     (per_entry, constant)

@@ -163,7 +163,12 @@ fn node_digest(
     let parent_d = adjacency_digest(hasher, parents);
     hasher.hash_parts(
         HashDomain::Link,
-        &[&id.to_le_bytes(), payload_d.as_bytes(), child_d.as_bytes(), parent_d.as_bytes()],
+        &[
+            &id.to_le_bytes(),
+            payload_d.as_bytes(),
+            child_d.as_bytes(),
+            parent_d.as_bytes(),
+        ],
     )
 }
 
@@ -222,16 +227,15 @@ impl SignedDag {
     pub fn publish(keypair: &Keypair, hasher: Hasher, dag: Dag) -> Self {
         let mut signatures = BTreeMap::new();
         for (id, payload) in &dag.nodes {
-            let g = node_digest(
-                &hasher,
-                *id,
-                payload,
-                &dag.children[id],
-                &dag.parents[id],
-            );
+            let g = node_digest(&hasher, *id, payload, &dag.children[id], &dag.parents[id]);
             signatures.insert(*id, keypair.sign(&hasher, &g));
         }
-        SignedDag { dag, signatures, public_key: keypair.public().clone(), hasher }
+        SignedDag {
+            dag,
+            signatures,
+            public_key: keypair.public().clone(),
+            hasher,
+        }
     }
 
     /// The underlying DAG.
@@ -241,12 +245,19 @@ impl SignedDag {
 
     /// User-facing certificate.
     pub fn certificate(&self) -> DagCertificate {
-        DagCertificate { public_key: self.public_key.clone(), hasher: self.hasher }
+        DagCertificate {
+            public_key: self.public_key.clone(),
+            hasher: self.hasher,
+        }
     }
 
     /// Publisher-side: answers "neighbourhood of `v`".
     pub fn answer_neighbourhood(&self, id: NodeId) -> Result<NeighbourhoodProof, DagError> {
-        let payload = self.dag.payload(id).ok_or(DagError::UnknownNode(id))?.to_vec();
+        let payload = self
+            .dag
+            .payload(id)
+            .ok_or(DagError::UnknownNode(id))?
+            .to_vec();
         Ok(NeighbourhoodProof {
             payload,
             children: self.dag.children_of(id).unwrap(),
@@ -305,7 +316,13 @@ fn rebuild_digest(
 ) -> Result<Digest, DagVerifyError> {
     let children = sorted_set(&proof.children)?;
     let parents = sorted_set(&proof.parents)?;
-    Ok(node_digest(&cert.hasher, id, &proof.payload, &children, &parents))
+    Ok(node_digest(
+        &cert.hasher,
+        id,
+        &proof.payload,
+        &children,
+        &parents,
+    ))
 }
 
 fn sorted_set(ids: &[NodeId]) -> Result<BTreeSet<NodeId>, DagVerifyError> {
@@ -464,7 +481,7 @@ mod tests {
     fn frontier_expansion_verifies() {
         let sd = SignedDag::publish(keypair(), Hasher::default(), diamond());
         let cert = sd.certificate();
-        let (proofs, agg) = sd.answer_frontier(&[1], 2, ).unwrap();
+        let (proofs, agg) = sd.answer_frontier(&[1], 2).unwrap();
         // Depth 2 from node 1: {1, 2, 3, 4}.
         let ids: BTreeSet<NodeId> = proofs.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids, BTreeSet::from([1, 2, 3, 4]));

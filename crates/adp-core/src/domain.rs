@@ -226,7 +226,11 @@ mod tests {
         // (k - β - 1) + (β - L) must equal k - L - 1 for all honest pairs.
         for (k, beta) in [(12_100i64, 10_000i64), (50, 2), (99_998, 99_997)] {
             let e = d.delta_down_evidence(k, beta).unwrap();
-            assert_eq!(e + d.delta_down_query(beta), d.delta_down(k), "k={k} β={beta}");
+            assert_eq!(
+                e + d.delta_down_query(beta),
+                d.delta_down(k),
+                "k={k} β={beta}"
+            );
         }
     }
 
@@ -259,7 +263,10 @@ mod tests {
         assert_eq!((b.alpha, b.beta), (42, 42));
         // Empty by construction.
         assert!(d
-            .normalize(&KeyRange { lo: Bound::Excluded(5), hi: Bound::Excluded(6) })
+            .normalize(&KeyRange {
+                lo: Bound::Excluded(5),
+                hi: Bound::Excluded(6)
+            })
             .is_none());
         assert!(d.normalize(&KeyRange::closed(10, 5)).is_none());
         // Clamping out-of-domain bounds.

@@ -75,17 +75,29 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::ExpectedEmptyResult => {
-                write!(f, "query range is empty by construction but rows were returned")
+                write!(
+                    f,
+                    "query range is empty by construction but rows were returned"
+                )
             }
             VerifyError::VoShapeMismatch { detail } => write!(f, "VO shape mismatch: {detail}"),
             VerifyError::KeyOutOfRange { key } => {
-                write!(f, "record key {key} outside the query range (precision violation)")
+                write!(
+                    f,
+                    "record key {key} outside the query range (precision violation)"
+                )
             }
             VerifyError::FilterViolation { entry } => {
-                write!(f, "result entry {entry} fails the query filters (precision violation)")
+                write!(
+                    f,
+                    "result entry {entry} fails the query filters (precision violation)"
+                )
             }
             VerifyError::FilteredNotProven { entry } => {
-                write!(f, "filtered entry {entry} does not prove any failing predicate")
+                write!(
+                    f,
+                    "filtered entry {entry} does not prove any failing predicate"
+                )
             }
             VerifyError::UnexpectedFilteredEntry { entry } => {
                 write!(f, "filtered entry {entry} in a non-multipoint query")
@@ -120,10 +132,16 @@ impl fmt::Display for VerifyError {
                 write!(f, "DISTINCT violation: {detail}")
             }
             VerifyError::DuplicateRefInvalid { entry } => {
-                write!(f, "duplicate entry {entry} references a nonexistent result row")
+                write!(
+                    f,
+                    "duplicate entry {entry} references a nonexistent result row"
+                )
             }
             VerifyError::DuplicateMismatch { entry } => {
-                write!(f, "duplicate entry {entry} does not match its referenced row")
+                write!(
+                    f,
+                    "duplicate entry {entry} does not match its referenced row"
+                )
             }
             VerifyError::KeyColumnMissing => {
                 write!(f, "the key column is missing from the projected result")

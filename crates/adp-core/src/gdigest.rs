@@ -23,9 +23,7 @@
 use crate::domain::{key_bytes, Domain};
 use crate::repr::Radix;
 use crate::scheme::{Mode, SchemeConfig};
-use adp_crypto::{
-    chain_from_value, hasher::HashDomain, Digest, Hasher, MerkleTree,
-};
+use adp_crypto::{chain_from_value, hasher::HashDomain, Digest, Hasher, MerkleTree};
 use adp_relation::{Record, Schema, Value};
 
 /// Chain direction.
@@ -242,7 +240,10 @@ pub fn attr_tree(hasher: &Hasher, schema: &Schema, record: &Record) -> MerkleTre
         .map(|(_, v)| hasher.hash(HashDomain::Leaf, &attr_leaf_bytes(v)))
         .collect();
     if leaves.is_empty() {
-        MerkleTree::build(*hasher, vec![hasher.hash(HashDomain::Leaf, b"\x00__no_attrs__")])
+        MerkleTree::build(
+            *hasher,
+            vec![hasher.hash(HashDomain::Leaf, b"\x00__no_attrs__")],
+        )
     } else {
         MerkleTree::build(*hasher, leaves)
     }

@@ -130,13 +130,20 @@ pub fn answer_pkfk_join(
             }
             hidden.push((
                 crate::publisher::attr_position(s_schema, col),
-                hasher.hash(adp_crypto::HashDomain::Leaf, &s_row.record.get(col).encode()),
+                hasher.hash(
+                    adp_crypto::HashDomain::Leaf,
+                    &s_row.record.get(col).encode(),
+                ),
             ));
         }
         inner.push(InnerRecordProof {
             record: record.clone(),
             chains,
-            attrs: AttrProof { disclosed: Vec::new(), hidden, root: entry.g.attrs },
+            attrs: AttrProof {
+                disclosed: Vec::new(),
+                hidden,
+                root: entry.g.attrs,
+            },
             prev_g: s_st.g_bytes(cp - 1),
             next_g: s_st.g_bytes(cp + 1),
         });
@@ -151,12 +158,21 @@ pub fn answer_pkfk_join(
             &sigs,
         )))
     } else {
-        Some(SignatureProof::Individual(sigs.into_iter().cloned().collect()))
+        Some(SignatureProof::Individual(
+            sigs.into_iter().cloned().collect(),
+        ))
     };
 
     Ok((
-        PkFkJoinResult { outer_rows, inner_rows },
-        PkFkJoinVO { outer: outer_vo, inner, inner_signatures },
+        PkFkJoinResult {
+            outer_rows,
+            inner_rows,
+        },
+        PkFkJoinVO {
+            outer: outer_vo,
+            inner,
+            inner_signatures,
+        },
     ))
 }
 
@@ -181,8 +197,10 @@ pub fn verify_pkfk_join(
 
     // 2. Inner authenticity: each distinct S record's signature link.
     let s_schema = &s_cert.schema;
-    let s_proj = effective_projection(s_schema, s_projection, &[])
-        .ok_or(VerifyError::Unsupported { detail: "inner projection names unknown column" })?;
+    let s_proj =
+        effective_projection(s_schema, s_projection, &[]).ok_or(VerifyError::Unsupported {
+            detail: "inner projection names unknown column",
+        })?;
     let pk_slot = s_proj
         .iter()
         .position(|&c| c == s_schema.key_index())
@@ -215,7 +233,9 @@ pub fn verify_pkfk_join(
             .record
             .get(pk_slot)
             .as_int()
-            .ok_or(VerifyError::JoinInnerInvalid { detail: format!("inner row {i} has no key") })?;
+            .ok_or(VerifyError::JoinInnerInvalid {
+                detail: format!("inner row {i} has no key"),
+            })?;
         if !seen_keys.insert(key) {
             return Err(VerifyError::JoinInnerInvalid {
                 detail: format!("duplicate inner key {key}"),
@@ -300,10 +320,16 @@ pub fn verify_pkfk_join(
                 ),
             ),
             _ => {
-                return Err(VerifyError::VoShapeMismatch { detail: "inner chain mode mismatch" })
+                return Err(VerifyError::VoShapeMismatch {
+                    detail: "inner chain mode mismatch",
+                })
             }
         };
-        let g = crate::gdigest::GDigest { up, down, attrs: attr_root };
+        let g = crate::gdigest::GDigest {
+            up,
+            down,
+            attrs: attr_root,
+        };
         if proof.prev_g.is_empty() || proof.next_g.is_empty() {
             return Err(VerifyError::JoinInnerInvalid {
                 detail: "inner proof lacks neighbour context".into(),
@@ -319,7 +345,10 @@ pub fn verify_pkfk_join(
     match (&vo.inner_signatures, links.is_empty()) {
         (None, true) => {}
         (None, false) => {
-            return Err(VerifyError::SignatureCountMismatch { expected: links.len(), got: 0 })
+            return Err(VerifyError::SignatureCountMismatch {
+                expected: links.len(),
+                got: 0,
+            })
         }
         (Some(sp), _) => {
             if sp.count() != links.len() {
@@ -329,9 +358,7 @@ pub fn verify_pkfk_join(
                 });
             }
             let ok = match sp {
-                SignatureProof::Aggregated(agg) => {
-                    agg.verify(&hasher, &s_cert.public_key, &links)
-                }
+                SignatureProof::Aggregated(agg) => agg.verify(&hasher, &s_cert.public_key, &links),
                 SignatureProof::Individual(v) => links
                     .iter()
                     .zip(v)
@@ -346,8 +373,10 @@ pub fn verify_pkfk_join(
     // 3. Pairing: every outer row's fk has an authenticated inner record,
     //    and no unused inner records ride along (precision).
     let r_schema = &r_cert.schema;
-    let r_proj = effective_projection(r_schema, r_projection, &[])
-        .ok_or(VerifyError::Unsupported { detail: "outer projection names unknown column" })?;
+    let r_proj =
+        effective_projection(r_schema, r_projection, &[]).ok_or(VerifyError::Unsupported {
+            detail: "outer projection names unknown column",
+        })?;
     let fk_slot = r_proj
         .iter()
         .position(|&c| c == r_schema.key_index())
@@ -371,7 +400,11 @@ pub fn verify_pkfk_join(
         });
     }
 
-    Ok(JoinReport { outer, inner_verified: vo.inner.len(), pairs })
+    Ok(JoinReport {
+        outer,
+        inner_verified: vo.inner.len(),
+        pairs,
+    })
 }
 
 /// VO for a band join `R.Ai ≤ S.Aj` (Section 4.3's second join class).
@@ -423,7 +456,10 @@ pub fn answer_band_join(
         }
     };
     // Step 2: R partition = all r with r.key ≤ s_max.
-    let r_query = SelectQuery::range(KeyRange { lo: Bound::Unbounded, hi: Bound::Included(s_max) });
+    let r_query = SelectQuery::range(KeyRange {
+        lo: Bound::Unbounded,
+        hi: Bound::Included(s_max),
+    });
     let (r_partition, r_vo) = r_pub.answer_select(&r_query)?;
     // Step 3: S partition = all s with s.key ≥ min(R partition keys).
     let (s_partition, s_vo) = if r_partition.is_empty() {
@@ -440,8 +476,17 @@ pub fn answer_band_join(
         (rows, Some(vo))
     };
     Ok((
-        BandJoinResult { r_partition, s_partition },
-        BandJoinVO { s_max, s_max_vo, s_max_rows, r_vo, s_vo },
+        BandJoinResult {
+            r_partition,
+            s_partition,
+        },
+        BandJoinVO {
+            s_max,
+            s_max_vo,
+            s_max_rows,
+            r_vo,
+            s_vo,
+        },
     ))
 }
 

@@ -167,7 +167,10 @@ impl SignedTable {
         } else if chain_pos == self.entries.len() - 1 {
             self.domain.right_delimiter()
         } else {
-            self.table.row(chain_pos - 1).record.key(self.table.schema())
+            self.table
+                .row(chain_pos - 1)
+                .record
+                .key(self.table.schema())
         }
     }
 
@@ -221,7 +224,12 @@ impl SignedTable {
         } else {
             self.entries[chain_pos + 1].g.to_bytes()
         };
-        link_digest(&self.hasher, &prev, &self.entries[chain_pos].g.to_bytes(), &next)
+        link_digest(
+            &self.hasher,
+            &prev,
+            &self.entries[chain_pos].g.to_bytes(),
+            &next,
+        )
     }
 
     /// Internal consistency check: every stored signature verifies against
@@ -278,28 +286,64 @@ impl SignedTable {
         for (pos, signature) in signatures.into_iter().enumerate() {
             let (g, roots) = if pos == 0 {
                 (
-                    g_of_delimiter(&hasher, &config, radix.as_ref(), &domain, domain.left_delimiter()),
+                    g_of_delimiter(
+                        &hasher,
+                        &config,
+                        radix.as_ref(),
+                        &domain,
+                        domain.left_delimiter(),
+                    ),
                     None,
                 )
             } else if pos == n + 1 {
                 (
-                    g_of_delimiter(&hasher, &config, radix.as_ref(), &domain, domain.right_delimiter()),
+                    g_of_delimiter(
+                        &hasher,
+                        &config,
+                        radix.as_ref(),
+                        &domain,
+                        domain.right_delimiter(),
+                    ),
                     None,
                 )
             } else {
                 let record = &table.row(pos - 1).record;
                 let key = record.key(&schema);
-                let up = direction_commitment(&hasher, &config, radix.as_ref(), &domain, key, Direction::Up);
-                let down =
-                    direction_commitment(&hasher, &config, radix.as_ref(), &domain, key, Direction::Down);
+                let up = direction_commitment(
+                    &hasher,
+                    &config,
+                    radix.as_ref(),
+                    &domain,
+                    key,
+                    Direction::Up,
+                );
+                let down = direction_commitment(
+                    &hasher,
+                    &config,
+                    radix.as_ref(),
+                    &domain,
+                    key,
+                    Direction::Down,
+                );
                 let attrs = attr_tree(&hasher, &schema, record).root();
                 let roots = match (up.rep_tree.as_ref(), down.rep_tree.as_ref()) {
                     (Some(u), Some(d)) => Some((u.root(), d.root())),
                     _ => None,
                 };
-                (GDigest { up: up.component, down: down.component, attrs }, roots)
+                (
+                    GDigest {
+                        up: up.component,
+                        down: down.component,
+                        attrs,
+                    },
+                    roots,
+                )
             };
-            entries.push(SignedEntry { g, roots, signature });
+            entries.push(SignedEntry {
+                g,
+                roots,
+                signature,
+            });
         }
         let mut sig_index = BPlusTree::new(64);
         let mut st = SignedTable {
@@ -324,7 +368,9 @@ impl Owner {
     /// Creates an owner with a fresh RSA keypair of `bits` bits
     /// (1024 matches the paper's `M_sign`; tests use 512 for speed).
     pub fn new(bits: usize, rng: &mut dyn RngCore) -> Self {
-        Owner { keypair: Keypair::generate(bits, rng) }
+        Owner {
+            keypair: Keypair::generate(bits, rng),
+        }
     }
 
     /// The owner's public key.
@@ -350,7 +396,14 @@ impl Owner {
             (Some(u), Some(d)) => Some((u.root(), d.root())),
             _ => None,
         };
-        (GDigest { up: up.component, down: down.component, attrs }, roots)
+        (
+            GDigest {
+                up: up.component,
+                down: down.component,
+                attrs,
+            },
+            roots,
+        )
     }
 
     /// Signs a table for publishing. `O(n)` hash chains + `n + 2` RSA
@@ -379,9 +432,11 @@ impl Owner {
         // Materialize g for all chain positions 0..=n+1, in parallel.
         type Material = (GDigest, Option<(Digest, Digest)>);
         let mut materials: Vec<Option<Material>> = vec![None; n + 2];
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n + 2);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n + 2);
         let chunk = (n + 2).div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, slot_chunk) in materials.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 let table = &table;
@@ -390,7 +445,7 @@ impl Owner {
                 let domain = &domain;
                 let config = &config;
                 let hasher = &hasher;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let pos = start + off;
                         let mat = if pos == 0 {
@@ -425,41 +480,55 @@ impl Owner {
                     }
                 });
             }
-        })
-        .expect("signing threads panicked");
+        });
         let materials: Vec<Material> = materials.into_iter().map(Option::unwrap).collect();
 
         // Link digests, then signatures (parallel).
-        let edge_l = crate::gdigest::edge_digest(&hasher, domain.l()).as_bytes().to_vec();
-        let edge_u = crate::gdigest::edge_digest(&hasher, domain.u()).as_bytes().to_vec();
+        let edge_l = crate::gdigest::edge_digest(&hasher, domain.l())
+            .as_bytes()
+            .to_vec();
+        let edge_u = crate::gdigest::edge_digest(&hasher, domain.u())
+            .as_bytes()
+            .to_vec();
         let links: Vec<Digest> = (0..n + 2)
             .map(|i| {
-                let prev = if i == 0 { edge_l.clone() } else { materials[i - 1].0.to_bytes() };
-                let next = if i == n + 1 { edge_u.clone() } else { materials[i + 1].0.to_bytes() };
+                let prev = if i == 0 {
+                    edge_l.clone()
+                } else {
+                    materials[i - 1].0.to_bytes()
+                };
+                let next = if i == n + 1 {
+                    edge_u.clone()
+                } else {
+                    materials[i + 1].0.to_bytes()
+                };
                 link_digest(&hasher, &prev, &materials[i].0.to_bytes(), &next)
             })
             .collect();
 
         let mut signatures: Vec<Option<Signature>> = vec![None; n + 2];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, sig_chunk) in signatures.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 let links = &links;
                 let hasher = &hasher;
                 let keypair = &self.keypair;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, slot) in sig_chunk.iter_mut().enumerate() {
                         *slot = Some(keypair.sign(hasher, &links[start + off]));
                     }
                 });
             }
-        })
-        .expect("signing threads panicked");
+        });
 
         let entries: Vec<SignedEntry> = materials
             .into_iter()
             .zip(signatures)
-            .map(|((g, roots), sig)| SignedEntry { g, roots, signature: sig.unwrap() })
+            .map(|((g, roots), sig)| SignedEntry {
+                g,
+                roots,
+                signature: sig.unwrap(),
+            })
             .collect();
 
         // Populate the signature B+-tree.
@@ -516,7 +585,14 @@ impl Owner {
         let cp = pos + 1;
         // Placeholder signature replaced by resign() below.
         let placeholder = st.entries[0].signature.clone();
-        st.entries.insert(cp, SignedEntry { g, roots, signature: placeholder });
+        st.entries.insert(
+            cp,
+            SignedEntry {
+                g,
+                roots,
+                signature: placeholder,
+            },
+        );
         self.resign(st, &[cp - 1, cp, cp + 1]);
         Ok(UpdateReport {
             signatures_recomputed: 3,
@@ -680,14 +756,23 @@ mod tests {
     }
 
     fn rec(id: i64, sal: i64) -> Record {
-        Record::new(vec![Value::Int(id), Value::from("X"), Value::Int(sal), Value::Int(1)])
+        Record::new(vec![
+            Value::Int(id),
+            Value::from("X"),
+            Value::Int(sal),
+            Value::Int(1),
+        ])
     }
 
     #[test]
     fn sign_and_audit() {
         let owner = test_owner();
         let st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         assert_eq!(st.chain_len(), 7);
         assert_eq!(st.key_at(0), 1);
@@ -715,7 +800,11 @@ mod tests {
     fn conceptual_mode_sign() {
         let owner = test_owner();
         let st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::conceptual())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::conceptual(),
+            )
             .unwrap();
         assert!(st.audit());
         assert!(st.entry(1).roots.is_none());
@@ -725,7 +814,11 @@ mod tests {
     fn out_of_domain_key_rejected() {
         let owner = test_owner();
         let err = owner
-            .sign_table(figure1_table(), Domain::new(0, 10_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 10_000),
+                SchemeConfig::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, OwnerError::KeyOutOfDomain { key: 12_100 }));
     }
@@ -734,7 +827,11 @@ mod tests {
     fn insert_resigns_three() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         let report = owner.insert_record(&mut st, rec(9, 5_000)).unwrap();
         assert_eq!(report.signatures_recomputed, 3);
@@ -749,7 +846,11 @@ mod tests {
     fn insert_at_extremes() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         owner.insert_record(&mut st, rec(9, 2)).unwrap(); // smallest legal key
         owner.insert_record(&mut st, rec(10, 99_998)).unwrap(); // largest legal key
@@ -762,7 +863,11 @@ mod tests {
     fn insert_duplicate_key_gets_replica() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         owner.insert_record(&mut st, rec(9, 3500)).unwrap();
         assert!(st.audit());
@@ -774,7 +879,11 @@ mod tests {
     fn delete_resigns_two() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         let report = owner.delete_record(&mut st, 8010, 0).unwrap();
         assert_eq!(report.signatures_recomputed, 2);
@@ -790,7 +899,11 @@ mod tests {
     fn delete_first_and_last() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         owner.delete_record(&mut st, 2000, 0).unwrap();
         owner.delete_record(&mut st, 25_000, 0).unwrap();
@@ -802,7 +915,11 @@ mod tests {
     fn update_in_place_resigns_three() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         let new_rec = Record::new(vec![
             Value::Int(1),
@@ -813,19 +930,22 @@ mod tests {
         let report = owner.update_record(&mut st, 8010, 0, new_rec).unwrap();
         assert_eq!(report.signatures_recomputed, 3);
         assert!(st.audit());
-        assert_eq!(
-            st.table().row(2).record.get(1),
-            &Value::from("D2")
-        );
+        assert_eq!(st.table().row(2).record.get(1), &Value::from("D2"));
     }
 
     #[test]
     fn update_with_key_change_relocates() {
         let owner = test_owner();
         let mut st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
-        let report = owner.update_record(&mut st, 8010, 0, rec(1, 30_000)).unwrap();
+        let report = owner
+            .update_record(&mut st, 8010, 0, rec(1, 30_000))
+            .unwrap();
         assert_eq!(report.signatures_recomputed, 5); // 2 delete + 3 insert
         assert!(st.audit());
         assert_eq!(st.key_at(st.chain_len() - 2), 30_000);
@@ -843,12 +963,7 @@ mod tests {
             .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
             .unwrap();
         let report = owner
-            .update_record(
-                &mut st,
-                10 + 250 * 3,
-                0,
-                rec(250, 10 + 250 * 3),
-            )
+            .update_record(&mut st, 10 + 250 * 3, 0, rec(250, 10 + 250 * 3))
             .unwrap();
         // 3 index writes, each descending height-many nodes; leaves should
         // be a small constant, not O(n) or O(log n)·digest-path like MHTs.
@@ -862,7 +977,10 @@ mod tests {
         let signed = owner
             .sign_sort_orders(
                 &t,
-                &[("salary", Domain::new(0, 100_000)), ("dept", Domain::new(-10, 100))],
+                &[
+                    ("salary", Domain::new(0, 100_000)),
+                    ("dept", Domain::new(-10, 100)),
+                ],
                 SchemeConfig::default(),
             )
             .unwrap();
@@ -878,7 +996,11 @@ mod tests {
     fn certificate_carries_scheme() {
         let owner = test_owner();
         let st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         let cert = owner.certificate(&st);
         assert_eq!(cert.table_name, "emp");
@@ -890,7 +1012,11 @@ mod tests {
     fn dissemination_size_is_signatures_only() {
         let owner = test_owner();
         let st = owner
-            .sign_table(figure1_table(), Domain::new(0, 100_000), SchemeConfig::default())
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
             .unwrap();
         assert_eq!(st.dissemination_size(), 7 * 64);
     }

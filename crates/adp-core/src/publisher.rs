@@ -107,9 +107,15 @@ impl<'a> Publisher<'a> {
         // Validate filters: non-key, known columns.
         for f in &query.filters {
             match schema.column_index(&f.column) {
-                None => return Err(PublishError::BadFilterColumn { column: f.column.clone() }),
+                None => {
+                    return Err(PublishError::BadFilterColumn {
+                        column: f.column.clone(),
+                    })
+                }
                 Some(c) if c == schema.key_index() => {
-                    return Err(PublishError::BadFilterColumn { column: f.column.clone() })
+                    return Err(PublishError::BadFilterColumn {
+                        column: f.column.clone(),
+                    })
                 }
                 Some(_) => {}
             }
@@ -237,7 +243,11 @@ impl<'a> Publisher<'a> {
         // The root is recomputable from the record; reading it from the
         // cached g avoids rebuilding the tree.
         let cp = self.chain_pos_of(record);
-        AttrProof { disclosed, hidden, root: st.entry(cp).g.attrs }
+        AttrProof {
+            disclosed,
+            hidden,
+            root: st.entry(cp).g.attrs,
+        }
     }
 
     /// Chain position of a record (by key + content match).
@@ -266,7 +276,12 @@ impl<'a> Publisher<'a> {
 
     /// Builds the Figure-8a boundary proof for the record at `chain_pos`:
     /// `dir = Up` proves its key `< α`; `dir = Down` proves `> β`.
-    fn boundary_proof(&self, chain_pos: usize, dir: Direction, bounds: &QueryBounds) -> BoundaryProof {
+    fn boundary_proof(
+        &self,
+        chain_pos: usize,
+        dir: Direction,
+        bounds: &QueryBounds,
+    ) -> BoundaryProof {
         let st = self.st;
         let hasher = st.hasher();
         let domain = st.domain();
@@ -312,16 +327,21 @@ impl<'a> Publisher<'a> {
                     direction_commitment(hasher, st.config(), Some(radix), domain, key, dir);
                 let tree = commit.rep_tree.expect("optimized mode builds rep trees");
                 let selector = match choice {
-                    crate::repr::ReprChoice::Canonical => {
-                        Some(RepProof::Canonical { mht_root: tree.root() })
-                    }
+                    crate::repr::ReprChoice::Canonical => Some(RepProof::Canonical {
+                        mht_root: tree.root(),
+                    }),
                     crate::repr::ReprChoice::NonCanonical(j) => Some(RepProof::NonCanonical {
                         index: j,
                         canon_digest: commit.canon_digest.expect("optimized mode"),
                         path: tree.prove(j as usize),
                     }),
                 };
-                BoundaryProof { intermediates, selector, other_component, attr_root }
+                BoundaryProof {
+                    intermediates,
+                    selector,
+                    other_component,
+                    attr_root,
+                }
             }
         }
     }
@@ -329,8 +349,7 @@ impl<'a> Publisher<'a> {
     /// Packages the signatures at the given chain positions.
     fn signatures(&self, positions: &[usize]) -> SignatureProof {
         let st = self.st;
-        let sigs: Vec<&Signature> =
-            positions.iter().map(|&p| &st.entry(p).signature).collect();
+        let sigs: Vec<&Signature> = positions.iter().map(|&p| &st.entry(p).signature).collect();
         if st.config().aggregate_signatures {
             SignatureProof::Aggregated(AggregateSignature::combine(st.public_key(), &sigs))
         } else {
@@ -567,10 +586,7 @@ pub mod malicious {
                     }
                     let pos = attr_position(schema, col);
                     if !hidden.iter().any(|(p, _)| *p == pos) {
-                        hidden.push((
-                            pos,
-                            hasher.hash(HashDomain::Leaf, &rec.get(col).encode()),
-                        ));
+                        hidden.push((pos, hasher.hash(HashDomain::Leaf, &rec.get(col).encode())));
                     }
                 }
                 hidden.sort_by_key(|(p, _)| *p);
@@ -598,7 +614,11 @@ pub mod malicious {
                 for e in rv.entries.iter_mut() {
                     if let EntryProof::Match { chains, attrs } = e.clone() {
                         if match_seen == 1 {
-                            *e = EntryProof::Duplicate { of: 0, chains, attrs };
+                            *e = EntryProof::Duplicate {
+                                of: 0,
+                                chains,
+                                attrs,
+                            };
                             break;
                         }
                         match_seen += 1;
@@ -636,20 +656,19 @@ pub mod malicious {
         let selector = match st.config().mode {
             Mode::Conceptual => None,
             Mode::Optimized { .. } => {
-                let commit = direction_commitment(
-                    hasher,
-                    st.config(),
-                    st.radix(),
-                    st.domain(),
-                    key,
-                    dir,
-                );
+                let commit =
+                    direction_commitment(hasher, st.config(), st.radix(), st.domain(), key, dir);
                 Some(RepProof::Canonical {
                     mht_root: commit.rep_tree.map(|t| t.root()).unwrap_or(entry.g.attrs),
                 })
             }
         };
-        BoundaryProof { intermediates, selector, other_component: other, attr_root }
+        BoundaryProof {
+            intermediates,
+            selector,
+            other_component: other,
+            attr_root,
+        }
     }
 
     /// Rebuilds the signature proof with the signature at entry offset

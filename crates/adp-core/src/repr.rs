@@ -76,7 +76,13 @@ impl Radix {
             *d = (rest % b) as u32;
             rest /= b;
         }
-        assert_eq!(rest, 0, "delta {delta} does not fit in {} base-{} digits", self.digit_count(), self.base);
+        assert_eq!(
+            rest,
+            0,
+            "delta {delta} does not fit in {} base-{} digits",
+            self.digit_count(),
+            self.base
+        );
         digits
     }
 
@@ -255,11 +261,20 @@ mod tests {
         assert!(!r.preferred_is_valid(&canon, 1));
         assert!(r.preferred_is_valid(&canon, 2));
         // ^0δ: [3+10, 2-1, 0, 3]
-        assert_eq!(r.preferred(&canon, 0), vec![Some(13), Some(1), Some(0), Some(3)]);
+        assert_eq!(
+            r.preferred(&canon, 0),
+            vec![Some(13), Some(1), Some(0), Some(3)]
+        );
         // ^1δ: [3+10, 2+9, None, 3] (dropped component).
-        assert_eq!(r.preferred(&canon, 1), vec![Some(13), Some(11), None, Some(3)]);
+        assert_eq!(
+            r.preferred(&canon, 1),
+            vec![Some(13), Some(11), None, Some(3)]
+        );
         // ^2δ: [3+10, 2+9, 0+9, 3-1]
-        assert_eq!(r.preferred(&canon, 2), vec![Some(13), Some(11), Some(9), Some(2)]);
+        assert_eq!(
+            r.preferred(&canon, 2),
+            vec![Some(13), Some(11), Some(9), Some(2)]
+        );
     }
 
     #[test]
@@ -271,7 +286,11 @@ mod tests {
                 if !r.preferred_is_valid(&canon, j) {
                     continue;
                 }
-                let rep: Vec<u32> = r.preferred(&canon, j).into_iter().map(Option::unwrap).collect();
+                let rep: Vec<u32> = r
+                    .preferred(&canon, j)
+                    .into_iter()
+                    .map(Option::unwrap)
+                    .collect();
                 assert_eq!(r.value_of(&rep), delta, "delta={delta} j={j}");
             }
         }

@@ -46,13 +46,19 @@ impl Default for SchemeConfig {
 impl SchemeConfig {
     /// A conceptual-mode config (small domains only).
     pub fn conceptual() -> Self {
-        SchemeConfig { mode: Mode::Conceptual, ..Default::default() }
+        SchemeConfig {
+            mode: Mode::Conceptual,
+            ..Default::default()
+        }
     }
 
     /// An optimized-mode config with the given base.
     pub fn with_base(base: u32) -> Self {
         assert!(base >= 2, "base B must be > 1");
-        SchemeConfig { mode: Mode::Optimized { base }, ..Default::default() }
+        SchemeConfig {
+            mode: Mode::Optimized { base },
+            ..Default::default()
+        }
     }
 
     /// Builder: sets the digest length.

@@ -29,8 +29,8 @@ use crate::vo::{
     SignatureProof,
 };
 use adp_crypto::{
-    chain_extend, hasher::HashDomain, root_from_mixed, verify_inclusion, Digest, Hasher,
-    MixedLeaf, PublicKey,
+    chain_extend, hasher::HashDomain, root_from_mixed, verify_inclusion, Digest, Hasher, MixedLeaf,
+    PublicKey,
 };
 use adp_relation::{Record, Schema, SelectQuery};
 
@@ -60,7 +60,10 @@ pub fn verify_select(
     match (cert.domain.normalize(&query.range), vo) {
         (None, QueryVO::TriviallyEmpty) => {
             if result.is_empty() {
-                Ok(VerifyReport { empty: true, ..Default::default() })
+                Ok(VerifyReport {
+                    empty: true,
+                    ..Default::default()
+                })
             } else {
                 Err(VerifyError::ExpectedEmptyResult)
             }
@@ -102,7 +105,9 @@ impl<'a> Ctx<'a> {
         for f in &query.filters {
             match schema.column_index(&f.column) {
                 None => {
-                    return Err(VerifyError::Unsupported { detail: "filter on unknown column" })
+                    return Err(VerifyError::Unsupported {
+                        detail: "filter on unknown column",
+                    })
                 }
                 Some(c) if c == schema.key_index() => {
                     return Err(VerifyError::Unsupported {
@@ -112,8 +117,11 @@ impl<'a> Ctx<'a> {
                 Some(_) => {}
             }
         }
-        let proj = effective_projection(schema, &query.projection, &query.filters)
-            .ok_or(VerifyError::Unsupported { detail: "projection names unknown column" })?;
+        let proj = effective_projection(schema, &query.projection, &query.filters).ok_or(
+            VerifyError::Unsupported {
+                detail: "projection names unknown column",
+            },
+        )?;
         let key_slot = proj
             .iter()
             .position(|&c| c == schema.key_index())
@@ -122,7 +130,15 @@ impl<'a> Ctx<'a> {
             Mode::Conceptual => None,
             Mode::Optimized { base } => Some(Radix::for_width(base, cert.domain.width())),
         };
-        Ok(Ctx { cert, query, schema, hasher: cert.config.hasher(), radix, proj, key_slot })
+        Ok(Ctx {
+            cert,
+            query,
+            schema,
+            hasher: cert.config.hasher(),
+            radix,
+            proj,
+            key_slot,
+        })
     }
 
     fn config(&self) -> &SchemeConfig {
@@ -156,9 +172,18 @@ impl<'a> Ctx<'a> {
                 .to_vec(),
             PrevG::Opaque(b) => b.clone(),
         };
-        let link = link_digest(&self.hasher, &prev_bytes, &g_left.to_bytes(), &g_right.to_bytes());
+        let link = link_digest(
+            &self.hasher,
+            &prev_bytes,
+            &g_left.to_bytes(),
+            &g_right.to_bytes(),
+        );
         self.verify_signatures(&[link], &proof.signature)?;
-        Ok(VerifyReport { empty: true, signatures_verified: 1, ..Default::default() })
+        Ok(VerifyReport {
+            empty: true,
+            signatures_verified: 1,
+            ..Default::default()
+        })
     }
 
     fn verify_range(
@@ -175,8 +200,12 @@ impl<'a> Ctx<'a> {
         let mut g_seq: Vec<Vec<u8>> = Vec::with_capacity(rv.entries.len() + 2);
         let left_comp = self.boundary_component(&rv.left, Direction::Up, bounds, "left")?;
         g_seq.push(
-            GDigest { up: left_comp, down: rv.left.other_component, attrs: rv.left.attr_root }
-                .to_bytes(),
+            GDigest {
+                up: left_comp,
+                down: rv.left.other_component,
+                attrs: rv.left.attr_root,
+            }
+            .to_bytes(),
         );
 
         let mut matched = 0usize;
@@ -187,30 +216,47 @@ impl<'a> Ctx<'a> {
         for (i, entry) in rv.entries.iter().enumerate() {
             match entry {
                 EntryProof::Match { chains, attrs } => {
-                    let rec = result.get(next_record).ok_or(VerifyError::ResultCountMismatch {
-                        records: result.len(),
-                        matches: rv
-                            .entries
-                            .iter()
-                            .filter(|e| matches!(e, EntryProof::Match { .. }))
-                            .count(),
-                    })?;
+                    let rec = result
+                        .get(next_record)
+                        .ok_or(VerifyError::ResultCountMismatch {
+                            records: result.len(),
+                            matches: rv
+                                .entries
+                                .iter()
+                                .filter(|e| matches!(e, EntryProof::Match { .. }))
+                                .count(),
+                        })?;
                     let key = self.check_record(rec, bounds, i)?;
                     let root = self.attr_root_for_record(rec, attrs, i)?;
                     let (up, down) = self.entry_chain_components(key, chains, i)?;
-                    g_seq.push(GDigest { up, down, attrs: root }.to_bytes());
+                    g_seq.push(
+                        GDigest {
+                            up,
+                            down,
+                            attrs: root,
+                        }
+                        .to_bytes(),
+                    );
                     matched += 1;
                     next_record += 1;
                 }
-                EntryProof::Filtered { up_component, down_component, attrs } => {
+                EntryProof::Filtered {
+                    up_component,
+                    down_component,
+                    attrs,
+                } => {
                     if self.query.filters.is_empty() {
                         return Err(VerifyError::UnexpectedFilteredEntry { entry: i });
                     }
                     self.check_filtered_proven(attrs, i)?;
                     let root = self.attr_root_from_disclosure(attrs, i)?;
                     g_seq.push(
-                        GDigest { up: *up_component, down: *down_component, attrs: root }
-                            .to_bytes(),
+                        GDigest {
+                            up: *up_component,
+                            down: *down_component,
+                            attrs: root,
+                        }
+                        .to_bytes(),
                     );
                     filtered += 1;
                 }
@@ -233,7 +279,14 @@ impl<'a> Ctx<'a> {
                         .ok_or(VerifyError::DuplicateRefInvalid { entry: i })?;
                     let root = self.attr_root_for_record(rec, attrs, i)?;
                     let (up, down) = self.entry_chain_components(key, chains, i)?;
-                    g_seq.push(GDigest { up, down, attrs: root }.to_bytes());
+                    g_seq.push(
+                        GDigest {
+                            up,
+                            down,
+                            attrs: root,
+                        }
+                        .to_bytes(),
+                    );
                     duplicates += 1;
                 }
             }
@@ -258,8 +311,12 @@ impl<'a> Ctx<'a> {
 
         let right_comp = self.boundary_component(&rv.right, Direction::Down, bounds, "right")?;
         g_seq.push(
-            GDigest { up: rv.right.other_component, down: right_comp, attrs: rv.right.attr_root }
-                .to_bytes(),
+            GDigest {
+                up: rv.right.other_component,
+                down: right_comp,
+                attrs: rv.right.attr_root,
+            }
+            .to_bytes(),
         );
 
         let links: Vec<Digest> = (0..rv.entries.len())
@@ -355,8 +412,7 @@ impl<'a> Ctx<'a> {
             if col == self.schema.key_index() {
                 continue;
             }
-            encodings[attr_position(self.schema, col) as usize] =
-                Some(rec.get(slot).encode());
+            encodings[attr_position(self.schema, col) as usize] = Some(rec.get(slot).encode());
         }
         self.finish_attr_root(encodings, attrs, entry)
     }
@@ -376,7 +432,11 @@ impl<'a> Ctx<'a> {
                 return Err(VerifyError::AttrCoverageInvalid { entry });
             }
             // Type check against the schema column.
-            let col = if pos < self.schema.key_index() { pos } else { pos + 1 };
+            let col = if pos < self.schema.key_index() {
+                pos
+            } else {
+                pos + 1
+            };
             if v.value_type() != self.schema.columns()[col].ty {
                 return Err(VerifyError::SchemaViolation {
                     entry,
@@ -435,8 +495,24 @@ impl<'a> Ctx<'a> {
     ) -> Result<(Digest, Digest), VerifyError> {
         match (self.config().mode, chains) {
             (Mode::Conceptual, EntryChains::Conceptual) => Ok((
-                entry_component(&self.hasher, self.config(), None, &self.cert.domain, key, Direction::Up, None),
-                entry_component(&self.hasher, self.config(), None, &self.cert.domain, key, Direction::Down, None),
+                entry_component(
+                    &self.hasher,
+                    self.config(),
+                    None,
+                    &self.cert.domain,
+                    key,
+                    Direction::Up,
+                    None,
+                ),
+                entry_component(
+                    &self.hasher,
+                    self.config(),
+                    None,
+                    &self.cert.domain,
+                    key,
+                    Direction::Down,
+                    None,
+                ),
             )),
             (Mode::Optimized { .. }, EntryChains::Optimized { up_root, down_root }) => Ok((
                 entry_component(
@@ -460,7 +536,9 @@ impl<'a> Ctx<'a> {
             )),
             _ => {
                 let _ = entry;
-                Err(VerifyError::VoShapeMismatch { detail: "entry chain mode mismatch" })
+                Err(VerifyError::VoShapeMismatch {
+                    detail: "entry chain mode mismatch",
+                })
             }
         }
     }
@@ -503,7 +581,11 @@ impl<'a> Ctx<'a> {
                     Some(RepProof::Canonical { mht_root }) => {
                         Ok(combine_component(&self.hasher, h_dt, *mht_root))
                     }
-                    Some(RepProof::NonCanonical { index, canon_digest, path }) => {
+                    Some(RepProof::NonCanonical {
+                        index,
+                        canon_digest,
+                        path,
+                    }) => {
                         if *index >= radix.m() || path.leaf_index != *index {
                             return Err(VerifyError::BoundarySelectorInvalid { side });
                         }
@@ -528,9 +610,7 @@ impl<'a> Ctx<'a> {
             });
         }
         let ok = match sigs {
-            SignatureProof::Aggregated(agg) => {
-                agg.verify(&self.hasher, self.public_key(), links)
-            }
+            SignatureProof::Aggregated(agg) => agg.verify(&self.hasher, self.public_key(), links),
             SignatureProof::Individual(v) => links
                 .iter()
                 .zip(v)
@@ -559,10 +639,13 @@ pub fn verify_select_wire(
     result_bytes: &[u8],
     vo_bytes: &[u8],
 ) -> Result<(Vec<Record>, VerifyReport), VerifyError> {
-    let result = crate::wire::decode_records(result_bytes)
-        .map_err(|_| VerifyError::VoShapeMismatch { detail: "result bytes malformed" })?;
-    let vo = crate::wire::decode_vo(vo_bytes)
-        .map_err(|_| VerifyError::VoShapeMismatch { detail: "VO bytes malformed" })?;
+    let result =
+        crate::wire::decode_records(result_bytes).map_err(|_| VerifyError::VoShapeMismatch {
+            detail: "result bytes malformed",
+        })?;
+    let vo = crate::wire::decode_vo(vo_bytes).map_err(|_| VerifyError::VoShapeMismatch {
+        detail: "VO bytes malformed",
+    })?;
     let report = verify_select(cert, query, &result, &vo)?;
     Ok((result, report))
 }

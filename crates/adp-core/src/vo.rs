@@ -75,7 +75,10 @@ pub enum EntryChains {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EntryProof {
     /// A row of the returned result (in order).
-    Match { chains: EntryChains, attrs: AttrProof },
+    Match {
+        chains: EntryChains,
+        attrs: AttrProof,
+    },
     /// A row inside the range that fails the query's non-key filters
     /// (multipoint queries, Section 4.4). `attrs.disclosed` carries the
     /// failing attribute value(s) — for access-control filtering (Case 2)
@@ -90,7 +93,11 @@ pub enum EntryProof {
     /// Chains are reconstructible from the referenced row's key; hidden
     /// digests cover the attributes outside the projection, which may
     /// differ between duplicates.
-    Duplicate { of: u32, chains: EntryChains, attrs: AttrProof },
+    Duplicate {
+        of: u32,
+        chains: EntryChains,
+        attrs: AttrProof,
+    },
 }
 
 /// Signatures covering the result entries (one per entry, chained):
@@ -183,7 +190,10 @@ impl QueryVO {
         }
         fn entry(e: &EntryProof) -> usize {
             match e {
-                EntryProof::Match { chains, attrs: a } | EntryProof::Duplicate { chains, attrs: a, .. } => {
+                EntryProof::Match { chains, attrs: a }
+                | EntryProof::Duplicate {
+                    chains, attrs: a, ..
+                } => {
                     attrs(a)
                         + match chains {
                             EntryChains::Optimized { .. } => 2,
@@ -197,9 +207,7 @@ impl QueryVO {
             QueryVO::TriviallyEmpty => 0,
             QueryVO::Empty(e) => boundary(&e.left) + boundary(&e.right),
             QueryVO::Range(r) => {
-                boundary(&r.left)
-                    + boundary(&r.right)
-                    + r.entries.iter().map(entry).sum::<usize>()
+                boundary(&r.left) + boundary(&r.right) + r.entries.iter().map(entry).sum::<usize>()
             }
         }
     }

@@ -190,7 +190,10 @@ fn read_inclusion_proof(r: &mut Reader) -> Result<InclusionProof, WireError> {
             1 => true,
             _ => return Err(WireError("bad bool")),
         };
-        steps.push(ProofStep { sibling, sibling_is_left });
+        steps.push(ProofStep {
+            sibling,
+            sibling_is_left,
+        });
     }
     Ok(InclusionProof { leaf_index, steps })
 }
@@ -206,7 +209,11 @@ fn write_boundary(w: &mut Writer, b: &BoundaryProof) {
             w.u8(1);
             w.digest(mht_root);
         }
-        Some(RepProof::NonCanonical { index, canon_digest, path }) => {
+        Some(RepProof::NonCanonical {
+            index,
+            canon_digest,
+            path,
+        }) => {
             w.u8(2);
             w.u32(*index);
             w.digest(canon_digest);
@@ -228,18 +235,29 @@ fn read_boundary(r: &mut Reader) -> Result<BoundaryProof, WireError> {
     }
     let selector = match r.u8()? {
         0 => None,
-        1 => Some(RepProof::Canonical { mht_root: r.digest()? }),
+        1 => Some(RepProof::Canonical {
+            mht_root: r.digest()?,
+        }),
         2 => {
             let index = r.u32()?;
             let canon_digest = r.digest()?;
             let path = read_inclusion_proof(r)?;
-            Some(RepProof::NonCanonical { index, canon_digest, path })
+            Some(RepProof::NonCanonical {
+                index,
+                canon_digest,
+                path,
+            })
         }
         _ => return Err(WireError("bad selector tag")),
     };
     let other_component = r.digest()?;
     let attr_root = r.digest()?;
-    Ok(BoundaryProof { intermediates, selector, other_component, attr_root })
+    Ok(BoundaryProof {
+        intermediates,
+        selector,
+        other_component,
+        attr_root,
+    })
 }
 
 fn write_attrs(w: &mut Writer, a: &AttrProof) {
@@ -276,7 +294,11 @@ fn read_attrs(r: &mut Reader) -> Result<AttrProof, WireError> {
         hidden.push((pos, r.digest()?));
     }
     let root = r.digest()?;
-    Ok(AttrProof { disclosed, hidden, root })
+    Ok(AttrProof {
+        disclosed,
+        hidden,
+        root,
+    })
 }
 
 fn write_chains(w: &mut Writer, c: &EntryChains) {
@@ -293,7 +315,10 @@ fn write_chains(w: &mut Writer, c: &EntryChains) {
 fn read_chains(r: &mut Reader) -> Result<EntryChains, WireError> {
     match r.u8()? {
         0 => Ok(EntryChains::Conceptual),
-        1 => Ok(EntryChains::Optimized { up_root: r.digest()?, down_root: r.digest()? }),
+        1 => Ok(EntryChains::Optimized {
+            up_root: r.digest()?,
+            down_root: r.digest()?,
+        }),
         _ => Err(WireError("bad chains tag")),
     }
 }
@@ -305,7 +330,11 @@ fn write_entry(w: &mut Writer, e: &EntryProof) {
             write_chains(w, chains);
             write_attrs(w, attrs);
         }
-        EntryProof::Filtered { up_component, down_component, attrs } => {
+        EntryProof::Filtered {
+            up_component,
+            down_component,
+            attrs,
+        } => {
             w.u8(1);
             w.digest(up_component);
             w.digest(down_component);
@@ -322,7 +351,10 @@ fn write_entry(w: &mut Writer, e: &EntryProof) {
 
 fn read_entry(r: &mut Reader) -> Result<EntryProof, WireError> {
     match r.u8()? {
-        0 => Ok(EntryProof::Match { chains: read_chains(r)?, attrs: read_attrs(r)? }),
+        0 => Ok(EntryProof::Match {
+            chains: read_chains(r)?,
+            attrs: read_attrs(r)?,
+        }),
         1 => Ok(EntryProof::Filtered {
             up_component: r.digest()?,
             down_component: r.digest()?,
@@ -359,7 +391,9 @@ fn read_signatures(r: &mut Reader) -> Result<SignatureProof, WireError> {
         0 => {
             let count = r.u32()? as usize;
             let bytes = r.bytes()?;
-            Ok(SignatureProof::Aggregated(AggregateSignature::from_bytes(bytes, count)))
+            Ok(SignatureProof::Aggregated(AggregateSignature::from_bytes(
+                bytes, count,
+            )))
         }
         1 => {
             let n = r.u32()? as usize;
@@ -422,7 +456,12 @@ pub fn decode_vo(data: &[u8]) -> Result<QueryVO, WireError> {
             let left = read_boundary(&mut r)?;
             let right = read_boundary(&mut r)?;
             let signature = read_signatures(&mut r)?;
-            QueryVO::Empty(EmptyProof { prev, left, right, signature })
+            QueryVO::Empty(EmptyProof {
+                prev,
+                left,
+                right,
+                signature,
+            })
         }
         2 => {
             let left = read_boundary(&mut r)?;
@@ -436,7 +475,12 @@ pub fn decode_vo(data: &[u8]) -> Result<QueryVO, WireError> {
                 entries.push(read_entry(&mut r)?);
             }
             let signatures = read_signatures(&mut r)?;
-            QueryVO::Range(RangeVO { left, right, entries, signatures })
+            QueryVO::Range(RangeVO {
+                left,
+                right,
+                entries,
+                signatures,
+            })
         }
         _ => return Err(WireError("bad VO tag")),
     };
@@ -472,8 +516,8 @@ pub fn encode_certificate(cert: &crate::owner::Certificate) -> Vec<u8> {
 /// Decodes a certificate.
 pub fn decode_certificate(data: &[u8]) -> Result<crate::owner::Certificate, WireError> {
     let mut r = Reader::new(data);
-    let table_name = String::from_utf8(r.bytes()?.to_vec())
-        .map_err(|_| WireError("bad table name"))?;
+    let table_name =
+        String::from_utf8(r.bytes()?.to_vec()).map_err(|_| WireError("bad table name"))?;
     let schema = read_schema(&mut r)?;
     let l = r.i64()?;
     let u = r.i64()?;
@@ -542,8 +586,8 @@ fn read_schema(r: &mut Reader) -> Result<adp_relation::Schema, WireError> {
     }
     let mut cols = Vec::with_capacity(arity);
     for _ in 0..arity {
-        let name = String::from_utf8(r.bytes()?.to_vec())
-            .map_err(|_| WireError("bad column name"))?;
+        let name =
+            String::from_utf8(r.bytes()?.to_vec()).map_err(|_| WireError("bad column name"))?;
         let ty = match r.u8()? {
             0 => adp_relation::ValueType::Int,
             1 => adp_relation::ValueType::Text,
@@ -654,7 +698,10 @@ mod tests {
                 canon_digest: d(b"canon"),
                 path: InclusionProof {
                     leaf_index: 1,
-                    steps: vec![ProofStep { sibling: d(b"sib"), sibling_is_left: true }],
+                    steps: vec![ProofStep {
+                        sibling: d(b"sib"),
+                        sibling_is_left: true,
+                    }],
                 },
             }),
             other_component: d(b"other"),
@@ -699,7 +746,10 @@ mod tests {
             right: sample_boundary(),
             entries: vec![
                 EntryProof::Match {
-                    chains: EntryChains::Optimized { up_root: d(b"u"), down_root: d(b"dn") },
+                    chains: EntryChains::Optimized {
+                        up_root: d(b"u"),
+                        down_root: d(b"dn"),
+                    },
                     attrs: sample_attrs(),
                 },
                 EntryProof::Filtered {
@@ -721,7 +771,11 @@ mod tests {
     #[test]
     fn records_roundtrip() {
         let records = vec![
-            Record::new(vec![Value::Int(-5), Value::from("héllo"), Value::Bool(true)]),
+            Record::new(vec![
+                Value::Int(-5),
+                Value::from("héllo"),
+                Value::Bool(true),
+            ]),
             Record::new(vec![Value::from(vec![0u8, 255, 3])]),
             Record::new(vec![]),
         ];

@@ -1,0 +1,235 @@
+//! Section 3.2 cheating-strategy matrix: every malicious-publisher attack is
+//! exercised against every query shape (plain range select, multipoint
+//! filtered select, projected DISTINCT select, and the outer leg of a pk-fk
+//! join), rstest-style — one generated test per (attack, shape) combination.
+//!
+//! The matrix encodes which combinations each attack applies to (e.g.
+//! `FakeDuplicate` needs DISTINCT, `MislabelFiltered` needs a filter, and
+//! `TruncateTail` needs a VO whose entries are all matches). Every applicable
+//! forgery must be rejected by the verifier; an attack the tamper harness
+//! declares inapplicable on an expected-applicable combination fails the
+//! test, so coverage cannot silently rot.
+
+mod common;
+
+use adp_core::join::{answer_pkfk_join, verify_pkfk_join, PkFkJoinResult, PkFkJoinVO};
+use adp_core::prelude::*;
+use adp_core::publisher::malicious::{tamper, Attack};
+use adp_relation::{
+    check_referential_integrity, CompareOp, KeyRange, Predicate, Projection, SelectQuery,
+};
+use common::{dept_table, emp_by_dept, staff_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn owner() -> &'static Owner {
+    static OWNER: OnceLock<Owner> = OnceLock::new();
+    OWNER.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x3A721);
+        Owner::new(512, &mut rng)
+    })
+}
+
+/// The query shapes of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    /// Plain range select over the sort key.
+    RangeSelect,
+    /// Multipoint select: range plus an equality filter on `dept`.
+    FilteredSelect,
+    /// Projected DISTINCT select (key is implicitly retained).
+    ProjectDistinct,
+    /// The outer (R-side) selection leg of a pk-fk equi-join.
+    PkFkJoin,
+}
+
+fn select_query(shape: Shape) -> SelectQuery {
+    let base = SelectQuery::range(KeyRange::closed(2_000, 9_000));
+    match shape {
+        Shape::RangeSelect => base,
+        Shape::FilteredSelect => base.filter(Predicate::new("dept", CompareOp::Eq, 1i64)),
+        Shape::ProjectDistinct => base.project(&["dept"]).distinct(),
+        Shape::PkFkJoin => unreachable!("join shape does not use a plain select query"),
+    }
+}
+
+/// Whether `attack` is applicable to `shape` — mirrored from the tamper
+/// harness's own preconditions so the matrix notices if they drift.
+fn applicable(attack: Attack, shape: Shape) -> bool {
+    match attack {
+        // Needs a filter to mislabel against.
+        Attack::MislabelFiltered => shape == Shape::FilteredSelect,
+        // Needs DISTINCT semantics to hide behind.
+        Attack::FakeDuplicate => shape == Shape::ProjectDistinct,
+        // Needs every VO entry to be a Match: filtered entries make
+        // |entries| != |result| and the precondition bails. The DISTINCT
+        // shape stays applicable because salaries are unique here, so no
+        // entry is ever labeled Duplicate.
+        Attack::TruncateTail => shape != Shape::FilteredSelect,
+        _ => true,
+    }
+}
+
+/// Runs one (attack, shape) cell on select-style shapes.
+fn run_select_cell(attack: Attack, shape: Shape) {
+    let st = owner()
+        .sign_table(
+            staff_table(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
+        .unwrap();
+    let cert = owner().certificate(&st);
+    let publisher = Publisher::new(&st);
+    let query = select_query(shape);
+    let (result, vo) = publisher.answer_select(&query).unwrap();
+    verify_select(&cert, &query, &result, &vo)
+        .unwrap_or_else(|e| panic!("honest {shape:?} answer must verify: {e}"));
+
+    let tampered = tamper(&publisher, &query, &result, &vo, attack);
+    match (tampered, applicable(attack, shape)) {
+        (None, false) => {} // matrix agrees: nothing to forge here
+        (None, true) => panic!("{attack:?} should be applicable to {shape:?}"),
+        (Some(_), false) => panic!("{attack:?} unexpectedly applicable to {shape:?}"),
+        (Some((bad_result, bad_vo)), true) => {
+            assert!(
+                bad_result != result || bad_vo != vo,
+                "{attack:?} on {shape:?} was a no-op — the matrix data must \
+                 make every tampering observable"
+            );
+            let verdict = verify_select(&cert, &query, &bad_result, &bad_vo);
+            assert!(
+                verdict.is_err(),
+                "{attack:?} on {shape:?} must be detected, got {verdict:?}"
+            );
+        }
+    }
+}
+
+/// Runs one attack cell against the outer leg of a pk-fk join: the forged
+/// outer selection is spliced back into the join VO, and `verify_pkfk_join`
+/// must reject the whole join.
+fn run_join_cell(attack: Attack) {
+    let o = owner();
+    let (emp, dept) = (emp_by_dept(), dept_table());
+    check_referential_integrity(&emp, &dept).unwrap();
+    let r = o
+        .sign_table(emp, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let s = o
+        .sign_table(dept, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let (rc, sc) = (o.certificate(&r), o.certificate(&s));
+    let (r_pub, s_pub) = (Publisher::new(&r), Publisher::new(&s));
+    let range = KeyRange::all();
+    let (result, vo) =
+        answer_pkfk_join(&r_pub, &s_pub, range, &Projection::All, &Projection::All).unwrap();
+    verify_pkfk_join(
+        &rc,
+        &sc,
+        range,
+        &Projection::All,
+        &Projection::All,
+        &result,
+        &vo,
+    )
+    .unwrap_or_else(|e| panic!("honest join must verify: {e}"));
+
+    // The outer leg is an ordinary select on R's fk attribute; forge it.
+    let outer_query = SelectQuery {
+        range,
+        filters: Vec::new(),
+        projection: Projection::All,
+        distinct: false,
+    };
+    let tampered = tamper(&r_pub, &outer_query, &result.outer_rows, &vo.outer, attack);
+    match (tampered, applicable(attack, Shape::PkFkJoin)) {
+        (None, false) => {}
+        (None, true) => panic!("{attack:?} should be applicable to the join outer leg"),
+        (Some(_), false) => panic!("{attack:?} unexpectedly applicable to the join outer leg"),
+        (Some((bad_outer_rows, bad_outer_vo)), true) => {
+            let bad_result = PkFkJoinResult {
+                outer_rows: bad_outer_rows,
+                ..result.clone()
+            };
+            let bad_vo = PkFkJoinVO {
+                outer: bad_outer_vo,
+                ..vo.clone()
+            };
+            let verdict = verify_pkfk_join(
+                &rc,
+                &sc,
+                range,
+                &Projection::All,
+                &Projection::All,
+                &bad_result,
+                &bad_vo,
+            );
+            assert!(
+                verdict.is_err(),
+                "{attack:?} on the join outer leg must be detected, got {verdict:?}"
+            );
+        }
+    }
+}
+
+/// rstest-style expansion: one named test per (attack, shape) cell.
+macro_rules! attack_matrix {
+    ($($name:ident => $attack:ident / $shape:ident;)+) => {$(
+        #[test]
+        fn $name() {
+            match Shape::$shape {
+                Shape::PkFkJoin => run_join_cell(Attack::$attack),
+                shape => run_select_cell(Attack::$attack, shape),
+            }
+        }
+    )+};
+}
+
+attack_matrix! {
+    omit_interior_on_range_select      => OmitInterior / RangeSelect;
+    omit_interior_on_filtered_select   => OmitInterior / FilteredSelect;
+    omit_interior_on_project_distinct  => OmitInterior / ProjectDistinct;
+    omit_interior_on_pkfk_join         => OmitInterior / PkFkJoin;
+
+    truncate_tail_on_range_select      => TruncateTail / RangeSelect;
+    truncate_tail_on_filtered_select   => TruncateTail / FilteredSelect;
+    truncate_tail_on_project_distinct  => TruncateTail / ProjectDistinct;
+    truncate_tail_on_pkfk_join         => TruncateTail / PkFkJoin;
+
+    fake_empty_on_range_select         => FakeEmpty / RangeSelect;
+    fake_empty_on_filtered_select      => FakeEmpty / FilteredSelect;
+    fake_empty_on_project_distinct     => FakeEmpty / ProjectDistinct;
+    fake_empty_on_pkfk_join            => FakeEmpty / PkFkJoin;
+
+    inject_spurious_on_range_select    => InjectSpurious / RangeSelect;
+    inject_spurious_on_filtered_select => InjectSpurious / FilteredSelect;
+    inject_spurious_on_project_distinct => InjectSpurious / ProjectDistinct;
+    inject_spurious_on_pkfk_join       => InjectSpurious / PkFkJoin;
+
+    tamper_value_on_range_select       => TamperValue / RangeSelect;
+    tamper_value_on_filtered_select    => TamperValue / FilteredSelect;
+    tamper_value_on_project_distinct   => TamperValue / ProjectDistinct;
+    tamper_value_on_pkfk_join          => TamperValue / PkFkJoin;
+
+    swap_values_on_range_select        => SwapValues / RangeSelect;
+    swap_values_on_filtered_select     => SwapValues / FilteredSelect;
+    swap_values_on_project_distinct    => SwapValues / ProjectDistinct;
+    swap_values_on_pkfk_join           => SwapValues / PkFkJoin;
+
+    shift_left_boundary_on_range_select => ShiftLeftBoundary / RangeSelect;
+    shift_left_boundary_on_filtered_select => ShiftLeftBoundary / FilteredSelect;
+    shift_left_boundary_on_project_distinct => ShiftLeftBoundary / ProjectDistinct;
+    shift_left_boundary_on_pkfk_join   => ShiftLeftBoundary / PkFkJoin;
+
+    mislabel_filtered_on_range_select  => MislabelFiltered / RangeSelect;
+    mislabel_filtered_on_filtered_select => MislabelFiltered / FilteredSelect;
+    mislabel_filtered_on_project_distinct => MislabelFiltered / ProjectDistinct;
+    mislabel_filtered_on_pkfk_join     => MislabelFiltered / PkFkJoin;
+
+    fake_duplicate_on_range_select     => FakeDuplicate / RangeSelect;
+    fake_duplicate_on_filtered_select  => FakeDuplicate / FilteredSelect;
+    fake_duplicate_on_project_distinct => FakeDuplicate / ProjectDistinct;
+    fake_duplicate_on_pkfk_join        => FakeDuplicate / PkFkJoin;
+}

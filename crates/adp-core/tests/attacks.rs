@@ -1,12 +1,13 @@
 //! Threat-model tests: every cheating strategy of Section 3.2 (and several
 //! beyond) must be rejected by the verifier, in every scheme mode.
 
+mod common;
+
 use adp_core::prelude::*;
 use adp_core::publisher::malicious::{tamper, Attack};
 use adp_core::vo::{EntryProof, PrevG, QueryVO};
-use adp_relation::{
-    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
-};
+use adp_relation::{CompareOp, KeyRange, Predicate, SelectQuery};
+use common::staff_table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
@@ -17,29 +18,6 @@ fn owner() -> &'static Owner {
         let mut rng = StdRng::seed_from_u64(0xA77AC);
         Owner::new(512, &mut rng)
     })
-}
-
-fn staff_table() -> Table {
-    let schema = Schema::new(
-        vec![
-            Column::new("id", ValueType::Int),
-            Column::new("name", ValueType::Text),
-            Column::new("salary", ValueType::Int),
-            Column::new("dept", ValueType::Int),
-        ],
-        "salary",
-    );
-    let mut t = Table::new("staff", schema);
-    for i in 0..20i64 {
-        t.insert(Record::new(vec![
-            Value::Int(i),
-            Value::from(format!("emp{i}")),
-            Value::Int(1_000 + i * 500),
-            Value::Int(i % 3),
-        ]))
-        .unwrap();
-    }
-    t
 }
 
 fn setup(config: SchemeConfig) -> (SignedTable, Certificate) {
@@ -89,7 +67,11 @@ fn case2_fake_empty_detected() {
 
 #[test]
 fn case5_inject_spurious_detected() {
-    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::InjectSpurious);
+    assert_attack_caught(
+        SchemeConfig::default(),
+        wide_query(),
+        Attack::InjectSpurious,
+    );
 }
 
 #[test]
@@ -105,13 +87,20 @@ fn swap_values_detected() {
 
 #[test]
 fn case1_shift_left_boundary_detected() {
-    assert_attack_caught(SchemeConfig::default(), wide_query(), Attack::ShiftLeftBoundary);
+    assert_attack_caught(
+        SchemeConfig::default(),
+        wide_query(),
+        Attack::ShiftLeftBoundary,
+    );
 }
 
 #[test]
 fn mislabel_filtered_detected() {
-    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000))
-        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000)).filter(Predicate::new(
+        "dept",
+        CompareOp::Eq,
+        1i64,
+    ));
     assert_attack_caught(SchemeConfig::default(), query, Attack::MislabelFiltered);
 }
 
@@ -137,7 +126,11 @@ fn attacks_detected_in_conceptual_mode() {
 #[test]
 fn attacks_detected_across_bases() {
     for base in [3u32, 10] {
-        for attack in [Attack::OmitInterior, Attack::TruncateTail, Attack::ShiftLeftBoundary] {
+        for attack in [
+            Attack::OmitInterior,
+            Attack::TruncateTail,
+            Attack::ShiftLeftBoundary,
+        ] {
             assert_attack_caught(SchemeConfig::with_base(base), wide_query(), attack);
         }
     }
@@ -179,7 +172,11 @@ fn cross_table_replay_rejected() {
     let mut rng = StdRng::seed_from_u64(0xD1FF);
     let other_owner = Owner::new(512, &mut rng);
     let other_st = other_owner
-        .sign_table(staff_table(), Domain::new(0, 100_000), SchemeConfig::default())
+        .sign_table(
+            staff_table(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let other_cert = other_owner.certificate(&other_st);
     assert_eq!(
@@ -203,7 +200,9 @@ fn dropping_signatures_rejected() {
     let (st, cert) = setup(SchemeConfig::default());
     let query = wide_query();
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
-    let QueryVO::Range(mut rv) = vo else { panic!("expected range VO") };
+    let QueryVO::Range(mut rv) = vo else {
+        panic!("expected range VO")
+    };
     // Shrink the aggregate's claimed count.
     if let adp_core::vo::SignatureProof::Aggregated(agg) = &rv.signatures {
         let bytes = agg.to_bytes();
@@ -226,7 +225,9 @@ fn forged_empty_proof_with_garbage_prev_rejected() {
     let query = SelectQuery::range(KeyRange::closed(4_100, 4_400)); // truly empty (salaries step by 500)
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     assert!(verify_select(&cert, &query, &result, &vo).is_ok());
-    let QueryVO::Empty(mut ep) = vo else { panic!("expected empty VO") };
+    let QueryVO::Empty(mut ep) = vo else {
+        panic!("expected empty VO")
+    };
     ep.prev = PrevG::Opaque(vec![0xAB; 48]);
     assert_eq!(
         verify_select(&cert, &query, &result, &QueryVO::Empty(ep)),
@@ -239,8 +240,11 @@ fn filtered_entry_without_failing_value_rejected() {
     // Take an honest multipoint VO and strip the disclosed failing value
     // from a filtered entry.
     let (st, cert) = setup(SchemeConfig::default());
-    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000))
-        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let query = SelectQuery::range(KeyRange::closed(2_000, 9_000)).filter(Predicate::new(
+        "dept",
+        CompareOp::Eq,
+        1i64,
+    ));
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     let QueryVO::Range(mut rv) = vo else { panic!() };
     let mut found = false;
@@ -253,7 +257,10 @@ fn filtered_entry_without_failing_value_rejected() {
     }
     assert!(found, "query should have produced a filtered entry");
     let verdict = verify_select(&cert, &query, &result, &QueryVO::Range(rv));
-    assert!(matches!(verdict, Err(VerifyError::FilteredNotProven { .. })));
+    assert!(matches!(
+        verdict,
+        Err(VerifyError::FilteredNotProven { .. })
+    ));
 }
 
 #[test]

@@ -34,7 +34,8 @@ fn chain_survives_sustained_churn() {
     let mut rng = StdRng::seed_from_u64(0x1234);
     let mut t = Table::new("churn", schema());
     for i in 0..60i64 {
-        t.insert(Record::new(vec![Value::Int(i * 16 + 8), Value::Int(0)])).unwrap();
+        t.insert(Record::new(vec![Value::Int(i * 16 + 8), Value::Int(0)]))
+            .unwrap();
     }
     let domain = Domain::new(0, 2_048);
     let mut st = o.sign_table(t, domain, SchemeConfig::default()).unwrap();
@@ -47,11 +48,8 @@ fn chain_survives_sustained_churn() {
                 0 => {
                     // Insert at a random legal key (duplicates welcome).
                     let k = rng.gen_range(domain.key_min()..=domain.key_max());
-                    o.insert_record(
-                        &mut st,
-                        Record::new(vec![Value::Int(k), Value::Int(round)]),
-                    )
-                    .unwrap();
+                    o.insert_record(&mut st, Record::new(vec![Value::Int(k), Value::Int(round)]))
+                        .unwrap();
                 }
                 1 if st.len() > 10 => {
                     // Delete a random row.
@@ -125,14 +123,15 @@ fn churn_down_to_empty_and_back() {
     let o = owner();
     let mut t = Table::new("drain", schema());
     for i in 0..10i64 {
-        t.insert(Record::new(vec![Value::Int(i * 10 + 5), Value::Int(0)])).unwrap();
+        t.insert(Record::new(vec![Value::Int(i * 10 + 5), Value::Int(0)]))
+            .unwrap();
     }
     let domain = Domain::new(0, 1_000);
     let mut st = o.sign_table(t, domain, SchemeConfig::default()).unwrap();
     let cert = o.certificate(&st);
 
     // Drain the table completely.
-    while st.len() > 0 {
+    while !st.is_empty() {
         let (k, r) = {
             let row = st.table().row(0);
             (row.record.key(st.table().schema()), row.replica)
@@ -147,8 +146,11 @@ fn churn_down_to_empty_and_back() {
 
     // Refill.
     for i in 0..10i64 {
-        o.insert_record(&mut st, Record::new(vec![Value::Int(i * 7 + 3), Value::Int(1)]))
-            .unwrap();
+        o.insert_record(
+            &mut st,
+            Record::new(vec![Value::Int(i * 7 + 3), Value::Int(1)]),
+        )
+        .unwrap();
     }
     assert!(st.audit());
     let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();

@@ -28,16 +28,24 @@ fn measure_lock() -> std::sync::MutexGuard<'static, ()> {
 /// A table over a 2^16 domain, keys spaced 16 apart.
 fn setup() -> (SignedTable, Certificate) {
     let schema = Schema::new(
-        vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Int)],
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Int),
+        ],
         "k",
     );
     let domain = Domain::new(0, (1 << 16) + 4);
     let mut t = Table::new("cm", schema);
     for i in 0..300i64 {
-        t.insert(Record::new(vec![Value::Int(domain.key_min() + i * 16), Value::Int(i)]))
-            .unwrap();
+        t.insert(Record::new(vec![
+            Value::Int(domain.key_min() + i * 16),
+            Value::Int(i),
+        ]))
+        .unwrap();
     }
-    let st = owner().sign_table(t, domain, SchemeConfig::default()).unwrap();
+    let st = owner()
+        .sign_table(t, domain, SchemeConfig::default())
+        .unwrap();
     let cert = owner().certificate(&st);
     (st, cert)
 }
@@ -82,7 +90,10 @@ fn vo_digest_count_matches_formula4_structure() {
             boundary <= worst_case_two_sides,
             "boundary digests {boundary} exceed worst case {worst_case_two_sides}"
         );
-        assert!(boundary >= 2 * (m + 1), "boundary must carry m+1 intermediates per side");
+        assert!(
+            boundary >= 2 * (m + 1),
+            "boundary must carry m+1 intermediates per side"
+        );
         prev = Some((q, count));
     }
     let _ = QueryVO::TriviallyEmpty; // type anchor
@@ -112,7 +123,10 @@ fn verify_hash_ops_scale_linearly_like_formula5() {
     for &(q, c) in &samples[1..3] {
         let predicted = slope * q + intercept;
         let err = (c - predicted).abs() / predicted;
-        assert!(err < 0.10, "q={q}: measured {c}, affine prediction {predicted}");
+        assert!(
+            err < 0.10,
+            "q={q}: measured {c}, affine prediction {predicted}"
+        );
     }
     // The slope should be within the formula's worst-case per-entry cost
     // 2(B(m+1)+2) for B=2, m=16 (domain 2^16): 2(34+2) = 72.
@@ -132,9 +146,12 @@ fn vo_bytes_independent_of_table_size() {
     for n in [100i64, 2000] {
         let mut t = Table::new("sz", schema.clone());
         for i in 0..n {
-            t.insert(Record::new(vec![Value::Int(domain.key_min() + i * 16)])).unwrap();
+            t.insert(Record::new(vec![Value::Int(domain.key_min() + i * 16)]))
+                .unwrap();
         }
-        let st = owner().sign_table(t, domain, SchemeConfig::default()).unwrap();
+        let st = owner()
+            .sign_table(t, domain, SchemeConfig::default())
+            .unwrap();
         let query = SelectQuery::range(KeyRange::closed(
             domain.key_min() + 160,
             domain.key_min() + 160 + 4 * 16,

@@ -43,7 +43,11 @@ fn sample_table() -> Table {
 fn publisher_rebuilds_from_parts_and_serves() {
     let o = owner();
     let original = o
-        .sign_table(sample_table(), Domain::new(0, 10_000), SchemeConfig::default())
+        .sign_table(
+            sample_table(),
+            Domain::new(0, 10_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let cert = o.certificate(&original);
 
@@ -62,7 +66,10 @@ fn publisher_rebuilds_from_parts_and_serves() {
         cert.public_key.clone(),
     )
     .unwrap();
-    assert!(rebuilt.audit(), "rebuilt chain must verify against the owner key");
+    assert!(
+        rebuilt.audit(),
+        "rebuilt chain must verify against the owner key"
+    );
 
     // The rebuilt publisher serves verifiable answers.
     let query = SelectQuery::range(KeyRange::closed(10, 60)).project(&["name"]);
@@ -75,7 +82,11 @@ fn publisher_rebuilds_from_parts_and_serves() {
 fn from_parts_rejects_wrong_signature_count() {
     let o = owner();
     let original = o
-        .sign_table(sample_table(), Domain::new(0, 10_000), SchemeConfig::default())
+        .sign_table(
+            sample_table(),
+            Domain::new(0, 10_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let mut signatures: Vec<_> = (0..original.chain_len())
         .map(|i| original.entry(i).signature.clone())
@@ -97,7 +108,11 @@ fn tampered_dissemination_fails_audit() {
     // detect it immediately (and must not serve it).
     let o = owner();
     let original = o
-        .sign_table(sample_table(), Domain::new(0, 10_000), SchemeConfig::default())
+        .sign_table(
+            sample_table(),
+            Domain::new(0, 10_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let signatures: Vec<_> = (0..original.chain_len())
         .map(|i| original.entry(i).signature.clone())
@@ -149,10 +164,17 @@ fn certificate_decoding_rejects_garbage() {
     assert!(wire::decode_certificate(&[0xff; 40]).is_err());
     let o = owner();
     let st = o
-        .sign_table(sample_table(), Domain::new(0, 10_000), SchemeConfig::default())
+        .sign_table(
+            sample_table(),
+            Domain::new(0, 10_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let bytes = wire::encode_certificate(&o.certificate(&st));
     for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
-        assert!(wire::decode_certificate(&bytes[..cut]).is_err(), "cut {cut}");
+        assert!(
+            wire::decode_certificate(&bytes[..cut]).is_err(),
+            "cut {cut}"
+        );
     }
 }

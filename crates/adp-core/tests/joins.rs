@@ -1,13 +1,14 @@
 //! Authenticated join tests (Section 4.3): pk-fk equi-joins and band joins.
 
-use adp_core::join::{
-    answer_band_join, answer_pkfk_join, verify_band_join, verify_pkfk_join,
-};
+mod common;
+
+use adp_core::join::{answer_band_join, answer_pkfk_join, verify_band_join, verify_pkfk_join};
 use adp_core::prelude::*;
 use adp_relation::{
     check_referential_integrity, Column, KeyRange, Projection, Record, Schema, Table, Value,
     ValueType,
 };
+use common::{dept_table, emp_by_dept};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
@@ -18,55 +19,6 @@ fn owner() -> &'static Owner {
         let mut rng = StdRng::seed_from_u64(0x701A);
         Owner::new(512, &mut rng)
     })
-}
-
-/// Employees sorted on their dept foreign key.
-fn emp_by_dept() -> Table {
-    let schema = Schema::new(
-        vec![
-            Column::new("id", ValueType::Int),
-            Column::new("name", ValueType::Text),
-            Column::new("dept", ValueType::Int),
-        ],
-        "dept",
-    );
-    let mut t = Table::new("emp", schema);
-    for (id, name, dept) in [
-        (5i64, "A", 10i64),
-        (1, "D", 10),
-        (2, "C", 20),
-        (3, "E", 20),
-        (4, "B", 30),
-        (6, "F", 40),
-    ] {
-        t.insert(Record::new(vec![Value::Int(id), Value::from(name), Value::Int(dept)]))
-            .unwrap();
-    }
-    t
-}
-
-/// Departments keyed on dept id.
-fn dept_table() -> Table {
-    let schema = Schema::new(
-        vec![
-            Column::new("dept", ValueType::Int),
-            Column::new("dname", ValueType::Text),
-            Column::new("budget", ValueType::Int),
-        ],
-        "dept",
-    );
-    let mut t = Table::new("dept", schema);
-    for (d, n, b) in [
-        (10i64, "eng", 500i64),
-        (20, "sales", 300),
-        (30, "hr", 100),
-        (40, "ops", 200),
-        (50, "legal", 50),
-    ] {
-        t.insert(Record::new(vec![Value::Int(d), Value::from(n), Value::Int(b)]))
-            .unwrap();
-    }
-    t
 }
 
 fn setup() -> (SignedTable, SignedTable, Certificate, Certificate) {
@@ -99,7 +51,13 @@ fn pkfk_join_full_range() {
     assert_eq!(result.outer_rows.len(), 6);
     assert_eq!(result.inner_rows.len(), 4); // depts 10, 20, 30, 40
     let report = verify_pkfk_join(
-        &rc, &sc, KeyRange::all(), &Projection::All, &Projection::All, &result, &vo,
+        &rc,
+        &sc,
+        KeyRange::all(),
+        &Projection::All,
+        &Projection::All,
+        &result,
+        &vo,
     )
     .unwrap();
     assert_eq!(report.pairs, 6);
@@ -122,8 +80,16 @@ fn pkfk_join_with_fk_selection() {
     .unwrap();
     assert_eq!(result.outer_rows.len(), 4);
     assert_eq!(result.inner_rows.len(), 2);
-    verify_pkfk_join(&rc, &sc, range, &Projection::All, &Projection::All, &result, &vo)
-        .unwrap();
+    verify_pkfk_join(
+        &rc,
+        &sc,
+        range,
+        &Projection::All,
+        &Projection::All,
+        &result,
+        &vo,
+    )
+    .unwrap();
 }
 
 #[test]
@@ -160,9 +126,16 @@ fn pkfk_join_empty_outer() {
     .unwrap();
     assert!(result.outer_rows.is_empty());
     assert!(result.inner_rows.is_empty());
-    let report =
-        verify_pkfk_join(&rc, &sc, range, &Projection::All, &Projection::All, &result, &vo)
-            .unwrap();
+    let report = verify_pkfk_join(
+        &rc,
+        &sc,
+        range,
+        &Projection::All,
+        &Projection::All,
+        &result,
+        &vo,
+    )
+    .unwrap();
     assert_eq!(report.pairs, 0);
 }
 
@@ -276,12 +249,19 @@ fn band_join_with_empty_s() {
     let o = owner();
     let r = emp_by_dept();
     let s_schema = Schema::new(
-        vec![Column::new("dept", ValueType::Int), Column::new("x", ValueType::Int)],
+        vec![
+            Column::new("dept", ValueType::Int),
+            Column::new("x", ValueType::Int),
+        ],
         "dept",
     );
     let s = Table::new("empty_s", s_schema);
-    let r_signed = o.sign_table(r, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
-    let s_signed = o.sign_table(s, Domain::new(0, 1_000), SchemeConfig::default()).unwrap();
+    let r_signed = o
+        .sign_table(r, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
+    let s_signed = o
+        .sign_table(s, Domain::new(0, 1_000), SchemeConfig::default())
+        .unwrap();
     let (result, vo) =
         answer_band_join(&Publisher::new(&r_signed), &Publisher::new(&s_signed)).unwrap();
     assert!(result.r_partition.is_empty());
@@ -317,7 +297,9 @@ fn band_join_understated_max_rejected() {
     vo.s_max_rows = rows30;
     vo.s_max_vo = vo30;
     let mut result = result;
-    result.r_partition.retain(|row| row.get(2).as_int().unwrap() <= 30);
+    result
+        .r_partition
+        .retain(|row| row.get(2).as_int().unwrap() <= 30);
     // The max-claim check fails: rows with key 40, 50 show up in the
     // [30, key_max] proof, betraying a larger max.
     assert!(verify_band_join(&rc, &sc, &result, &vo).is_err());

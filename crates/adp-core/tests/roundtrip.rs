@@ -100,8 +100,8 @@ fn all_bases_verify() {
             KeyRange::point(8_010),
         ] {
             let query = SelectQuery::range(range);
-            let (_, report) = run(&st, &cert, &query)
-                .unwrap_or_else(|e| panic!("B={base} range={range:?}: {e}"));
+            let (_, report) =
+                run(&st, &cert, &query).unwrap_or_else(|e| panic!("B={base} range={range:?}: {e}"));
             assert!(report.matched > 0, "B={base} range={range:?}");
         }
     }
@@ -181,7 +181,10 @@ fn projection_hides_columns() {
     assert_eq!(report.matched, 3);
     // Projected result must be much smaller than the full records.
     let bytes = wire::encode_records(&result);
-    assert!(bytes.len() < 100, "projected result should exclude the BLOB");
+    assert!(
+        bytes.len() < 100,
+        "projected result should exclude the BLOB"
+    );
 }
 
 #[test]
@@ -199,8 +202,11 @@ fn multipoint_query_verifies() {
     // The paper's Section 4.4 example:
     // SELECT * FROM Emp WHERE Salary < 10000 AND Dept = 1.
     let (st, cert) = signed_figure1(SchemeConfig::default());
-    let query = SelectQuery::range(KeyRange::less_than(10_000))
-        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let query = SelectQuery::range(KeyRange::less_than(10_000)).filter(Predicate::new(
+        "dept",
+        CompareOp::Eq,
+        1i64,
+    ));
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     assert_eq!(result.len(), 2); // ids 5 and 1
     let report = verify_select(&cert, &query, &result, &vo).unwrap();
@@ -211,8 +217,11 @@ fn multipoint_query_verifies() {
 #[test]
 fn multipoint_all_filtered() {
     let (st, cert) = signed_figure1(SchemeConfig::default());
-    let query = SelectQuery::range(KeyRange::less_than(10_000))
-        .filter(Predicate::new("dept", CompareOp::Eq, 99i64));
+    let query = SelectQuery::range(KeyRange::less_than(10_000)).filter(Predicate::new(
+        "dept",
+        CompareOp::Eq,
+        99i64,
+    ));
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     assert!(result.is_empty());
     let report = verify_select(&cert, &query, &result, &vo).unwrap();
@@ -223,8 +232,8 @@ fn multipoint_all_filtered() {
 #[test]
 fn multipoint_range_filters() {
     let (st, cert) = signed_figure1(SchemeConfig::default());
-    let query = SelectQuery::range(KeyRange::all())
-        .filter(Predicate::new("dept", CompareOp::Le, 2i64));
+    let query =
+        SelectQuery::range(KeyRange::all()).filter(Predicate::new("dept", CompareOp::Le, 2i64));
     let (result, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     assert_eq!(result.len(), 4);
     let report = verify_select(&cert, &query, &result, &vo).unwrap();
@@ -243,7 +252,8 @@ fn distinct_eliminates_duplicates_verifiably() {
     );
     let mut t = Table::new("grades", schema);
     for (k, g) in [(10i64, "A"), (20, "B"), (30, "A"), (40, "B"), (50, "C")] {
-        t.insert(Record::new(vec![Value::Int(k), Value::from(g)])).unwrap();
+        t.insert(Record::new(vec![Value::Int(k), Value::from(g)]))
+            .unwrap();
     }
     let st = owner()
         .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
@@ -253,28 +263,37 @@ fn distinct_eliminates_duplicates_verifiably() {
     // just grade does — note the key is force-included, so duplicates here
     // means equal (grade, k)… to exercise Duplicate entries we need equal
     // keys too:
-    let mut t2 = Table::new("dups", Schema::new(
-        vec![
-            Column::new("k", ValueType::Int),
-            Column::new("grade", ValueType::Text),
-            Column::new("note", ValueType::Text),
-        ],
-        "k",
-    ));
+    let mut t2 = Table::new(
+        "dups",
+        Schema::new(
+            vec![
+                Column::new("k", ValueType::Int),
+                Column::new("grade", ValueType::Text),
+                Column::new("note", ValueType::Text),
+            ],
+            "k",
+        ),
+    );
     for (k, g, n) in [
         (10i64, "A", "x"),
         (10, "A", "y"), // same key, same grade, different note
         (10, "B", "z"),
         (20, "A", "w"),
     ] {
-        t2.insert(Record::new(vec![Value::Int(k), Value::from(g), Value::from(n)]))
-            .unwrap();
+        t2.insert(Record::new(vec![
+            Value::Int(k),
+            Value::from(g),
+            Value::from(n),
+        ]))
+        .unwrap();
     }
     let st2 = owner()
         .sign_table(t2, Domain::new(0, 1_000), SchemeConfig::default())
         .unwrap();
     let cert2 = owner().certificate(&st2);
-    let query = SelectQuery::range(KeyRange::all()).project(&["grade"]).distinct();
+    let query = SelectQuery::range(KeyRange::all())
+        .project(&["grade"])
+        .distinct();
     let (result, vo) = Publisher::new(&st2).answer_select(&query).unwrap();
     // Projections (grade, k): (A,10), (A,10) dup, (B,10), (A,20) → 3 rows.
     assert_eq!(result.len(), 3);
@@ -287,12 +306,16 @@ fn distinct_eliminates_duplicates_verifiably() {
 #[test]
 fn duplicate_keys_roundtrip() {
     let schema = Schema::new(
-        vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Text)],
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Text),
+        ],
         "k",
     );
     let mut t = Table::new("dup", schema);
     for (k, v) in [(100i64, "a"), (100, "b"), (100, "c"), (200, "d")] {
-        t.insert(Record::new(vec![Value::Int(k), Value::from(v)])).unwrap();
+        t.insert(Record::new(vec![Value::Int(k), Value::from(v)]))
+            .unwrap();
     }
     let st = owner()
         .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
@@ -334,7 +357,11 @@ fn empty_table_all_queries_empty() {
         .sign_table(t, Domain::new(0, 100), SchemeConfig::default())
         .unwrap();
     let cert = owner().certificate(&st);
-    for range in [KeyRange::all(), KeyRange::point(50), KeyRange::less_than(10)] {
+    for range in [
+        KeyRange::all(),
+        KeyRange::point(50),
+        KeyRange::less_than(10),
+    ] {
         let query = SelectQuery::range(range);
         let (result, report) = run(&st, &cert, &query).unwrap();
         assert!(result.is_empty());
@@ -391,15 +418,17 @@ fn randomized_tables_and_queries() {
         } else {
             SchemeConfig::with_base(3)
         };
-        let st = owner().sign_table(t, Domain::new(0, 10_000), config).unwrap();
+        let st = owner()
+            .sign_table(t, Domain::new(0, 10_000), config)
+            .unwrap();
         let cert = owner().certificate(&st);
         for _ in 0..12 {
             let a = rng.gen_range(0..10_000i64);
             let b = rng.gen_range(0..10_000i64);
             let (a, b) = (a.min(b), a.max(b));
             let query = SelectQuery::range(KeyRange::closed(a, b));
-            let (result, report) = run(&st, &cert, &query)
-                .unwrap_or_else(|e| panic!("trial {trial} [{a},{b}]: {e}"));
+            let (result, report) =
+                run(&st, &cert, &query).unwrap_or_else(|e| panic!("trial {trial} [{a},{b}]: {e}"));
             // Cross-check against direct evaluation.
             let expected = st
                 .table()
@@ -435,7 +464,8 @@ fn vo_sizes_scale_with_result() {
     let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
     let mut t = Table::new("sized", schema);
     for i in 0..200i64 {
-        t.insert(Record::new(vec![Value::Int(10 + i * 10)])).unwrap();
+        t.insert(Record::new(vec![Value::Int(10 + i * 10)]))
+            .unwrap();
     }
     let st = owner()
         .sign_table(t, Domain::new(0, 10_000), SchemeConfig::default())

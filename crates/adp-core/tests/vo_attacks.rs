@@ -45,12 +45,11 @@ fn setup(base: u32) -> (SignedTable, Certificate) {
     (st, cert)
 }
 
-fn answer(
-    st: &SignedTable,
-    query: &SelectQuery,
-) -> (Vec<Record>, adp_core::vo::RangeVO) {
+fn answer(st: &SignedTable, query: &SelectQuery) -> (Vec<Record>, adp_core::vo::RangeVO) {
     let (rows, vo) = Publisher::new(st).answer_select(query).unwrap();
-    let QueryVO::Range(rv) = vo else { panic!("expected range VO") };
+    let QueryVO::Range(rv) = vo else {
+        panic!("expected range VO")
+    };
     (rows, rv)
 }
 
@@ -71,7 +70,10 @@ fn swapping_entry_chain_roots_rejected() {
     let query = SelectQuery::range(KeyRange::closed(20, 120));
     let (rows, mut rv) = answer(&st, &query);
     for e in rv.entries.iter_mut() {
-        if let EntryProof::Match { chains: EntryChains::Optimized { up_root, down_root }, .. } = e
+        if let EntryProof::Match {
+            chains: EntryChains::Optimized { up_root, down_root },
+            ..
+        } = e
         {
             std::mem::swap(up_root, down_root);
             break;
@@ -119,10 +121,16 @@ fn forcing_canonical_selector_rejected() {
                 let mut rv2 = rv.clone();
                 let fake_root = adp_crypto::verify_inclusion(
                     st.hasher(),
-                    *path.steps.first().map(|s| &s.sibling).unwrap_or(&rv.left.attr_root),
+                    *path
+                        .steps
+                        .first()
+                        .map(|s| &s.sibling)
+                        .unwrap_or(&rv.left.attr_root),
                     path,
                 );
-                rv2.left.selector = Some(RepProof::Canonical { mht_root: fake_root });
+                rv2.left.selector = Some(RepProof::Canonical {
+                    mht_root: fake_root,
+                });
                 assert!(
                     verify_select(&cert, &query, &rows, &QueryVO::Range(rv2)).is_err(),
                     "canonical downgrade must fail (α={alpha}, β={beta})"
@@ -147,8 +155,11 @@ fn wrong_noncanonical_index_rejected() {
                     _ => continue,
                 }
             };
-            if let Some(RepProof::NonCanonical { index, canon_digest, path }) =
-                rv.left.selector.clone()
+            if let Some(RepProof::NonCanonical {
+                index,
+                canon_digest,
+                path,
+            }) = rv.left.selector.clone()
             {
                 let mut rv2 = rv.clone();
                 rv2.left.selector = Some(RepProof::NonCanonical {
@@ -202,7 +213,10 @@ fn duplicate_hidden_position_rejected() {
         }
     }
     let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
-    assert!(matches!(verdict, Err(VerifyError::AttrCoverageInvalid { .. })));
+    assert!(matches!(
+        verdict,
+        Err(VerifyError::AttrCoverageInvalid { .. })
+    ));
 }
 
 #[test]
@@ -210,8 +224,11 @@ fn filtered_disclosure_on_wrong_column_rejected() {
     // The filtered entry disclosess a value for a column no filter touches;
     // even if authentic, it proves nothing.
     let (st, cert) = setup(2);
-    let query = SelectQuery::range(KeyRange::closed(3, 170))
-        .filter(Predicate::new("a", CompareOp::Eq, 1i64));
+    let query = SelectQuery::range(KeyRange::closed(3, 170)).filter(Predicate::new(
+        "a",
+        CompareOp::Eq,
+        1i64,
+    ));
     let (rows, vo) = Publisher::new(&st).answer_select(&query).unwrap();
     let QueryVO::Range(mut rv) = vo else { panic!() };
     let mut mutated = false;
@@ -242,7 +259,11 @@ fn duplicate_entry_forward_reference_rejected() {
     // Turn the first Match into a Duplicate pointing forward.
     for e in rv.entries.iter_mut() {
         if let EntryProof::Match { chains, attrs } = e.clone() {
-            *e = EntryProof::Duplicate { of: 5, chains, attrs };
+            *e = EntryProof::Duplicate {
+                of: 5,
+                chains,
+                attrs,
+            };
             break;
         }
     }
@@ -262,7 +283,10 @@ fn boundary_intermediate_count_checked() {
     let (rows, mut rv) = answer(&st, &query);
     rv.left.intermediates.pop();
     let verdict = verify_select(&cert, &query, &rows, &QueryVO::Range(rv));
-    assert!(matches!(verdict, Err(VerifyError::BoundaryShapeInvalid { side: "left" })));
+    assert!(matches!(
+        verdict,
+        Err(VerifyError::BoundaryShapeInvalid { side: "left" })
+    ));
 }
 
 #[test]
@@ -271,7 +295,12 @@ fn conceptual_vo_against_optimized_cert_rejected() {
     // verifier configured for the optimized scheme.
     let (st_opt, cert_opt) = setup(2);
     let schema = st_opt.table().schema().clone();
-    let records: Vec<Record> = st_opt.table().rows().iter().map(|r| r.record.clone()).collect();
+    let records: Vec<Record> = st_opt
+        .table()
+        .rows()
+        .iter()
+        .map(|r| r.record.clone())
+        .collect();
     let t = Table::from_records("s", schema, records).unwrap();
     let st_con = owner()
         .sign_table(t, *st_opt.domain(), SchemeConfig::conceptual())

@@ -14,19 +14,24 @@ use std::sync::OnceLock;
 type Fixture = (SignedTable, Certificate, SelectQuery, Vec<u8>, Vec<u8>);
 
 fn fixture() -> &'static Fixture {
-    static FIX: OnceLock<Fixture> =
-        OnceLock::new();
+    static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
         let mut rng = StdRng::seed_from_u64(0x31BE);
         let owner = Owner::new(512, &mut rng);
         let schema = Schema::new(
-            vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Text)],
+            vec![
+                Column::new("k", ValueType::Int),
+                Column::new("v", ValueType::Text),
+            ],
             "k",
         );
         let mut t = Table::new("wire", schema);
         for i in 0..30i64 {
-            t.insert(Record::new(vec![Value::Int(i * 10 + 5), Value::from(format!("r{i}"))]))
-                .unwrap();
+            t.insert(Record::new(vec![
+                Value::Int(i * 10 + 5),
+                Value::from(format!("r{i}")),
+            ]))
+            .unwrap();
         }
         let st = owner
             .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())

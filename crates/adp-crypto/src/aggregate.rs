@@ -49,7 +49,11 @@ impl AggregateSignature {
         for s in sigs {
             acc = acc.mul_mod(s.value(), n);
         }
-        AggregateSignature { value: acc, len: public.signature_len(), count: sigs.len() }
+        AggregateSignature {
+            value: acc,
+            len: public.signature_len(),
+            count: sigs.len(),
+        }
     }
 
     /// Verifies the aggregate against the multiset of signed digests.
@@ -84,7 +88,11 @@ impl AggregateSignature {
 
     /// Decodes an aggregate previously encoded with [`Self::to_bytes`].
     pub fn from_bytes(bytes: &[u8], count: usize) -> Self {
-        AggregateSignature { value: BigUint::from_bytes_be(bytes), len: bytes.len(), count }
+        AggregateSignature {
+            value: BigUint::from_bytes_be(bytes),
+            len: bytes.len(),
+            count,
+        }
     }
 }
 
@@ -138,7 +146,11 @@ mod tests {
         let agg = AggregateSignature::combine(key().public(), &[&sigs[0], &sigs[1]]);
         assert!(!agg.verify(&h, key().public(), &ds));
         // Matching count but mismatched digest set also fails.
-        assert!(!agg.verify(&h, key().public(), &ds[..2].iter().map(|_| ds[2]).collect::<Vec<_>>()));
+        assert!(!agg.verify(
+            &h,
+            key().public(),
+            &ds[..2].iter().map(|_| ds[2]).collect::<Vec<_>>()
+        ));
     }
 
     #[test]

@@ -56,7 +56,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -217,7 +219,8 @@ impl BigUint {
 
     /// `self - other`, panicking on underflow.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        self.checked_sub(other).expect("BigUint subtraction underflow")
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
     }
 
     /// `self - other`, or `None` if `other > self`.
@@ -367,9 +370,7 @@ impl BigUint {
             let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = top / v[n - 1] as u128;
             let mut rhat = top % v[n - 1] as u128;
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {
@@ -406,7 +407,9 @@ impl BigUint {
 
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut rem = BigUint { limbs: u[..n].to_vec() };
+        let mut rem = BigUint {
+            limbs: u[..n].to_vec(),
+        };
         rem.normalize();
         (quotient, rem.shr(shift))
     }
@@ -635,9 +638,9 @@ impl PartialOrd for BigUint {
 
 /// Small primes for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Miller–Rabin probabilistic primality test with `rounds` random witnesses
@@ -736,7 +739,12 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["1", "ff", "deadbeefcafebabe0123456789abcdef55", "8000000000000000"] {
+        for s in [
+            "1",
+            "ff",
+            "deadbeefcafebabe0123456789abcdef55",
+            "8000000000000000",
+        ] {
             let n = BigUint::from_hex(s).unwrap();
             assert_eq!(n.to_hex(), s, "hex {s}");
         }
@@ -884,11 +892,17 @@ mod tests {
     fn primality_known_values() {
         let mut rng = StdRng::seed_from_u64(7);
         for &p in &[2u64, 3, 5, 65537, 1_000_000_007, 67_280_421_310_721] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), 16, &mut rng), "{p} is prime");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} is prime"
+            );
         }
         for &c in &[1u64, 4, 100, 65536, 1_000_000_011, 561, 41041, 825_265] {
             // 561, 41041, 825265 are Carmichael numbers.
-            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng), "{c} is composite");
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} is composite"
+            );
         }
     }
 

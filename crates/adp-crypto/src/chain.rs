@@ -62,7 +62,11 @@ impl<'a> ChainWalker<'a> {
     /// Starts a walker at `h^0(value|position)`.
     pub fn new(hasher: &'a Hasher, value: &[u8], position: u32) -> Self {
         let current = hasher.hash(HashDomain::Value, &tagged(value, position));
-        ChainWalker { hasher, current, steps: 0 }
+        ChainWalker {
+            hasher,
+            current,
+            steps: 0,
+        }
     }
 
     /// Advances to `h^steps` and returns that digest.
@@ -70,7 +74,10 @@ impl<'a> ChainWalker<'a> {
     /// # Panics
     /// If asked to move backwards (chains are one-way).
     pub fn at(&mut self, steps: u64) -> Digest {
-        assert!(steps >= self.steps, "hash chains cannot be walked backwards");
+        assert!(
+            steps >= self.steps,
+            "hash chains cannot be walked backwards"
+        );
         while self.steps < steps {
             self.current = self.hasher.hash(HashDomain::Step, self.current.as_bytes());
             self.steps += 1;
@@ -111,7 +118,11 @@ mod tests {
         for (a, b) in [(0u64, 0u64), (0, 5), (3, 4), (10, 0), (7, 13)] {
             let inter = chain_from_value(&h, b"val", 2, a);
             let extended = chain_extend(&h, inter, b);
-            assert_eq!(extended, chain_from_value(&h, b"val", 2, a + b), "a={a} b={b}");
+            assert_eq!(
+                extended,
+                chain_from_value(&h, b"val", 2, a + b),
+                "a={a} b={b}"
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl Digest {
         );
         let mut buf = [0u8; MAX_DIGEST_LEN];
         buf[..bytes.len()].copy_from_slice(bytes);
-        Digest { bytes: buf, len: bytes.len() as u8 }
+        Digest {
+            bytes: buf,
+            len: bytes.len() as u8,
+        }
     }
 
     /// The active digest bytes.

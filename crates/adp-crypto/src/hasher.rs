@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let h = Hasher::new(32);
-        assert_eq!(h.hash(HashDomain::Data, b"z"), h.hash(HashDomain::Data, b"z"));
+        assert_eq!(
+            h.hash(HashDomain::Data, b"z"),
+            h.hash(HashDomain::Data, b"z")
+        );
     }
 
     #[test]

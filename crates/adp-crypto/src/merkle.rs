@@ -122,7 +122,10 @@ impl MerkleTree {
             }
             pos /= 2;
         }
-        InclusionProof { leaf_index: index as u32, steps }
+        InclusionProof {
+            leaf_index: index as u32,
+            steps,
+        }
     }
 
     /// Digests required to recompute the root when the verifier already

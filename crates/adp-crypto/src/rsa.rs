@@ -118,7 +118,10 @@ impl Signature {
 
     /// Decodes a fixed-width big-endian signature.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        Signature { value: BigUint::from_bytes_be(bytes), len: bytes.len() }
+        Signature {
+            value: BigUint::from_bytes_be(bytes),
+            len: bytes.len(),
+        }
     }
 
     /// Raw integer value (used by aggregation).
@@ -164,7 +167,14 @@ impl Keypair {
             };
             let public = PublicKey { n, e, bits };
             return Keypair {
-                inner: Arc::new(PrivateKey { public, p, q, dp, dq, q_inv }),
+                inner: Arc::new(PrivateKey {
+                    public,
+                    p,
+                    q,
+                    dp,
+                    dq,
+                    q_inv,
+                }),
             };
         }
     }
@@ -189,8 +199,15 @@ impl Keypair {
         };
         let h = diff.mul_mod(&k.q_inv, &k.p);
         let s = sq.add(&k.q.mul(&h));
-        debug_assert_eq!(s.mod_pow(&k.public.e, &k.public.n), m, "CRT signature self-check");
-        Signature { value: s, len: k.public.signature_len() }
+        debug_assert_eq!(
+            s.mod_pow(&k.public.e, &k.public.n),
+            m,
+            "CRT signature self-check"
+        );
+        Signature {
+            value: s,
+            len: k.public.signature_len(),
+        }
     }
 }
 

@@ -138,10 +138,7 @@ impl AccessPolicy {
                     (Some(range), Some(Value::Int(k))) => range.contains(*k),
                     _ => true,
                 };
-                let filters_ok = policy
-                    .row_filters
-                    .iter()
-                    .all(|p| p.eval(schema, values));
+                let filters_ok = policy.row_filters.iter().all(|p| p.eval(schema, values));
                 Value::Bool(key_ok && filters_ok)
             })
             .collect()
@@ -257,7 +254,10 @@ mod tests {
         let schema = emp_schema();
         let policy = figure1_policy();
         let (ext_schema, cols) = policy.schema_with_visibility_columns(&schema);
-        assert_eq!(cols, vec!["vis_hr_exec".to_string(), "vis_hr_manager".to_string()]);
+        assert_eq!(
+            cols,
+            vec!["vis_hr_exec".to_string(), "vis_hr_manager".to_string()]
+        );
         assert_eq!(ext_schema.arity(), 6);
 
         // A $12100 record: hidden from hr_exec, visible to hr_manager.
@@ -271,7 +271,12 @@ mod tests {
         assert_eq!(flags, vec![Value::Bool(false), Value::Bool(true)]);
 
         // A $2000 record: visible to both.
-        let values = vec![Value::Int(5), Value::from("A"), Value::Int(2_000), Value::Int(1)];
+        let values = vec![
+            Value::Int(5),
+            Value::from("A"),
+            Value::Int(2_000),
+            Value::Int(1),
+        ];
         assert_eq!(
             policy.visibility_flags(&schema, &values),
             vec![Value::Bool(true), Value::Bool(true)]

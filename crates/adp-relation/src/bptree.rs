@@ -61,8 +61,13 @@ impl TreeStats {
 }
 
 enum Node<V> {
-    Leaf { entries: Vec<(TreeKey, V)> },
-    Internal { keys: Vec<TreeKey>, children: Vec<Node<V>> },
+    Leaf {
+        entries: Vec<(TreeKey, V)>,
+    },
+    Internal {
+        keys: Vec<TreeKey>,
+        children: Vec<Node<V>>,
+    },
 }
 
 impl<V> Node<V> {
@@ -96,7 +101,13 @@ pub struct BPlusTree<V> {
 
 impl<V> fmt::Debug for BPlusTree<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BPlusTree(len={}, order={}, height={})", self.len, self.order, self.height())
+        write!(
+            f,
+            "BPlusTree(len={}, order={}, height={})",
+            self.len,
+            self.order,
+            self.height()
+        )
     }
 }
 
@@ -114,7 +125,9 @@ impl<V> BPlusTree<V> {
     pub fn new(order: usize) -> Self {
         assert!(order >= 4, "B+-tree order must be at least 4");
         BPlusTree {
-            root: Node::Leaf { entries: Vec::new() },
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
             order,
             len: 0,
             stats: TreeStats::default(),
@@ -152,9 +165,7 @@ impl<V> BPlusTree<V> {
         fn count<V>(n: &Node<V>) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Internal { children, .. } => {
-                    1 + children.iter().map(count).sum::<usize>()
-                }
+                Node::Internal { children, .. } => 1 + children.iter().map(count).sum::<usize>(),
             }
         }
         count(&self.root)
@@ -206,8 +217,16 @@ impl<V> BPlusTree<V> {
         let order = self.order;
         let (old, split) = Self::insert_rec(&mut self.root, key, value, order, &self.stats);
         if let Some((sep, right)) = split {
-            let left = std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
-            self.root = Node::Internal { keys: vec![sep], children: vec![left, right] };
+            let left = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+            };
         }
         if old.is_none() {
             self.len += 1;
@@ -224,24 +243,22 @@ impl<V> BPlusTree<V> {
     ) -> (Option<V>, Option<(TreeKey, Node<V>)>) {
         stats.touch(node.is_leaf());
         match node {
-            Node::Leaf { entries } => {
-                match entries.binary_search_by_key(&key, |(k, _)| *k) {
-                    Ok(i) => {
-                        let old = std::mem::replace(&mut entries[i].1, value);
-                        (Some(old), None)
-                    }
-                    Err(i) => {
-                        entries.insert(i, (key, value));
-                        if entries.len() > order {
-                            let right = entries.split_off(entries.len() / 2);
-                            let sep = right[0].0;
-                            (None, Some((sep, Node::Leaf { entries: right })))
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { entries } => match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut entries[i].1, value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > order {
+                        let right = entries.split_off(entries.len() / 2);
+                        let sep = right[0].0;
+                        (None, Some((sep, Node::Leaf { entries: right })))
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let (old, split) = Self::insert_rec(&mut children[idx], key, value, order, stats);
@@ -255,8 +272,10 @@ impl<V> BPlusTree<V> {
                         // keys has `mid` entries now; the separator promoted
                         // upward is the last of them.
                         let sep_up = keys.pop().expect("internal node has keys");
-                        let right_node =
-                            Node::Internal { keys: right_keys, children: right_children };
+                        let right_node = Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        };
                         return (old, Some((sep_up, right_node)));
                     }
                 }
@@ -325,8 +344,14 @@ impl<V> BPlusTree<V> {
                     re.insert(0, moved);
                 }
                 (
-                    Node::Internal { keys: lk, children: lc },
-                    Node::Internal { keys: rk, children: rc },
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
                 ) => {
                     let moved_child = lc.pop().unwrap();
                     let moved_key = lk.pop().unwrap();
@@ -349,8 +374,14 @@ impl<V> BPlusTree<V> {
                     keys[idx] = re[0].0;
                 }
                 (
-                    Node::Internal { keys: lk, children: lc },
-                    Node::Internal { keys: rk, children: rc },
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
                 ) => {
                     lk.push(keys[idx]);
                     keys[idx] = rk.remove(0);
@@ -369,7 +400,16 @@ impl<V> BPlusTree<V> {
             (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
                 le.extend(re);
             }
-            (Node::Internal { keys: lk, children: lc }, Node::Internal { keys: rk, children: rc }) => {
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
                 lk.push(sep);
                 lk.extend(rk);
                 lc.extend(rc);
@@ -417,15 +457,11 @@ impl<V> BPlusTree<V> {
                 Node::Internal { keys, children } => {
                     let start = match lo {
                         Bound::Unbounded => 0,
-                        Bound::Included(a) | Bound::Excluded(a) => {
-                            keys.partition_point(|k| k <= a)
-                        }
+                        Bound::Included(a) | Bound::Excluded(a) => keys.partition_point(|k| k <= a),
                     };
                     let end = match hi {
                         Bound::Unbounded => children.len() - 1,
-                        Bound::Included(b) | Bound::Excluded(b) => {
-                            keys.partition_point(|k| k <= b)
-                        }
+                        Bound::Included(b) | Bound::Excluded(b) => keys.partition_point(|k| k <= b),
                     };
                     for child in &children[start..=end] {
                         walk(child, lo, hi, stats, f, count);
@@ -472,7 +508,13 @@ impl<V> BPlusTree<V> {
     /// Checks structural invariants (sortedness, occupancy, separator
     /// consistency). Test helper; `O(n)`.
     pub fn check_invariants(&self) {
-        fn check<V>(node: &Node<V>, order: usize, is_root: bool, depth: usize, leaf_depth: &mut Option<usize>) {
+        fn check<V>(
+            node: &Node<V>,
+            order: usize,
+            is_root: bool,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) {
             match node {
                 Node::Leaf { entries } => {
                     assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "leaf sorted");
@@ -580,7 +622,10 @@ mod tests {
             t.range_keys(Bound::Excluded((17, 0)), Bound::Unbounded),
             vec![(18, 0), (19, 0)]
         );
-        assert_eq!(t.range_keys(Bound::Included((50, 0)), Bound::Unbounded), vec![]);
+        assert_eq!(
+            t.range_keys(Bound::Included((50, 0)), Bound::Unbounded),
+            vec![]
+        );
     }
 
     #[test]
@@ -679,7 +724,11 @@ mod tests {
                 .collect();
             let mut distinct = ids.clone();
             distinct.dedup();
-            assert!(distinct.len() <= 2, "three neighbours span {} leaves", distinct.len());
+            assert!(
+                distinct.len() <= 2,
+                "three neighbours span {} leaves",
+                distinct.len()
+            );
         }
     }
 

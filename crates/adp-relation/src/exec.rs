@@ -32,7 +32,9 @@ pub struct SelectOutcome {
 
 /// Evaluates all of `filters` against a record.
 pub fn passes_filters(table: &Table, record: &Record, filters: &[Predicate]) -> bool {
-    filters.iter().all(|p| p.eval(table.schema(), record.values()))
+    filters
+        .iter()
+        .all(|p| p.eval(table.schema(), record.values()))
 }
 
 /// Executes the selection part of `query` (range on key + non-key filters).
@@ -133,7 +135,11 @@ pub fn check_referential_integrity(r: &Table, s: &Table) -> Result<(), String> {
     for row in r.rows() {
         let fk = row.record.key(r.schema());
         if s.position_of(fk, 0).is_none() {
-            return Err(format!("foreign key {fk} in {} has no match in {}", r.name(), s.name()));
+            return Err(format!(
+                "foreign key {fk} in {} has no match in {}",
+                r.name(),
+                s.name()
+            ));
         }
     }
     Ok(())
@@ -218,7 +224,11 @@ mod tests {
         let t = emp_table();
         let q = SelectQuery::range(KeyRange::less_than(10_000));
         let out = execute_select(&t, &q);
-        let ids: Vec<i64> = out.matches.iter().map(|m| m.record.get(0).as_int().unwrap()).collect();
+        let ids: Vec<i64> = out
+            .matches
+            .iter()
+            .map(|m| m.record.get(0).as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![5, 2, 1]);
         assert!(out.filtered_positions.is_empty());
     }
@@ -227,10 +237,17 @@ mod tests {
     fn figure1_multipoint_query() {
         // SELECT * FROM Emp WHERE Salary < 10000 AND Dept = 1 (Section 4.4)
         let t = emp_table();
-        let q = SelectQuery::range(KeyRange::less_than(10_000))
-            .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+        let q = SelectQuery::range(KeyRange::less_than(10_000)).filter(Predicate::new(
+            "dept",
+            CompareOp::Eq,
+            1i64,
+        ));
         let out = execute_select(&t, &q);
-        let ids: Vec<i64> = out.matches.iter().map(|m| m.record.get(0).as_int().unwrap()).collect();
+        let ids: Vec<i64> = out
+            .matches
+            .iter()
+            .map(|m| m.record.get(0).as_int().unwrap())
+            .collect();
         assert_eq!(ids, vec![5, 1]);
         // [002, C, 3500, 2] at position 1 is inside the range but filtered.
         assert_eq!(out.filtered_positions, vec![1]);
@@ -260,7 +277,10 @@ mod tests {
     fn contiguous_run_detection() {
         assert_eq!(contiguous_runs(&[]), vec![]);
         assert_eq!(contiguous_runs(&[3]), vec![(3, 3)]);
-        assert_eq!(contiguous_runs(&[1, 2, 3, 7, 8, 10]), vec![(1, 3), (7, 8), (10, 10)]);
+        assert_eq!(
+            contiguous_runs(&[1, 2, 3, 7, 8, 10]),
+            vec![(1, 3), (7, 8), (10, 10)]
+        );
     }
 
     fn dept_table() -> Table {
@@ -273,7 +293,8 @@ mod tests {
         );
         let mut t = Table::new("dept", schema);
         for (d, n) in [(1i64, "eng"), (2, "sales"), (3, "hr")] {
-            t.insert(Record::new(vec![Value::Int(d), Value::from(n)])).unwrap();
+            t.insert(Record::new(vec![Value::Int(d), Value::from(n)]))
+                .unwrap();
         }
         t
     }
@@ -290,7 +311,8 @@ mod tests {
         );
         let mut r = Table::new("emp_by_dept", schema);
         for (id, d) in [(5i64, 1i64), (1, 1), (2, 2), (3, 2), (4, 3)] {
-            r.insert(Record::new(vec![Value::Int(id), Value::Int(d)])).unwrap();
+            r.insert(Record::new(vec![Value::Int(id), Value::Int(d)]))
+                .unwrap();
         }
         let s = dept_table();
         check_referential_integrity(&r, &s).unwrap();

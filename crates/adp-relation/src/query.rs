@@ -59,7 +59,11 @@ pub struct Predicate {
 impl Predicate {
     /// Shorthand constructor.
     pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
-        Predicate { column: column.into(), op, value: value.into() }
+        Predicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Evaluates the predicate against record values (positionally resolved
@@ -89,22 +93,34 @@ pub struct KeyRange {
 impl KeyRange {
     /// The full domain.
     pub fn all() -> Self {
-        KeyRange { lo: Bound::Unbounded, hi: Bound::Unbounded }
+        KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
     }
 
     /// `α ≤ K ≤ β`.
     pub fn closed(alpha: i64, beta: i64) -> Self {
-        KeyRange { lo: Bound::Included(alpha), hi: Bound::Included(beta) }
+        KeyRange {
+            lo: Bound::Included(alpha),
+            hi: Bound::Included(beta),
+        }
     }
 
     /// `K ≥ α` (the Section 3.1 greater-than predicate form).
     pub fn at_least(alpha: i64) -> Self {
-        KeyRange { lo: Bound::Included(alpha), hi: Bound::Unbounded }
+        KeyRange {
+            lo: Bound::Included(alpha),
+            hi: Bound::Unbounded,
+        }
     }
 
     /// `K < β`.
     pub fn less_than(beta: i64) -> Self {
-        KeyRange { lo: Bound::Unbounded, hi: Bound::Excluded(beta) }
+        KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(beta),
+        }
     }
 
     /// `K = v`, i.e. `v ≤ K ≤ v` (Section 4.1: equality reduces to range).
@@ -159,7 +175,10 @@ impl KeyRange {
                 }
             }
         }
-        KeyRange { lo: tighter_lo(self.lo, other.lo), hi: tighter_hi(self.hi, other.hi) }
+        KeyRange {
+            lo: tighter_lo(self.lo, other.lo),
+            hi: tighter_hi(self.hi, other.hi),
+        }
     }
 
     /// Derives a key range from a predicate on the key column, if the
@@ -169,10 +188,22 @@ impl KeyRange {
         let v = p.value.as_int()?;
         Some(match p.op {
             CompareOp::Eq => KeyRange::point(v),
-            CompareOp::Lt => KeyRange { lo: Bound::Unbounded, hi: Bound::Excluded(v) },
-            CompareOp::Le => KeyRange { lo: Bound::Unbounded, hi: Bound::Included(v) },
-            CompareOp::Gt => KeyRange { lo: Bound::Excluded(v), hi: Bound::Unbounded },
-            CompareOp::Ge => KeyRange { lo: Bound::Included(v), hi: Bound::Unbounded },
+            CompareOp::Lt => KeyRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Excluded(v),
+            },
+            CompareOp::Le => KeyRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Included(v),
+            },
+            CompareOp::Gt => KeyRange {
+                lo: Bound::Excluded(v),
+                hi: Bound::Unbounded,
+            },
+            CompareOp::Ge => KeyRange {
+                lo: Bound::Included(v),
+                hi: Bound::Unbounded,
+            },
             CompareOp::Ne => return None,
         })
     }
@@ -208,9 +239,7 @@ impl Projection {
     pub fn resolve(&self, schema: &Schema) -> Option<Vec<usize>> {
         match self {
             Projection::All => Some((0..schema.arity()).collect()),
-            Projection::Columns(names) => {
-                names.iter().map(|n| schema.column_index(n)).collect()
-            }
+            Projection::Columns(names) => names.iter().map(|n| schema.column_index(n)).collect(),
         }
     }
 
@@ -218,9 +247,9 @@ impl Projection {
     pub fn keeps(&self, schema: &Schema, index: usize) -> bool {
         match self {
             Projection::All => true,
-            Projection::Columns(names) => names
-                .iter()
-                .any(|n| schema.column_index(n) == Some(index)),
+            Projection::Columns(names) => {
+                names.iter().any(|n| schema.column_index(n) == Some(index))
+            }
         }
     }
 }
@@ -242,7 +271,12 @@ pub struct SelectQuery {
 impl SelectQuery {
     /// Selects a key range with all columns.
     pub fn range(range: KeyRange) -> Self {
-        SelectQuery { range, filters: Vec::new(), projection: Projection::All, distinct: false }
+        SelectQuery {
+            range,
+            filters: Vec::new(),
+            projection: Projection::All,
+            distinct: false,
+        }
     }
 
     /// Builder: adds a non-key filter.
@@ -332,7 +366,10 @@ mod tests {
         let r = KeyRange::closed(10, 20);
         assert!(r.contains(10) && r.contains(20) && r.contains(15));
         assert!(!r.contains(9) && !r.contains(21));
-        let r = KeyRange { lo: Bound::Excluded(10), hi: Bound::Excluded(20) };
+        let r = KeyRange {
+            lo: Bound::Excluded(10),
+            hi: Bound::Excluded(20),
+        };
         assert!(!r.contains(10) && !r.contains(20) && r.contains(11));
         assert!(KeyRange::all().contains(i64::MIN) && KeyRange::all().contains(i64::MAX));
     }

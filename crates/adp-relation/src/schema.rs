@@ -13,7 +13,10 @@ pub struct Column {
 impl Column {
     /// Shorthand constructor.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl Schema {
             ValueType::Int,
             "key column must be INT"
         );
-        Schema { columns, key: key_idx }
+        Schema {
+            columns,
+            key: key_idx,
+        }
     }
 
     /// All columns in declaration order.
@@ -112,8 +118,15 @@ impl Schema {
 /// Schema validation failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchemaError {
-    Arity { expected: usize, got: usize },
-    Type { column: usize, expected: ValueType, got: ValueType },
+    Arity {
+        expected: usize,
+        got: usize,
+    },
+    Type {
+        column: usize,
+        expected: ValueType,
+        got: ValueType,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -122,8 +135,15 @@ impl fmt::Display for SchemaError {
             SchemaError::Arity { expected, got } => {
                 write!(f, "arity mismatch: expected {expected} values, got {got}")
             }
-            SchemaError::Type { column, expected, got } => {
-                write!(f, "type mismatch in column {column}: expected {expected}, got {got}")
+            SchemaError::Type {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column {column}: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -168,7 +188,10 @@ mod tests {
     #[should_panic(expected = "duplicate column")]
     fn duplicate_columns_panic() {
         Schema::new(
-            vec![Column::new("a", ValueType::Int), Column::new("a", ValueType::Int)],
+            vec![
+                Column::new("a", ValueType::Int),
+                Column::new("a", ValueType::Int),
+            ],
             "a",
         );
     }
@@ -192,11 +215,17 @@ mod tests {
         assert!(s.validate(&good).is_ok());
         assert!(matches!(
             s.validate(&good[..4]),
-            Err(SchemaError::Arity { expected: 5, got: 4 })
+            Err(SchemaError::Arity {
+                expected: 5,
+                got: 4
+            })
         ));
         let mut bad = good.clone();
         bad[1] = Value::Int(9);
-        assert!(matches!(s.validate(&bad), Err(SchemaError::Type { column: 1, .. })));
+        assert!(matches!(
+            s.validate(&bad),
+            Err(SchemaError::Type { column: 1, .. })
+        ));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Table name.
@@ -74,7 +78,9 @@ impl Table {
         self.schema.validate(record.values())?;
         let key = record.key(&self.schema);
         // Position after the last row with this key.
-        let pos = self.rows.partition_point(|r| r.record.key(&self.schema) <= key);
+        let pos = self
+            .rows
+            .partition_point(|r| r.record.key(&self.schema) <= key);
         let replica = if pos > 0 && self.rows[pos - 1].record.key(&self.schema) == key {
             self.rows[pos - 1].replica + 1
         } else {
@@ -91,7 +97,9 @@ impl Table {
 
     /// Finds the position of `(key, replica)`.
     pub fn position_of(&self, key: i64, replica: u32) -> Option<usize> {
-        let start = self.rows.partition_point(|r| r.sort_key(&self.schema) < (key, replica));
+        let start = self
+            .rows
+            .partition_point(|r| r.sort_key(&self.schema) < (key, replica));
         if start < self.rows.len() && self.rows[start].sort_key(&self.schema) == (key, replica) {
             Some(start)
         } else {
@@ -104,21 +112,36 @@ impl Table {
     pub fn key_range_positions(&self, lo: Bound<i64>, hi: Bound<i64>) -> (usize, usize) {
         let start = match lo {
             Bound::Unbounded => 0,
-            Bound::Included(a) => self.rows.partition_point(|r| r.record.key(&self.schema) < a),
-            Bound::Excluded(a) => self.rows.partition_point(|r| r.record.key(&self.schema) <= a),
+            Bound::Included(a) => self
+                .rows
+                .partition_point(|r| r.record.key(&self.schema) < a),
+            Bound::Excluded(a) => self
+                .rows
+                .partition_point(|r| r.record.key(&self.schema) <= a),
         };
         let end = match hi {
             Bound::Unbounded => self.rows.len(),
-            Bound::Included(b) => self.rows.partition_point(|r| r.record.key(&self.schema) <= b),
-            Bound::Excluded(b) => self.rows.partition_point(|r| r.record.key(&self.schema) < b),
+            Bound::Included(b) => self
+                .rows
+                .partition_point(|r| r.record.key(&self.schema) <= b),
+            Bound::Excluded(b) => self
+                .rows
+                .partition_point(|r| r.record.key(&self.schema) < b),
         };
         (start, end.max(start))
     }
 
     /// Iterates rows whose key lies within the bounds.
-    pub fn scan_range(&self, lo: Bound<i64>, hi: Bound<i64>) -> impl Iterator<Item = (usize, &Row)> {
+    pub fn scan_range(
+        &self,
+        lo: Bound<i64>,
+        hi: Bound<i64>,
+    ) -> impl Iterator<Item = (usize, &Row)> {
         let (s, e) = self.key_range_positions(lo, hi);
-        self.rows[s..e].iter().enumerate().map(move |(i, r)| (s + i, r))
+        self.rows[s..e]
+            .iter()
+            .enumerate()
+            .map(move |(i, r)| (s + i, r))
     }
 
     /// Replaces non-key attributes of the row at `pos` in place.

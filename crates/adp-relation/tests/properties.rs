@@ -12,7 +12,10 @@ use std::ops::Bound;
 
 fn schema() -> Schema {
     Schema::new(
-        vec![Column::new("k", ValueType::Int), Column::new("v", ValueType::Int)],
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Int),
+        ],
         "k",
     )
 }

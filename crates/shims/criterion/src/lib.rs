@@ -1,0 +1,273 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the benchmark-authoring surface used by this workspace's
+//! `benches/` (groups, `bench_function`, `iter`, `iter_batched`,
+//! throughput annotations, the `criterion_group!`/`criterion_main!`
+//! macros, and `black_box`) with a simple adaptive timing loop instead of
+//! criterion's statistical machinery. Results are printed to stdout as
+//! `group/name  median  mean  (throughput)` lines; no HTML reports.
+//!
+//! CLI behavior: a positional argument acts as a substring filter on
+//! `group/name`; `--test` runs every benchmark exactly once (this is what
+//! `cargo test --benches` passes); other flags cargo forwards (`--bench`)
+//! are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one measured iteration represents, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`. The shim runs one setup per
+/// measured call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct RunMode {
+    filter: Option<String>,
+    /// `--test`: run each benchmark once and report nothing.
+    smoke: bool,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        RunMode { filter, smoke }
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    mode: RunMode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: RunMode::from_args(),
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim already did in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        run_one(&self.mode, &id, None, sample_size, f);
+        self
+    }
+
+    /// Upstream flushes reports here; nothing to do in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(&self.criterion.mode, &full, self.throughput, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects timing samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warmup and per-sample iteration calibration: aim each sample at
+        // ~1ms so cheap routines aren't dominated by timer resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        // Setup cost is excluded: the clock only covers the routine.
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(
+    mode: &RunMode,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &mode.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        smoke: mode.smoke,
+    };
+    f(&mut b);
+    if mode.smoke {
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{id:<48} median {median:>12?}  mean {mean:>12?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("iter", |b| b.iter(|| ran = black_box(ran.wrapping_add(1))));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 21u64, |x| black_box(x * 2), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "the routine must actually run");
+    }
+}

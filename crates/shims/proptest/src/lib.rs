@@ -1,0 +1,272 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the surface this workspace's property suites use: the
+//! [`Strategy`](strategy::Strategy) trait over ranges / `any` / tuples /
+//! collections / regex-lite strings, `prop_map`, `prop_filter`, `boxed`,
+//! and the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!` macros plus [`ProptestConfig`].
+//!
+//! Deliberately missing vs upstream: shrinking (a failing case panics with
+//! the case number and deterministic seed instead of a minimized input),
+//! persistence files, and fork support. Case counts honor
+//! `ProptestConfig::with_cases` and are clamped by the `PROPTEST_CASES`
+//! environment variable when set, so CI can bound runtime globally.
+
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-suite configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it does not count toward the
+    /// case budget.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Strategy-facing namespace mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Generates an arbitrary value of `T` over its whole domain.
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// A strategy that always yields a clone of the given value.
+pub fn just<T: Clone>(value: T) -> strategy::Just<T> {
+    strategy::Just(value)
+}
+
+#[doc(hidden)]
+pub mod runner {
+    use super::*;
+
+    fn env_case_cap() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
+    /// Drives one property: runs `case` until `config.cases` non-rejected
+    /// executions succeed, panicking on the first failure with enough
+    /// context to replay (test name, case index, seed).
+    pub fn run(
+        name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        let cases = match env_case_cap() {
+            Some(cap) => config.cases.min(cap.max(1)),
+            None => config.cases,
+        };
+        // Deterministic per-test seed: stable FNV-1a over the test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1_0000_01b3);
+        }
+        let max_attempts = (cases as u64).saturating_mul(20).max(100);
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        while accepted < cases {
+            if attempts >= max_attempts {
+                panic!(
+                    "proptest '{name}': too many rejected cases \
+                     ({accepted}/{cases} accepted after {attempts} attempts)"
+                );
+            }
+            let case_seed = seed.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            attempts += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest '{name}' failed at case {accepted} (seed {case_seed:#x}):\n{msg}"
+                ),
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, just, prop, ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(*lhs == *rhs) {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}:\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if *lhs == *rhs {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed at {}:{}: both sides: {:?}",
+                file!(),
+                line!(),
+                lhs
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)
+        ($($pat:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            $crate::runner::run(stringify!($name), &config, |rng| {
+                $crate::__proptest_bind!(rng; $($params)*);
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+}
+
+/// Binds each proptest parameter (`pat in strategy` or `pat: Type`, the
+/// latter meaning `any::<Type>()`) to a generated value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $pat:ident in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:ident in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:ident : $ty:ty) => {
+        let $pat = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), $rng);
+    };
+    ($rng:ident; $pat:ident : $ty:ty, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}

@@ -1,0 +1,419 @@
+//! Value-generation strategies: the [`Strategy`] trait and the combinators
+//! the workspace's property suites use. No shrinking — generation only.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (regenerating, bounded).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of one value
+    /// type can live in one collection (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}': 1000 consecutive rejections", self.whence);
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// `any::<T>()` — the whole domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Any<T> {
+    pub fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy + PartialOrd + rand::SampleUniform + rand::RangeStep,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy + PartialOrd + rand::SampleUniform,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "collection::vec: empty size range");
+    VecStrategy { element, sizes }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.sizes.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// A `&str` is a regex-lite string strategy, as in upstream proptest.
+///
+/// Supported subset: literal characters, character classes `[a-z0-9_]`
+/// (ranges and singletons), `.` (printable ASCII), and the quantifiers
+/// `{n}`, `{lo,hi}`, `?`, `*` (0..=8), `+` (1..=8) applied to the
+/// preceding atom. Anything else panics loudly at generation time.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyChar,
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Atom::Literal(c) => out.push(*c),
+            Atom::AnyChar => out.push(rng.gen_range(0x20u32..0x7F) as u8 as char),
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*a as u32 + pick).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick is always within total");
+            }
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex '{pattern}'"));
+                    if a == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let b = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in regex '{pattern}'"));
+                        assert!(a <= b, "inverted range {a}-{b} in regex '{pattern}'");
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex '{pattern}'");
+                Atom::Class(ranges)
+            }
+            '.' => Atom::AnyChar,
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex '{pattern}'")),
+            ),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax '{c}' in '{pattern}' (shim subset)")
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(d) => spec.push(d),
+                        None => panic!("unterminated quantifier in regex '{pattern}'"),
+                    }
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier '{{{spec}}}' in regex '{pattern}'")
+                        }),
+                        b.parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier '{{{spec}}}' in regex '{pattern}'")
+                        }),
+                    ),
+                    None => {
+                        let n: usize = spec.parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier '{{{spec}}}' in regex '{pattern}'")
+                        });
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            lo <= hi,
+            "inverted quantifier {{{lo},{hi}}} in regex '{pattern}'"
+        );
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            atom.emit(rng, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_lite_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "x[0-9]+".generate(&mut rng);
+            assert!(t.starts_with('x') && t.len() >= 2);
+            assert!(t[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = (0..80i64, 0..3u32, crate::any::<u64>());
+        for _ in 0..500 {
+            let (k, r, _v) = strat.generate(&mut rng);
+            assert!((0..80).contains(&k));
+            assert!(r < 3);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = vec(crate::any::<u8>(), 0..40);
+        for _ in 0..200 {
+            assert!(strat.generate(&mut rng).len() < 40);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = OneOf::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline, API-compatible subset of `rand` 0.8.
+//!
+//! Provides exactly the surface this workspace uses: [`RngCore`],
+//! [`SeedableRng`], [`Rng`] (`gen`, `gen_range`, `gen_bool`, `fill`),
+//! [`rngs::StdRng`], and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The generator behind `StdRng` is xoshiro256** seeded via SplitMix64 —
+//! deterministic for a given seed, but the streams differ from upstream
+//! `rand`'s ChaCha12. Nothing in this repo depends on cross-library stream
+//! reproducibility, only on in-repo determinism.
+
+/// Core trait for random number generators: raw output and byte filling.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64-expand the u64 into a full seed, as upstream does.
+        let mut sm = SplitMix64(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from their full value range by `gen`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+                   i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+                   usize => next_u64, isize => next_u64);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform sampling within a range, for `Rng::gen_range`.
+///
+/// For integers `sample_range` is inclusive of `hi_inclusive` (the `Range`
+/// impl decrements the bound first). For floats it samples `[lo, hi)`, and
+/// `sample_range_inclusive` — used by `RangeInclusive` — samples `[lo, hi]`
+/// to match upstream rand 0.8.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self;
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        Self::sample_range(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+                debug_assert!(lo <= hi_inclusive);
+                let span = (hi_inclusive as $u).wrapping_sub(lo as $u);
+                if span == <$u>::MAX {
+                    return <$u as Standard>::sample(rng) as $t;
+                }
+                let span = span + 1;
+                // Rejection sampling over the widened type to kill modulo bias.
+                let zone = <$u>::MAX - (<$u>::MAX - span + 1) % span;
+                loop {
+                    let v = <$u as Standard>::sample(rng);
+                    if v <= zone {
+                        return (lo as $u).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as u64,
+    i16 as u64,
+    i32 as u64,
+    i64 as u64,
+    isize as u64
+);
+
+impl SampleUniform for u128 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        debug_assert!(lo <= hi_inclusive);
+        let span = hi_inclusive.wrapping_sub(lo);
+        if span == u128::MAX {
+            return <u128 as Standard>::sample(rng);
+        }
+        let span = span + 1;
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = <u128 as Standard>::sample(rng);
+            if v <= zone {
+                return lo.wrapping_add(v % span);
+            }
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        lo + <f64 as Standard>::sample(rng) * (hi_inclusive - lo)
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // 53 uniform bits scaled over [0, 1] (denominator 2^53 - 1, not
+        // 2^53), so `hi` itself is reachable.
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        lo + <f32 as Standard>::sample(rng) * (hi_inclusive - lo)
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u32() >> 8) as f32 / ((1u32 << 24) - 1) as f32;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range argument accepted by `Rng::gen_range` (half-open or inclusive).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + RangeStep> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, RangeStep::down(self.end))
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_range_inclusive(rng, lo, hi)
+    }
+}
+
+/// Converts an exclusive upper bound into an inclusive one.
+pub trait RangeStep {
+    fn down(self) -> Self;
+}
+
+macro_rules! impl_range_step_int {
+    ($($t:ty),*) => {$(
+        impl RangeStep for $t {
+            fn down(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_range_step_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl RangeStep for f64 {
+    fn down(self) -> Self {
+        self // half-open float ranges sample [lo, hi) directly
+    }
+}
+
+impl RangeStep for f32 {
+    fn down(self) -> Self {
+        self
+    }
+}
+
+/// Convenience extension over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s StdRng.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// `rand::prelude`-alike for convenience.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-300..320);
+            assert!((-300..320).contains(&v));
+            let w: u64 = rng.gen_range(3u64..u64::MAX);
+            assert!(w >= 3);
+            let f = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+            let fi = rng.gen_range(0.0..=2.5);
+            assert!((0.0..=2.5).contains(&fi));
+            let inc = rng.gen_range(5..=5);
+            assert_eq!(inc, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "50 elements staying in place is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 33];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}

@@ -48,13 +48,22 @@ fn main() {
     let cert = owner.certificate(&signed);
     let publisher = Publisher::new(&signed);
 
-    let query = SelectQuery::range(KeyRange::less_than(10_000))
-        .filter(Predicate::new("dept", CompareOp::Eq, 1i64));
+    let query = SelectQuery::range(KeyRange::less_than(10_000)).filter(Predicate::new(
+        "dept",
+        CompareOp::Eq,
+        1i64,
+    ));
     let (rows, vo) = publisher.answer_select(&query).unwrap();
     let report = verify_select(&cert, &query, &rows, &vo).unwrap();
     println!("Case 1 — Salary < 10000 AND Dept = 1:");
     for r in &rows {
-        println!("  id={} name={} salary={} dept={}", r.get(0), r.get(1), r.get(2), r.get(3));
+        println!(
+            "  id={} name={} salary={} dept={}",
+            r.get(0),
+            r.get(1),
+            r.get(2),
+            r.get(3)
+        );
     }
     println!(
         "  verified: {} matches, {} in-range rows proven filtered (their\n\
@@ -103,12 +112,14 @@ fn main() {
     // The unclassified user's query is rewritten to filter on the
     // visibility flag; the projection keeps the flag out of sight of
     // nothing (it is just a boolean).
-    let user_query = SelectQuery::range(KeyRange::less_than(10_000))
-        .project(&["id", "name", "salary"]);
+    let user_query =
+        SelectQuery::range(KeyRange::less_than(10_000)).project(&["id", "name", "salary"]);
     let mut rewritten = user_query.clone();
     rewritten
         .filters
-        .push(AccessPolicy::visibility_predicate(&Role::new("unclassified")));
+        .push(AccessPolicy::visibility_predicate(&Role::new(
+            "unclassified",
+        )));
     let (rows, vo) = publisher_v.answer_select(&rewritten).unwrap();
     let report = verify_select(&cert_v, &rewritten, &rows, &vo).unwrap();
     println!("  unclassified user sees {} rows:", rows.len());

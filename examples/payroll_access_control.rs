@@ -61,14 +61,21 @@ fn main() {
     policy.set(Role::new("hr_manager"), RolePolicy::default());
     policy.set(
         Role::new("hr_exec"),
-        RolePolicy { key_range: Some(KeyRange::less_than(9_000)), ..Default::default() },
+        RolePolicy {
+            key_range: Some(KeyRange::less_than(9_000)),
+            ..Default::default()
+        },
     );
 
     let mut rng = StdRng::seed_from_u64(1066157);
     let owner = Owner::new(1024, &mut rng);
     let table = employee_table();
     let signed = owner
-        .sign_table(table.clone(), Domain::new(0, 100_000), SchemeConfig::default())
+        .sign_table(
+            table.clone(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let cert = owner.certificate(&signed);
     let publisher = Publisher::new(&signed);
@@ -80,7 +87,10 @@ fn main() {
     let mgr_query = policy.rewrite(cert_schema(&cert), &Role::new("hr_manager"), &user_query);
     let (mgr_rows, mgr_vo) = publisher.answer_select(&mgr_query).unwrap();
     verify_select(&cert, &mgr_query, &mgr_rows, &mgr_vo).unwrap();
-    println!("hr_manager gets {} rows (verified complete):", mgr_rows.len());
+    println!(
+        "hr_manager gets {} rows (verified complete):",
+        mgr_rows.len()
+    );
     for r in &mgr_rows {
         println!("  id={} name={} salary={}", r.get(0), r.get(1), r.get(2));
     }
@@ -89,11 +99,18 @@ fn main() {
     let exec_query = policy.rewrite(cert_schema(&cert), &Role::new("hr_exec"), &user_query);
     let (exec_rows, exec_vo) = publisher.answer_select(&exec_query).unwrap();
     verify_select(&cert, &exec_query, &exec_rows, &exec_vo).unwrap();
-    println!("\nhr_exec's query is rewritten to Salary < 9000 → {} rows (verified complete):", exec_rows.len());
+    println!(
+        "\nhr_exec's query is rewritten to Salary < 9000 → {} rows (verified complete):",
+        exec_rows.len()
+    );
     for r in &exec_rows {
         println!("  id={} name={} salary={}", r.get(0), r.get(1), r.get(2));
     }
-    let max_salary = exec_rows.iter().map(|r| r.get(2).as_int().unwrap()).max().unwrap();
+    let max_salary = exec_rows
+        .iter()
+        .map(|r| r.get(2).as_int().unwrap())
+        .max()
+        .unwrap();
     assert!(max_salary < 9_000);
     println!("  → completeness proven WITHOUT disclosing any salary ≥ 9000");
 

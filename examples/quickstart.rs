@@ -27,8 +27,14 @@ fn main() {
         .sign_table(table, domain, SchemeConfig::default())
         .expect("keys fit the domain");
     let cert = owner.certificate(&signed);
-    println!("owner: signed {} entries (+2 delimiters) over domain (0, 100000)", signed.len());
-    println!("owner → publisher: data + {} bytes of signatures", signed.dissemination_size());
+    println!(
+        "owner: signed {} entries (+2 delimiters) over domain (0, 100000)",
+        signed.len()
+    );
+    println!(
+        "owner → publisher: data + {} bytes of signatures",
+        signed.dissemination_size()
+    );
 
     // ----- Publisher side ------------------------------------------------
     let query = SelectQuery::range(KeyRange::at_least(10_000));
@@ -47,8 +53,8 @@ fn main() {
     }
 
     // ----- User side ------------------------------------------------------
-    let (decoded, report) =
-        verify_select_wire(&cert, &query, &result_bytes, &vo_bytes).expect("honest answer verifies");
+    let (decoded, report) = verify_select_wire(&cert, &query, &result_bytes, &vo_bytes)
+        .expect("honest answer verifies");
     println!(
         "\nuser: verified completeness + authenticity ({} rows, {} signature(s) checked)",
         report.matched, report.signatures_verified
@@ -63,5 +69,8 @@ fn main() {
     let (mut bad_result, bad_vo) = publisher.answer_select(&query).unwrap();
     bad_result.remove(0);
     let verdict = verify_select(&cert, &query, &bad_result, &bad_vo);
-    println!("\ncheating publisher drops 12100 → verification says: {:?}", verdict.unwrap_err());
+    println!(
+        "\ncheating publisher drops 12100 → verification says: {:?}",
+        verdict.unwrap_err()
+    );
 }

@@ -12,8 +12,8 @@
 use adp::core::join::{answer_pkfk_join, verify_pkfk_join};
 use adp::core::prelude::*;
 use adp::relation::{
-    check_referential_integrity, Column, KeyRange, Projection, Record, Schema, SelectQuery,
-    Table, Value, ValueType,
+    check_referential_integrity, Column, KeyRange, Projection, Record, Schema, SelectQuery, Table,
+    Value, ValueType,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,7 +87,11 @@ fn tables_for_join(rng: &mut StdRng) -> (Table, Table) {
         (5, "EEEE", "SGX"),
     ] {
         listings
-            .insert(Record::new(vec![Value::Int(id), Value::from(sym), Value::from(ex)]))
+            .insert(Record::new(vec![
+                Value::Int(id),
+                Value::from(sym),
+                Value::from(ex),
+            ]))
             .unwrap();
     }
     (by_ticker, listings)
@@ -188,11 +192,17 @@ fn main() {
     vals[2] = Value::Int(1); // the market did not crash
     tampered[0] = Record::new(vals);
     let verdict = verify_select(&cert, &q_probe, &tampered, &tvo);
-    println!("\ncompromised proxy rewrites a close price → {:?}", verdict.unwrap_err());
+    println!(
+        "\ncompromised proxy rewrites a close price → {:?}",
+        verdict.unwrap_err()
+    );
 
     // …and another one silently withholds a whole day.
     let (mut withheld, wvo) = Publisher::new(&signed).answer_select(&q_probe).unwrap();
     withheld.retain(|r| r.get(0).as_int() != Some(103));
     let verdict = verify_select(&cert, &q_probe, &withheld, &wvo);
-    println!("compromised proxy withholds day 103 → {:?}", verdict.unwrap_err());
+    println!(
+        "compromised proxy withholds day 103 → {:?}",
+        verdict.unwrap_err()
+    );
 }

@@ -52,8 +52,11 @@ fn main() {
     let mut client = Client::new(owner.certificate(&signed));
 
     // Verified revenue for region 1, orders 100..400.
-    let q = SelectQuery::range(KeyRange::closed(100, 399))
-        .filter(Predicate::new("region", CompareOp::Eq, 1i64));
+    let q = SelectQuery::range(KeyRange::closed(100, 399)).filter(Predicate::new(
+        "region",
+        CompareOp::Eq,
+        1i64,
+    ));
     let sum = client
         .aggregate(&publisher, &q, "amount_cents", AggregateKind::Sum)
         .unwrap();

@@ -1,5 +1,5 @@
 //! Facade crate; see crates/*.
+pub use adp_baselines as baselines;
 pub use adp_core as core;
 pub use adp_crypto as crypto;
 pub use adp_relation as relation;
-pub use adp_baselines as baselines;

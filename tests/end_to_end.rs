@@ -61,7 +61,11 @@ fn lifecycle_with_access_control_and_updates() {
     );
 
     let mut st = o
-        .sign_table(payroll(200, 7), Domain::new(0, 100_000), SchemeConfig::default())
+        .sign_table(
+            payroll(200, 7),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
         .unwrap();
     let cert = o.certificate(&st);
 
@@ -76,9 +80,7 @@ fn lifecycle_with_access_control_and_updates() {
         if role == "analyst" {
             // Only salary + dept columns.
             assert_eq!(rows[0].arity(), 2);
-            assert!(rows
-                .iter()
-                .all(|r| r.get(0).as_int().unwrap() < 20_000));
+            assert!(rows.iter().all(|r| r.get(0).as_int().unwrap() < 20_000));
         }
     }
 
@@ -97,7 +99,8 @@ fn lifecycle_with_access_control_and_updates() {
     }
     let victim_key = st.table().row(10).record.key(st.table().schema());
     let victim_replica = st.table().row(10).replica;
-    o.delete_record(&mut st, victim_key, victim_replica).unwrap();
+    o.delete_record(&mut st, victim_key, victim_replica)
+        .unwrap();
     assert!(st.audit());
 
     let publisher = Publisher::new(&st);
@@ -119,7 +122,11 @@ fn multiple_sort_orders_answer_different_queries() {
     let signed = o
         .sign_sort_orders(
             &table,
-            &[("salary", Domain::new(0, 100_000)), ("dept", Domain::new(-10, 100)), ("id", Domain::new(-2, 10_000))],
+            &[
+                ("salary", Domain::new(0, 100_000)),
+                ("dept", Domain::new(-10, 100)),
+                ("id", Domain::new(-2, 10_000)),
+            ],
             SchemeConfig::default(),
         )
         .unwrap();
@@ -202,8 +209,12 @@ fn concurrent_publishers_serve_verifiable_answers() {
     use std::sync::Arc;
     let o = owner();
     let st = Arc::new(
-        o.sign_table(payroll(300, 5), Domain::new(0, 100_000), SchemeConfig::default())
-            .unwrap(),
+        o.sign_table(
+            payroll(300, 5),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
+        .unwrap(),
     );
     let cert = Arc::new(o.certificate(&st));
     let mut handles = Vec::new();
