@@ -17,11 +17,21 @@
 //!            --answer answer/
 //!     (user)     checks completeness + authenticity of the answer against
 //!                the certificate alone.
+//!
+//! adp serve --dir published/ --addr 127.0.0.1:4170
+//!     (publisher) serves the published directory over TCP: a threaded
+//!                server with VO caching speaking the docs/PROTOCOL.md
+//!                frame protocol.
+//!
+//! adp rquery --addr 127.0.0.1:4170 --cert published/certificate.bin \
+//!            --range A..B [--project c1,c2] [--out answer/]
+//!     (user)     queries a live server and verifies the answer in one
+//!                step; optionally writes result.bin / vo.bin like `query`.
 //! ```
 //!
 //! `query` and `verify` are deliberately separated processes exchanging
-//! only files: the verifier sees exactly the bytes an untrusted publisher
-//! would send.
+//! only files, and `serve`/`rquery` exchange only sockets: the verifier
+//! sees exactly the bytes an untrusted publisher would send.
 
 mod csv;
 
@@ -43,6 +53,8 @@ fn main() -> ExitCode {
         Some("publish") => cmd_publish(&parse_flags(&args[1..])),
         Some("query") => cmd_query(&parse_flags(&args[1..])),
         Some("verify") => cmd_verify(&parse_flags(&args[1..])),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])),
+        Some("rquery") => cmd_rquery(&parse_flags(&args[1..])),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -65,7 +77,10 @@ fn print_usage() {
          USAGE:\n\
          adp publish --csv FILE --key COLUMN --domain L..U --out DIR [--seed N] [--bits N]\n\
          adp query   --dir DIR --range A..B [--project c1,c2] --out DIR\n\
-         adp verify  --cert FILE --range A..B [--project c1,c2] --answer DIR\n"
+         adp verify  --cert FILE --range A..B [--project c1,c2] --answer DIR\n\
+         adp serve   --dir DIR [--addr HOST:PORT] [--table N] [--workers N] [--cache N]\n\
+         adp rquery  --addr HOST:PORT --cert FILE --range A..B [--project c1,c2]\n\
+         \x20           [--table N] [--out DIR]\n"
     );
 }
 
@@ -225,12 +240,10 @@ fn load_csv_table(path: &Path, key_col: &str) -> Result<(Table, String), String>
 
 // ------------------------------------------------------------------ query
 
-fn cmd_query(flags: &Flags) -> Result<(), String> {
-    let dir = PathBuf::from(need(flags, "dir")?);
-    let (a, b) = parse_range_pair(need(flags, "range")?)?;
-    let out = PathBuf::from(need(flags, "out")?);
-    let projection = parse_projection(flags);
-
+/// Loads a published directory (`table.csv` + `signatures.bin` +
+/// `certificate.bin`) back into a [`SignedTable`], refusing to serve data
+/// that fails the signature audit.
+fn load_published(dir: &Path) -> Result<SignedTable, String> {
     let cert_bytes = fs::read(dir.join("certificate.bin")).map_err(|e| e.to_string())?;
     let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
     let sig_bytes = fs::read(dir.join("signatures.bin")).map_err(|e| e.to_string())?;
@@ -247,6 +260,15 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     if !signed.audit() {
         return Err("published data does not match its signatures — refusing to serve".into());
     }
+    Ok(signed)
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(need(flags, "dir")?);
+    let (a, b) = parse_range_pair(need(flags, "range")?)?;
+    let out = PathBuf::from(need(flags, "out")?);
+    let projection = parse_projection(flags);
+    let signed = load_published(&dir)?;
 
     let query = SelectQuery {
         range: KeyRange::closed(a, b),
@@ -257,23 +279,9 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let (result, vo) = Publisher::new(&signed)
         .answer_select(&query)
         .map_err(|e| e.to_string())?;
-    fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     let result_bytes = wire::encode_records(&result);
     let vo_bytes = wire::encode_vo(&vo);
-    fs::write(out.join("result.bin"), &result_bytes).map_err(|e| e.to_string())?;
-    fs::write(out.join("vo.bin"), &vo_bytes).map_err(|e| e.to_string())?;
-    // Human-readable copy.
-    let mut csv_out = String::new();
-    for rec in &result {
-        let line: Vec<String> = rec
-            .values()
-            .iter()
-            .map(|v| csv::write_field(&value_to_text(v)))
-            .collect();
-        csv_out.push_str(&line.join(","));
-        csv_out.push('\n');
-    }
-    fs::write(out.join("result.csv"), csv_out).map_err(|e| e.to_string())?;
+    write_answer_dir(&out, &result, &result_bytes, &vo_bytes)?;
     println!(
         "answered [{a}, {b}]: {} rows, {} result bytes + {} VO bytes → {}",
         result.len(),
@@ -282,6 +290,31 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         out.display()
     );
     Ok(())
+}
+
+/// Writes an answer directory (`result.bin` + `vo.bin` + a human-readable
+/// `result.csv`) in the layout `adp verify --answer` reads back — shared
+/// by `query` (files) and `rquery` (socket).
+fn write_answer_dir(
+    out: &Path,
+    rows: &[Record],
+    result_bytes: &[u8],
+    vo_bytes: &[u8],
+) -> Result<(), String> {
+    fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    fs::write(out.join("result.bin"), result_bytes).map_err(|e| e.to_string())?;
+    fs::write(out.join("vo.bin"), vo_bytes).map_err(|e| e.to_string())?;
+    let mut csv_out = String::new();
+    for rec in rows {
+        let line: Vec<String> = rec
+            .values()
+            .iter()
+            .map(|v| csv::write_field(&value_to_text(v)))
+            .collect();
+        csv_out.push_str(&line.join(","));
+        csv_out.push('\n');
+    }
+    fs::write(out.join("result.csv"), csv_out).map_err(|e| e.to_string())
 }
 
 fn value_to_text(v: &Value) -> String {
@@ -327,4 +360,84 @@ fn cmd_verify(flags: &Flags) -> Result<(), String> {
         }
         Err(e) => Err(format!("REJECTED: {e}")),
     }
+}
+
+// ------------------------------------------------------------------ serve
+
+fn parse_u32_flag(flags: &Flags, key: &str, default: u32) -> Result<u32, String> {
+    flags.get(key).map_or(Ok(default), |s| {
+        s.parse().map_err(|_| format!("bad --{key}"))
+    })
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(need(flags, "dir")?);
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4170");
+    let table_id = parse_u32_flag(flags, "table", 0)?;
+    let workers = parse_u32_flag(flags, "workers", 4)? as usize;
+    let cache = parse_u32_flag(flags, "cache", 1024)? as usize;
+
+    let signed = load_published(&dir)?;
+    let rows = signed.len();
+    let mut server = adp_server::Server::new(adp_server::ServerConfig {
+        workers,
+        cache_capacity: cache,
+        ..adp_server::ServerConfig::default()
+    });
+    server.add_table(table_id, signed);
+    let handle = server.serve(addr).map_err(|e| e.to_string())?;
+    println!(
+        "serving table {table_id} ({rows} rows) on {} — {} workers, VO cache {} entries \
+         (protocol: docs/PROTOCOL.md; stop with ctrl-c)",
+        handle.addr(),
+        workers.max(1),
+        cache,
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+// ----------------------------------------------------------------- rquery
+
+fn cmd_rquery(flags: &Flags) -> Result<(), String> {
+    let addr = need(flags, "addr")?;
+    let cert_path = PathBuf::from(need(flags, "cert")?);
+    let (a, b) = parse_range_pair(need(flags, "range")?)?;
+    let table_id = parse_u32_flag(flags, "table", 0)?;
+    let projection = parse_projection(flags);
+
+    let cert_bytes = fs::read(&cert_path).map_err(|e| e.to_string())?;
+    let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
+    let query = SelectQuery {
+        range: KeyRange::closed(a, b),
+        filters: Vec::new(),
+        projection,
+        distinct: false,
+    };
+    let mut user = adp_server::RemoteVerifier::connect(addr, cert, table_id)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let (verified, result_bytes, vo_bytes) = user
+        .select_with_bytes(&query)
+        .map_err(|e| format!("REJECTED: {e}"))?;
+    println!(
+        "VERIFIED: {} rows are the complete, authentic answer to [{a}, {b}] \
+         ({} signature(s) checked, {} result bytes + {} VO bytes over the wire)",
+        verified.rows.len(),
+        verified.report.signatures_verified,
+        verified.result_bytes,
+        verified.vo_bytes,
+    );
+    if let Some(out) = flags.get("out").filter(|s| !s.is_empty()) {
+        // Persist the answer in the same layout `query` writes, so
+        // `adp verify --answer` can re-check it offline later.
+        let out = PathBuf::from(out);
+        write_answer_dir(&out, &verified.rows, &result_bytes, &vo_bytes)?;
+        println!("wrote verified result to {}", out.display());
+    }
+    Ok(())
 }

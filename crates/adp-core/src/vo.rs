@@ -30,8 +30,11 @@ pub enum RepProof {
     /// `^jδ_t`: the publisher supplies the canonical representation's
     /// digest plus the Merkle path placing `h(^jδ_t)` in the tree.
     NonCanonical {
+        /// Which preferred non-canonical representation `^jδ_t`.
         index: u32,
+        /// Digest of the canonical representation's chain targets.
         canon_digest: Digest,
+        /// Merkle path placing `h(^jδ_t)` in the representation tree.
         path: InclusionProof,
     },
 }
@@ -57,8 +60,13 @@ pub struct BoundaryProof {
 /// Positions index the record's *non-key* columns in schema order.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AttrProof {
+    /// Attribute values revealed inline (multipoint-filtered rows disclose
+    /// the failing attribute(s) this way).
     pub disclosed: Vec<(u32, Value)>,
+    /// Leaf digests standing in for attributes the user may not see.
     pub hidden: Vec<(u32, Digest)>,
+    /// The `MHT(r.A)` root; the verifier recomputes it from the other two
+    /// fields and cross-checks.
     pub root: Digest,
 }
 
@@ -76,7 +84,9 @@ pub enum EntryChains {
 pub enum EntryProof {
     /// A row of the returned result (in order).
     Match {
+        /// Chain material for the disclosed key (Figure 8b).
         chains: EntryChains,
+        /// Attribute tree proof; disclosure happens through the result row.
         attrs: AttrProof,
     },
     /// A row inside the range that fails the query's non-key filters
@@ -85,8 +95,11 @@ pub enum EntryProof {
     /// that is the role's visibility flag. The chain components are opaque
     /// because the key is not revealed.
     Filtered {
+        /// Finished up-direction component of `g` (key stays hidden).
         up_component: Digest,
+        /// Finished down-direction component of `g`.
         down_component: Digest,
+        /// Attribute proof disclosing the failing attribute value(s).
         attrs: AttrProof,
     },
     /// A DISTINCT-eliminated duplicate of result row `of` (Section 4.2).
@@ -94,8 +107,11 @@ pub enum EntryProof {
     /// digests cover the attributes outside the projection, which may
     /// differ between duplicates.
     Duplicate {
+        /// Index of the retained first occurrence in the result.
         of: u32,
+        /// Chain material, reconstructible from the referenced row's key.
         chains: EntryChains,
+        /// Attribute proof (duplicates may differ outside the projection).
         attrs: AttrProof,
     },
 }
@@ -104,7 +120,9 @@ pub enum EntryProof {
 /// condensed into a single aggregate by default.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SignatureProof {
+    /// One condensed-RSA aggregate covering every link (Section 5.2).
     Aggregated(AggregateSignature),
+    /// One plain signature per link (aggregation disabled).
     Individual(Vec<Signature>),
 }
 
@@ -122,7 +140,10 @@ impl SignatureProof {
 /// domain edge anchor `h(L)` or the opaque concatenated digests.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PrevG {
+    /// The left neighbour is the domain's left delimiter: the anchor is
+    /// `h(L)`, which the verifier derives from the certificate.
     Edge,
+    /// The serialized `g` of the record before the left boundary, opaque.
     Opaque(Vec<u8>),
 }
 
@@ -131,18 +152,26 @@ pub enum PrevG {
 /// one `K > β`, and the left one's signature binds them as neighbours.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EmptyProof {
+    /// `g` of the record preceding the left boundary (signature input).
     pub prev: PrevG,
+    /// Proof that the left straddling record's key is `< α`.
     pub left: BoundaryProof,
+    /// Proof that the right straddling record's key is `> β`.
     pub right: BoundaryProof,
+    /// The left record's chain signature, binding the pair as neighbours.
     pub signature: SignatureProof,
 }
 
 /// VO for a non-empty result.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RangeVO {
+    /// Proof that the record before the first result has key `< α`.
     pub left: BoundaryProof,
+    /// Proof that the record after the last result has key `> β`.
     pub right: BoundaryProof,
+    /// One entry per chain position inside the range, in key order.
     pub entries: Vec<EntryProof>,
+    /// The chained signatures covering every in-range position.
     pub signatures: SignatureProof,
 }
 

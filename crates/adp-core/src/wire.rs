@@ -16,8 +16,9 @@ use crate::vo::{
     RepProof, SignatureProof,
 };
 use adp_crypto::{AggregateSignature, Digest, InclusionProof, ProofStep, Signature};
-use adp_relation::{Record, Value};
+use adp_relation::{CompareOp, KeyRange, Predicate, Projection, Record, SelectQuery, Value};
 use std::fmt;
+use std::ops::Bound;
 
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,48 +38,63 @@ pub struct Writer {
 }
 
 impl Writer {
+    /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Consumes the writer, returning the accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
+    /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
+    /// Whether nothing has been written yet.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
 
+    /// Appends a single byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// Appends a `u32`, little-endian.
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u64`, little-endian.
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `i64`, little-endian two's complement.
     pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a length-prefixed byte string (`u32` length, then the
+    /// bytes).
     pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
 
+    /// Appends a digest (`u8` length, then the digest bytes — digests are
+    /// 16–32 bytes, so one length byte suffices and the Figure 9 accounting
+    /// of `1 + M_digest/8` bytes per digest holds exactly).
     pub fn digest(&mut self, d: &Digest) {
         self.u8(d.len() as u8);
         self.buf.extend_from_slice(d.as_bytes());
     }
 
+    /// Appends a [`Value`] in its canonical self-describing encoding,
+    /// length-prefixed.
     pub fn value(&mut self, v: &Value) {
         self.bytes(&v.encode());
     }
@@ -91,14 +107,18 @@ pub struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// Wraps a byte slice for decoding.
     pub fn new(data: &'a [u8]) -> Self {
         Reader { data, pos: 0 }
     }
 
+    /// Bytes left to consume.
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
 
+    /// Whether every byte has been consumed (decoders demand this to
+    /// reject trailing garbage).
     pub fn done(&self) -> bool {
         self.remaining() == 0
     }
@@ -112,27 +132,35 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, WireError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads a length-prefixed byte string; the length is bounds-checked
+    /// against the remaining input before any allocation.
     pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
         self.take(len)
     }
 
+    /// Reads a digest, rejecting lengths outside the scheme's 16–32 byte
+    /// window.
     pub fn digest(&mut self) -> Result<Digest, WireError> {
         let len = self.u8()? as usize;
         if !(16..=32).contains(&len) {
@@ -141,6 +169,7 @@ impl<'a> Reader<'a> {
         Ok(Digest::from_bytes(self.take(len)?))
     }
 
+    /// Reads a length-prefixed [`Value`] in its canonical encoding.
     pub fn value(&mut self) -> Result<Value, WireError> {
         let raw = self.bytes()?;
         decode_value(raw)
@@ -681,6 +710,149 @@ pub fn decode_records(data: &[u8]) -> Result<Vec<Record>, WireError> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------- queries
+
+fn write_key_bound(w: &mut Writer, b: &Bound<i64>) {
+    match b {
+        Bound::Unbounded => w.u8(0),
+        Bound::Included(v) => {
+            w.u8(1);
+            w.i64(*v);
+        }
+        Bound::Excluded(v) => {
+            w.u8(2);
+            w.i64(*v);
+        }
+    }
+}
+
+fn read_key_bound(r: &mut Reader) -> Result<Bound<i64>, WireError> {
+    Ok(match r.u8()? {
+        0 => Bound::Unbounded,
+        1 => Bound::Included(r.i64()?),
+        2 => Bound::Excluded(r.i64()?),
+        _ => return Err(WireError("bad bound tag")),
+    })
+}
+
+fn compare_op_tag(op: CompareOp) -> u8 {
+    match op {
+        CompareOp::Eq => 0,
+        CompareOp::Ne => 1,
+        CompareOp::Lt => 2,
+        CompareOp::Le => 3,
+        CompareOp::Gt => 4,
+        CompareOp::Ge => 5,
+    }
+}
+
+fn compare_op_from_tag(tag: u8) -> Result<CompareOp, WireError> {
+    Ok(match tag {
+        0 => CompareOp::Eq,
+        1 => CompareOp::Ne,
+        2 => CompareOp::Lt,
+        3 => CompareOp::Le,
+        4 => CompareOp::Gt,
+        5 => CompareOp::Ge,
+        _ => return Err(WireError("bad compare op tag")),
+    })
+}
+
+/// Encodes a [`SelectQuery`] — the request half of the publisher protocol
+/// (`adp-server` carries these inside `QueryRequest` frames; see
+/// `docs/PROTOCOL.md`).
+///
+/// Layout: key-range bounds (tagged), filter list, projection, DISTINCT
+/// flag. The encoding round-trips exactly:
+///
+/// ```
+/// use adp_core::wire::{decode_query, encode_query};
+/// use adp_relation::{KeyRange, SelectQuery};
+///
+/// let q = SelectQuery::range(KeyRange::closed(2_000, 9_000)).distinct();
+/// assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+/// ```
+pub fn encode_query(query: &SelectQuery) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_key_bound(&mut w, &query.range.lo);
+    write_key_bound(&mut w, &query.range.hi);
+    w.u32(query.filters.len() as u32);
+    for f in &query.filters {
+        w.bytes(f.column.as_bytes());
+        w.u8(compare_op_tag(f.op));
+        w.value(&f.value);
+    }
+    match &query.projection {
+        Projection::All => w.u8(0),
+        Projection::Columns(cols) => {
+            w.u8(1);
+            w.u32(cols.len() as u32);
+            for c in cols {
+                w.bytes(c.as_bytes());
+            }
+        }
+    }
+    w.u8(query.distinct as u8);
+    w.into_bytes()
+}
+
+/// Decodes a [`SelectQuery`], validating framing (a malicious client
+/// controls these bytes just as a malicious publisher controls VO bytes).
+pub fn decode_query(data: &[u8]) -> Result<SelectQuery, WireError> {
+    let mut r = Reader::new(data);
+    let query = read_query(&mut r)?;
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(query)
+}
+
+fn read_query(r: &mut Reader) -> Result<SelectQuery, WireError> {
+    let lo = read_key_bound(r)?;
+    let hi = read_key_bound(r)?;
+    let nf = r.u32()? as usize;
+    if nf > 1 << 10 {
+        return Err(WireError("too many filters"));
+    }
+    let mut filters = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let column =
+            String::from_utf8(r.bytes()?.to_vec()).map_err(|_| WireError("bad column name"))?;
+        let op = compare_op_from_tag(r.u8()?)?;
+        let value = r.value()?;
+        filters.push(Predicate { column, op, value });
+    }
+    let projection = match r.u8()? {
+        0 => Projection::All,
+        1 => {
+            let nc = r.u32()? as usize;
+            if nc > 1 << 12 {
+                return Err(WireError("too many projected columns"));
+            }
+            let mut cols = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                cols.push(
+                    String::from_utf8(r.bytes()?.to_vec())
+                        .map_err(|_| WireError("bad column name"))?,
+                );
+            }
+            Projection::Columns(cols)
+        }
+        _ => return Err(WireError("bad projection tag")),
+    };
+    let distinct = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError("bad bool")),
+    };
+    Ok(SelectQuery {
+        range: KeyRange { lo, hi },
+        filters,
+        projection,
+        distinct,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -824,6 +996,75 @@ mod tests {
         ] {
             assert_eq!(decode_value(&v.encode()).unwrap(), v, "{v:?}");
         }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        use adp_relation::{CompareOp, Predicate};
+        let queries = [
+            SelectQuery::range(KeyRange::all()),
+            SelectQuery::range(KeyRange::closed(2_000, 9_000)),
+            SelectQuery::range(KeyRange {
+                lo: Bound::Excluded(-5),
+                hi: Bound::Unbounded,
+            }),
+            SelectQuery::range(KeyRange::less_than(100))
+                .filter(Predicate::new("dept", CompareOp::Eq, 1i64))
+                .filter(Predicate::new("tag", CompareOp::Ne, "x"))
+                .project(&["dept", "tag"])
+                .distinct(),
+        ];
+        for q in queries {
+            assert_eq!(decode_query(&encode_query(&q)).unwrap(), q, "{q:?}");
+        }
+    }
+
+    /// Fixed vector quoted byte-for-byte in `docs/PROTOCOL.md` — keep the
+    /// two in sync.
+    #[test]
+    fn query_fixed_vector_matches_protocol_doc() {
+        let q = SelectQuery::range(KeyRange::closed(2_000, 9_000));
+        assert_eq!(
+            encode_query(&q),
+            vec![
+                0x01, 0xD0, 0x07, 0, 0, 0, 0, 0, 0, // lo: Included(2000)
+                0x01, 0x28, 0x23, 0, 0, 0, 0, 0, 0, // hi: Included(9000)
+                0, 0, 0, 0,    // no filters
+                0x00, // projection: All
+                0x00, // distinct: false
+            ]
+        );
+    }
+
+    /// Fixed vectors for the value encodings quoted in `docs/PROTOCOL.md`.
+    #[test]
+    fn value_fixed_vectors_match_protocol_doc() {
+        assert_eq!(Value::Int(7).encode(), vec![0x01, 7, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(Value::from("hi").encode(), vec![0x02, b'h', b'i']);
+        assert_eq!(Value::Bool(true).encode(), vec![0x04, 1]);
+    }
+
+    #[test]
+    fn query_bad_bytes_rejected() {
+        // Bad bound tag.
+        assert!(decode_query(&[3]).is_err());
+        // Truncations never panic and always error.
+        let bytes = encode_query(
+            &SelectQuery::range(KeyRange::closed(0, 10))
+                .filter(adp_relation::Predicate::new(
+                    "c",
+                    adp_relation::CompareOp::Lt,
+                    5i64,
+                ))
+                .project(&["c"]),
+        );
+        for cut in 0..bytes.len() {
+            assert!(decode_query(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing bytes rejected.
+        let mut bytes = encode_query(&SelectQuery::range(KeyRange::all()));
+        bytes.push(0);
+        assert!(decode_query(&bytes).is_err());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The user side of the wire: a raw frame client and the
+//! [`RemoteVerifier`], which runs the *unchanged* `adp-core` verifier
+//! against answers arriving through a live socket.
+//!
+//! The trust model is identical to the in-process path: the verifier
+//! trusts only the owner's [`Certificate`] (obtained out of band over an
+//! authenticated channel) and treats every byte the server sends —
+//! result, VO, even frame structure — as adversarial.
+
+use crate::protocol::{
+    read_frame, write_frame, BatchItem, ErrorCode, Frame, ProtoError, StatsSnapshot,
+};
+use adp_core::client::{SessionStats, VerifiedResult};
+use adp_core::errors::VerifyError;
+use adp_core::owner::Certificate;
+use adp_core::verifier::verify_select_wire;
+use adp_relation::SelectQuery;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a remote call failed.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with an error frame (or batch error item).
+    Server {
+        /// Error code from the server.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with a frame of the wrong type.
+    UnexpectedFrame(&'static str),
+    /// The answer arrived but failed verification — from the user's point
+    /// of view, the publisher is cheating (or serving a different table).
+    Verify(VerifyError),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Proto(e) => write!(f, "protocol error: {e}"),
+            RemoteError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            RemoteError::UnexpectedFrame(detail) => {
+                write!(f, "unexpected reply frame: {detail}")
+            }
+            RemoteError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<ProtoError> for RemoteError {
+    fn from(e: ProtoError) -> Self {
+        RemoteError::Proto(e)
+    }
+}
+
+impl From<io::Error> for RemoteError {
+    fn from(e: io::Error) -> Self {
+        RemoteError::Proto(ProtoError::Io(e))
+    }
+}
+
+impl From<VerifyError> for RemoteError {
+    fn from(e: VerifyError) -> Self {
+        RemoteError::Verify(e)
+    }
+}
+
+/// Default patience for a server reply before the client gives up (the
+/// server is untrusted — it must not be able to pin a client forever by
+/// accepting and then stalling).
+pub const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A raw frame-level client: one TCP connection, synchronous round-trips.
+pub struct RemoteClient {
+    stream: TcpStream,
+}
+
+impl RemoteClient {
+    /// Connects to a publisher server. Reads and writes time out after
+    /// [`DEFAULT_REPLY_TIMEOUT`]; adjust with [`RemoteClient::set_timeout`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        Ok(RemoteClient { stream })
+    }
+
+    /// Sets the per-operation socket timeout (`None` waits forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// One request/response round-trip.
+    fn call(&mut self, request: &Frame) -> Result<Frame, RemoteError> {
+        write_frame(&mut self.stream, request).map_err(ProtoError::Io)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), RemoteError> {
+        match self.call(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected Pong")),
+        }
+    }
+
+    /// Fetches the server's counters (including VO cache hits/misses).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, RemoteError> {
+        match self.call(&Frame::StatsRequest)? {
+            Frame::StatsResponse(s) => Ok(s),
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected StatsResponse")),
+        }
+    }
+
+    /// Answers one query, returning the *unverified* encoded
+    /// `(result, vo)` blobs. Use [`RemoteVerifier`] unless you are
+    /// measuring or proxying.
+    pub fn query_raw(
+        &mut self,
+        table_id: u32,
+        query: &SelectQuery,
+    ) -> Result<(Vec<u8>, Vec<u8>), RemoteError> {
+        let request = Frame::QueryRequest {
+            table_id,
+            query: query.clone(),
+        };
+        match self.call(&request)? {
+            Frame::QueryResponse { result, vo } => Ok((result, vo)),
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected QueryResponse")),
+        }
+    }
+
+    /// Answers N queries in one round-trip. Outcomes come back in request
+    /// order; per-item failures do not fail the batch.
+    #[allow(clippy::type_complexity)]
+    pub fn query_batch_raw(
+        &mut self,
+        items: &[(u32, SelectQuery)],
+    ) -> Result<Vec<Result<(Vec<u8>, Vec<u8>), (ErrorCode, String)>>, RemoteError> {
+        let request = Frame::BatchRequest {
+            items: items.to_vec(),
+        };
+        match self.call(&request)? {
+            Frame::BatchResponse { items: replies } => {
+                if replies.len() != items.len() {
+                    return Err(RemoteError::UnexpectedFrame("batch length mismatch"));
+                }
+                Ok(replies
+                    .into_iter()
+                    .map(|item| match item {
+                        BatchItem::Ok { result, vo } => Ok((result, vo)),
+                        BatchItem::Err { code, message } => Err((code, message)),
+                    })
+                    .collect())
+            }
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected BatchResponse")),
+        }
+    }
+}
+
+/// A verifying client bound to one served table: the remote counterpart of
+/// `adp_core::client::Client`. Every answer is checked with
+/// `verify_select_wire` before it is returned, so a cheating or buggy
+/// server surfaces as [`RemoteError::Verify`], never as wrong data.
+pub struct RemoteVerifier {
+    client: RemoteClient,
+    cert: Certificate,
+    table_id: u32,
+    stats: SessionStats,
+}
+
+impl RemoteVerifier {
+    /// Wraps an existing connection.
+    pub fn new(client: RemoteClient, cert: Certificate, table_id: u32) -> Self {
+        RemoteVerifier {
+            client,
+            cert,
+            table_id,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Connects and binds to `table_id` under the given certificate.
+    pub fn connect(addr: impl ToSocketAddrs, cert: Certificate, table_id: u32) -> io::Result<Self> {
+        Ok(Self::new(RemoteClient::connect(addr)?, cert, table_id))
+    }
+
+    /// The certificate in use.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Cumulative session statistics (same accounting as the in-process
+    /// client: bytes, signatures, hash operations, verification time).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Direct access to the underlying frame client (for `ping`/`stats`).
+    pub fn client_mut(&mut self) -> &mut RemoteClient {
+        &mut self.client
+    }
+
+    /// Issues `query`, verifies the answer against the certificate, and
+    /// accounts for it. The publisher is never trusted: a forged or
+    /// tampered answer returns [`RemoteError::Verify`].
+    pub fn select(&mut self, query: &SelectQuery) -> Result<VerifiedResult, RemoteError> {
+        Ok(self.select_with_bytes(query)?.0)
+    }
+
+    /// Like [`RemoteVerifier::select`], additionally returning the
+    /// *verified* encoded `(result, vo)` blobs exactly as they came off
+    /// the wire — e.g. to persist an answer for later offline
+    /// re-verification (`adp rquery --out` / `adp verify`).
+    #[allow(clippy::type_complexity)]
+    pub fn select_with_bytes(
+        &mut self,
+        query: &SelectQuery,
+    ) -> Result<(VerifiedResult, Vec<u8>, Vec<u8>), RemoteError> {
+        let (result_bytes, vo_bytes) = self.client.query_raw(self.table_id, query)?;
+        let verified = self.verify_and_account(query, &result_bytes, &vo_bytes)?;
+        Ok((verified, result_bytes, vo_bytes))
+    }
+
+    /// Issues a batch of queries in one round-trip and verifies every
+    /// answer. Fails on the first item the server errored or that fails
+    /// verification.
+    pub fn select_batch(
+        &mut self,
+        queries: &[SelectQuery],
+    ) -> Result<Vec<VerifiedResult>, RemoteError> {
+        let items: Vec<(u32, SelectQuery)> =
+            queries.iter().map(|q| (self.table_id, q.clone())).collect();
+        let replies = self.client.query_batch_raw(&items)?;
+        queries
+            .iter()
+            .zip(replies)
+            .map(|(query, reply)| {
+                let (result_bytes, vo_bytes) =
+                    reply.map_err(|(code, message)| RemoteError::Server { code, message })?;
+                self.verify_and_account(query, &result_bytes, &vo_bytes)
+            })
+            .collect()
+    }
+
+    fn verify_and_account(
+        &mut self,
+        query: &SelectQuery,
+        result_bytes: &[u8],
+        vo_bytes: &[u8],
+    ) -> Result<VerifiedResult, RemoteError> {
+        let ops_before = adp_crypto::hash_ops();
+        let start = Instant::now();
+        let (rows, report) = verify_select_wire(&self.cert, query, result_bytes, vo_bytes)?;
+        let elapsed = start.elapsed();
+        self.stats.queries += 1;
+        self.stats.rows_verified += report.matched;
+        self.stats.result_bytes += result_bytes.len();
+        self.stats.vo_bytes += vo_bytes.len();
+        self.stats.signatures_verified += report.signatures_verified;
+        self.stats.hash_ops += adp_crypto::hash_ops().saturating_sub(ops_before);
+        self.stats.verify_time += elapsed;
+        Ok(VerifiedResult {
+            rows,
+            report,
+            result_bytes: result_bytes.len(),
+            vo_bytes: vo_bytes.len(),
+        })
+    }
+}

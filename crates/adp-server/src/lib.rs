@@ -1,0 +1,68 @@
+//! # adp-server
+//!
+//! The paper's publisher (Pang et al., SIGMOD 2005, Figure 3) as an actual
+//! network service: a `std`-only threaded TCP server that answers
+//! select-project(-distinct) queries with verification objects over a
+//! small length-prefixed binary protocol, plus the matching verifying
+//! client. Until this crate, the publisher was a library call; now the
+//! owner → publisher → client trust boundary is a real socket.
+//!
+//! * [`protocol`] — the versioned frame layer (`Ping`, `QueryRequest`,
+//!   `BatchRequest`, `Stats`, `Error`), layered on the byte-exact
+//!   [`adp_core::wire`] codec. Specified in `docs/PROTOCOL.md`.
+//! * [`server`] — accept loop, per-connection threads, a worker pool for
+//!   batched answering, and an LRU **VO cache** keyed on
+//!   `(table_id, canonical query)` with hit/miss counters.
+//! * [`client`] — [`RemoteClient`] (raw frames) and [`RemoteVerifier`],
+//!   which runs the unchanged `adp-core` verifier against the socket: the
+//!   server is untrusted, so every answer is verified against the owner's
+//!   certificate before being returned.
+//! * [`cache`] / [`pool`] — the `std`-only LRU map and thread pool the
+//!   server is built from.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adp_core::prelude::*;
+//! use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
+//! use adp_server::{RemoteVerifier, Server, ServerConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Owner side: sign a table (as in adp-core).
+//! let schema = Schema::new(vec![Column::new("salary", ValueType::Int)], "salary");
+//! let mut table = Table::new("emp", schema);
+//! for s in [2000i64, 3500, 8010, 12100, 25000] {
+//!     table.insert(Record::new(vec![Value::Int(s)])).unwrap();
+//! }
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let owner = Owner::new(512, &mut rng);
+//! let signed = owner
+//!     .sign_table(table, Domain::new(0, 100_000), SchemeConfig::default())
+//!     .unwrap();
+//! let cert = owner.certificate(&signed);
+//!
+//! // Publisher side: serve the signed table on an ephemeral port.
+//! let mut server = Server::new(ServerConfig::default());
+//! server.add_table(0, signed);
+//! let handle = server.serve("127.0.0.1:0").unwrap();
+//!
+//! // User side: query over the socket; the answer is verified against the
+//! // certificate before it is returned.
+//! let mut user = RemoteVerifier::connect(handle.addr(), cert, 0).unwrap();
+//! let query = SelectQuery::range(KeyRange::less_than(10_000));
+//! let verified = user.select(&query).unwrap();
+//! assert_eq!(verified.rows.len(), 3);
+//!
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::LruCache;
+pub use client::{RemoteClient, RemoteError, RemoteVerifier};
+pub use protocol::{ErrorCode, Frame, ProtoError, StatsSnapshot};
+pub use server::{Server, ServerConfig, ServerHandle, TamperFn};

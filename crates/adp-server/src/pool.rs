@@ -1,0 +1,105 @@
+//! A minimal `std`-only thread pool for batched query answering.
+//!
+//! This environment has no async runtime (no tokio), so concurrency is
+//! plain threads: a fixed set of workers pulls boxed jobs off one shared
+//! channel. Dropping the pool closes the channel and joins every worker,
+//! so in-flight jobs always finish before shutdown completes.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool executing boxed closures.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (clamped to at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("adp-worker-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only to receive keeps hand-off
+                        // cheap; a closed channel means shutdown.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job` for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool alive while handle exists")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel → workers drain + exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_before_drop_returns() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4);
+            assert_eq!(pool.size(), 4);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins the workers
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

@@ -1,0 +1,603 @@
+//! The threaded publisher server: accepts TCP connections, answers
+//! [`Frame::QueryRequest`]/[`Frame::BatchRequest`] frames against its
+//! registered [`SignedTable`]s, and serves hot ranges from the VO cache.
+//!
+//! Concurrency model (no async runtime in this environment):
+//!
+//! * one **accept thread** owns the listener,
+//! * one **connection thread** per client reads frames and writes replies,
+//! * a shared **worker pool** answers the items of a batch in parallel,
+//!   replying in request order once all items finish.
+//!
+//! The **VO cache** is an LRU keyed on `(table_id, canonical query)`: the
+//! key range is normalized against the table's domain first (so `K < 100`
+//! and `K ≤ 99` are one entry) and the cached value is the already-encoded
+//! `(result, vo)` pair — a hit bypasses the publisher *and* the codec.
+//! Hit/miss counters are exported through [`Frame::StatsRequest`].
+
+use crate::cache::LruCache;
+use crate::pool::ThreadPool;
+use crate::protocol::{
+    write_frame, write_query_response, ErrorCode, Frame, ProtoError, StatsSnapshot,
+};
+use adp_core::owner::SignedTable;
+use adp_core::publisher::Publisher;
+use adp_core::vo::QueryVO;
+use adp_core::wire::{self, Writer};
+use adp_relation::{KeyRange, Record, SelectQuery};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads answering batch items (clamped to ≥ 1).
+    pub workers: usize,
+    /// VO cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// How often idle connection threads poll the shutdown flag.
+    pub poll_interval: Duration,
+    /// Patience for the rest of a frame once its first byte arrived.
+    pub frame_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            poll_interval: Duration::from_millis(100),
+            frame_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic server counters (lock-free; read via
+/// [`ServerHandle::stats`] or the wire's [`Frame::StatsRequest`]).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, cache_entries: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_entries,
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A response-tampering hook: receives the honest answer and returns what
+/// actually goes on the wire.
+///
+/// This exists for *fault injection*: integration tests mount the
+/// Section 3.2 cheating strategies here to prove the remote verifier
+/// rejects every forgery arriving through a real socket (see
+/// `tests/remote_attack_matrix.rs`). A tampering server bypasses the VO
+/// cache so forged and honest answers never mix.
+pub type TamperFn = dyn for<'a> Fn(&Publisher<'a>, &SelectQuery, Vec<Record>, QueryVO) -> (Vec<Record>, QueryVO)
+    + Send
+    + Sync;
+
+/// Encoded `(result, vo)` pair as cached and written to sockets.
+type AnswerBlob = Arc<(Vec<u8>, Vec<u8>)>;
+
+/// Everything connection handlers and pool workers share.
+struct Inner {
+    tables: HashMap<u32, Arc<SignedTable>>,
+    cache: Option<Mutex<LruCache<Vec<u8>, AnswerBlob>>>,
+    stats: ServerStats,
+    tamper: Option<Box<TamperFn>>,
+}
+
+impl Inner {
+    fn snapshot(&self) -> StatsSnapshot {
+        let cache_entries = self
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.lock().expect("cache lock").len() as u64);
+        self.stats.snapshot(cache_entries)
+    }
+}
+
+/// Cache key: `(table_id, canonical query)`. The range is replaced by its
+/// domain-normalized closed form so syntactically different ranges with
+/// identical semantics share an entry; trivially-empty ranges collapse to
+/// one key per (filters, projection, distinct) combination.
+fn cache_key(table_id: u32, st: &SignedTable, query: &SelectQuery) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(table_id);
+    let canonical = match st.domain().normalize(&query.range) {
+        Some(bounds) => {
+            w.u8(1);
+            SelectQuery {
+                range: KeyRange::closed(bounds.alpha, bounds.beta),
+                ..query.clone()
+            }
+        }
+        None => {
+            w.u8(0);
+            SelectQuery {
+                range: KeyRange::all(),
+                ..query.clone()
+            }
+        }
+    };
+    w.bytes(&wire::encode_query(&canonical));
+    w.into_bytes()
+}
+
+/// Answers one query, consulting the VO cache unless a tamper hook is
+/// mounted.
+fn answer(
+    inner: &Inner,
+    table_id: u32,
+    query: &SelectQuery,
+) -> Result<AnswerBlob, (ErrorCode, String)> {
+    let st = inner.tables.get(&table_id).ok_or_else(|| {
+        (
+            ErrorCode::UnknownTable,
+            format!("no table with id {table_id}"),
+        )
+    })?;
+    // The cache is consulted iff it is configured and no tamper hook is
+    // mounted (forged and honest answers must never mix).
+    let cache = inner.cache.as_ref().filter(|_| inner.tamper.is_none());
+    let key = cache.map(|_| cache_key(table_id, st, query));
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        if let Some(hit) = cache.lock().expect("cache lock").get(key) {
+            ServerStats::bump(&inner.stats.cache_hits);
+            ServerStats::bump(&inner.stats.queries);
+            return Ok(Arc::clone(hit));
+        }
+        ServerStats::bump(&inner.stats.cache_misses);
+    }
+    let publisher = Publisher::new(st);
+    let (result, vo) = publisher
+        .answer_select(query)
+        .map_err(|e| (ErrorCode::BadQuery, e.to_string()))?;
+    let (result, vo) = match &inner.tamper {
+        Some(tamper) => tamper(&publisher, query, result, vo),
+        None => (result, vo),
+    };
+    let blob: AnswerBlob = Arc::new((wire::encode_records(&result), wire::encode_vo(&vo)));
+    // An answer that cannot fit one frame must not reach the write path
+    // (write_frame would error and desync nothing, but the client deserves
+    // a per-query error instead of a dropped connection).
+    let framed_len = blob.0.len() as u64 + blob.1.len() as u64 + 8;
+    if framed_len > crate::protocol::MAX_PAYLOAD as u64 {
+        return Err((
+            ErrorCode::Internal,
+            format!("answer of {framed_len} bytes exceeds the frame payload cap"),
+        ));
+    }
+    if let (Some(key), Some(cache)) = (key, cache) {
+        cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&blob));
+    }
+    ServerStats::bump(&inner.stats.queries);
+    Ok(blob)
+}
+
+/// A publisher server under construction: register tables, then
+/// [`Server::serve`].
+///
+/// ```no_run
+/// use adp_server::{Server, ServerConfig};
+/// # fn signed_table() -> adp_core::owner::SignedTable { unimplemented!() }
+/// let mut server = Server::new(ServerConfig::default());
+/// server.add_table(0, signed_table());
+/// let handle = server.serve("127.0.0.1:0").unwrap();
+/// println!("serving on {}", handle.addr());
+/// handle.shutdown();
+/// ```
+pub struct Server {
+    config: ServerConfig,
+    tables: HashMap<u32, Arc<SignedTable>>,
+    tamper: Option<Box<TamperFn>>,
+}
+
+impl Server {
+    /// Creates a server with the given configuration and no tables.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            config,
+            tables: HashMap::new(),
+            tamper: None,
+        }
+    }
+
+    /// Registers a signed table under `table_id` (replacing any previous
+    /// registration of that id).
+    pub fn add_table(&mut self, table_id: u32, st: SignedTable) -> &mut Self {
+        self.tables.insert(table_id, Arc::new(st));
+        self
+    }
+
+    /// Registers an already-shared signed table under `table_id`.
+    pub fn add_shared_table(&mut self, table_id: u32, st: Arc<SignedTable>) -> &mut Self {
+        self.tables.insert(table_id, st);
+        self
+    }
+
+    /// Mounts a fault-injection hook applied to every answer before it is
+    /// encoded (see [`TamperFn`]); disables the VO cache.
+    pub fn set_tamper(
+        &mut self,
+        tamper: impl for<'a> Fn(&Publisher<'a>, &SelectQuery, Vec<Record>, QueryVO) -> (Vec<Record>, QueryVO)
+            + Send
+            + Sync
+            + 'static,
+    ) -> &mut Self {
+        self.tamper = Some(Box::new(tamper));
+        self
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// in background threads. The returned handle owns the server:
+    /// dropping it shuts everything down.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            tables: self.tables,
+            cache: (self.config.cache_capacity > 0)
+                .then(|| Mutex::new(LruCache::new(self.config.cache_capacity))),
+            stats: ServerStats::default(),
+            tamper: self.tamper,
+        });
+        let pool = Arc::new(ThreadPool::new(self.config.workers));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let inner = Arc::clone(&inner);
+            let shutdown = Arc::clone(&shutdown);
+            let config = self.config.clone();
+            std::thread::Builder::new()
+                .name("adp-accept".into())
+                .spawn(move || accept_loop(listener, inner, pool, shutdown, config))?
+        };
+        Ok(ServerHandle {
+            addr,
+            inner,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    pool: Arc<ThreadPool>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failures (fd exhaustion, client abort
+                // while queued) must not kill the server; back off briefly
+                // and keep accepting.
+                ServerStats::bump(&inner.stats.errors);
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection from ServerHandle::shutdown
+        }
+        ServerStats::bump(&inner.stats.connections);
+        let conn_inner = Arc::clone(&inner);
+        let conn_pool = Arc::clone(&pool);
+        let conn_shutdown = Arc::clone(&shutdown);
+        let conn_config = config.clone();
+        let handle = std::thread::Builder::new()
+            .name("adp-conn".into())
+            .spawn(move || {
+                handle_connection(stream, conn_inner, conn_pool, conn_shutdown, conn_config)
+            });
+        match handle {
+            Ok(h) => connections.push(h),
+            Err(_) => ServerStats::bump(&inner.stats.errors),
+        }
+        // Reap finished connection threads so the vector stays bounded.
+        connections.retain(|h| !h.is_finished());
+    }
+    for h in connections {
+        let _ = h.join();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, enforcing `deadline` across recv
+/// calls. A per-socket read timeout only bounds a *single* recv, so a
+/// client trickling one byte per recv could otherwise pin a connection
+/// thread far past the configured frame timeout.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), ProtoError> {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = Instant::now();
+        let Some(remaining) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            return Err(ProtoError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame deadline exceeded",
+            )));
+        };
+        let _ = stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))));
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ProtoError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame with an end-to-end deadline covering header + payload.
+fn read_frame_deadline(stream: &mut TcpStream, timeout: Duration) -> Result<Frame, ProtoError> {
+    let deadline = Instant::now() + timeout;
+    let mut header = [0u8; crate::protocol::HEADER_LEN];
+    read_exact_deadline(stream, &mut header, deadline)?;
+    let (type_byte, declared) = crate::protocol::parse_header(&header)?;
+    let mut payload = vec![0u8; declared as usize];
+    read_exact_deadline(stream, &mut payload, deadline)?;
+    crate::protocol::decode_payload(type_byte, &payload)
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    inner: Arc<Inner>,
+    pool: Arc<ThreadPool>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Poll for the next frame's first byte with a short timeout so the
+        // shutdown flag is honored on idle connections; once bytes are in
+        // flight, the frame must complete within `frame_timeout`.
+        let _ = stream.set_read_timeout(Some(config.poll_interval));
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let frame = match read_frame_deadline(&mut stream, config.frame_timeout) {
+            Ok(frame) => frame,
+            Err(e) if e.is_eof() => return,
+            Err(e) => {
+                // Malformed input: answer with an error frame (best effort)
+                // and drop the connection — framing is unrecoverable.
+                ServerStats::bump(&inner.stats.errors);
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let written = match frame {
+            Frame::Ping => write_frame(&mut stream, &Frame::Pong),
+            Frame::StatsRequest => {
+                write_frame(&mut stream, &Frame::StatsResponse(inner.snapshot()))
+            }
+            Frame::QueryRequest { table_id, query } => match answer(&inner, table_id, &query) {
+                // Cache-hit hot path: the blobs go straight from the Arc
+                // to the socket, no intermediate Frame or copies.
+                Ok(blob) => write_query_response(&mut stream, &blob.0, &blob.1),
+                Err((code, message)) => {
+                    ServerStats::bump(&inner.stats.errors);
+                    write_frame(&mut stream, &Frame::Error { code, message })
+                }
+            },
+            Frame::BatchRequest { items } => {
+                let answers = answer_batch(&inner, &pool, items);
+                write_batch_answers(&mut stream, &inner, &answers)
+            }
+            // Server-to-client frames arriving at the server are protocol
+            // violations.
+            Frame::Pong
+            | Frame::QueryResponse { .. }
+            | Frame::BatchResponse { .. }
+            | Frame::StatsResponse(_)
+            | Frame::Error { .. } => {
+                ServerStats::bump(&inner.stats.errors);
+                write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        message: "unexpected frame direction".into(),
+                    },
+                )
+            }
+        };
+        if written.is_err() {
+            return;
+        }
+    }
+}
+
+type BatchAnswer = Result<AnswerBlob, (ErrorCode, String)>;
+
+/// Fans a batch out across the worker pool and reassembles the answers in
+/// request order.
+fn answer_batch(
+    inner: &Arc<Inner>,
+    pool: &ThreadPool,
+    items: Vec<(u32, SelectQuery)>,
+) -> Vec<BatchAnswer> {
+    ServerStats::bump(&inner.stats.batches);
+    let n = items.len();
+    let (tx, rx) = channel();
+    for (index, (table_id, query)) in items.into_iter().enumerate() {
+        let inner = Arc::clone(inner);
+        let tx = tx.clone();
+        pool.execute(move || {
+            let item = answer(&inner, table_id, &query);
+            if item.is_err() {
+                ServerStats::bump(&inner.stats.errors);
+            }
+            let _ = tx.send((index, item));
+        });
+    }
+    drop(tx);
+    let mut slots: Vec<Option<BatchAnswer>> = (0..n).map(|_| None).collect();
+    for (index, item) in rx {
+        slots[index] = Some(item);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or(Err((
+                ErrorCode::Internal,
+                "worker dropped the answer".into(),
+            )))
+        })
+        .collect()
+}
+
+/// Writes a batch response, enforcing the frame payload cap on the
+/// *aggregate*: items are answered in order until the budget runs out,
+/// and any item that would overflow the frame is downgraded to a per-item
+/// error — the client gets an explained partial failure instead of a
+/// dropped connection. (Each item is individually bounded by `answer`,
+/// but N individually-legal answers can still sum past the cap.)
+fn write_batch_answers(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    answers: &[BatchAnswer],
+) -> io::Result<()> {
+    const OVERFLOW_MSG: &str = "batch response exceeds the frame payload cap";
+    // Every item is pre-reserved one error-sized slot (error messages are
+    // short; 256 bytes is generous and 65536 items × 256 B ≪ the cap), so
+    // downgrades can never themselves overflow. Ok blobs then draw their
+    // extra size from what remains, in request order.
+    const ERR_SLOT: u64 = 256;
+    let mut budget = (crate::protocol::MAX_PAYLOAD as u64 - 4) // item-count field
+        .saturating_sub(ERR_SLOT * answers.len() as u64);
+    let refs: Vec<crate::protocol::BatchItemRef<'_>> = answers
+        .iter()
+        .map(|item| match item {
+            Ok(blob) => {
+                let cost = 1 + 4 + blob.0.len() as u64 + 4 + blob.1.len() as u64;
+                match cost.checked_sub(ERR_SLOT).filter(|extra| *extra <= budget) {
+                    Some(extra) => {
+                        budget -= extra;
+                        Ok((blob.0.as_slice(), blob.1.as_slice()))
+                    }
+                    None if cost <= ERR_SLOT => Ok((blob.0.as_slice(), blob.1.as_slice())),
+                    None => {
+                        ServerStats::bump(&inner.stats.errors);
+                        Err((ErrorCode::Internal, OVERFLOW_MSG))
+                    }
+                }
+            }
+            Err((code, message)) => Err((*code, message.as_str())),
+        })
+        .collect();
+    crate::protocol::write_batch_response(stream, &refs)
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the accept loop, joins every
+/// connection thread, and drains the worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server counters (same numbers the wire's
+    /// `StatsRequest` reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Stops accepting, joins every thread, and returns once the server is
+    /// fully down.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,135 @@
+//! Every worked byte example in `docs/PROTOCOL.md` is asserted here
+//! verbatim, so the spec cannot drift from the codec. If one of these
+//! tests fails, fix the document (or the regression) — never the test
+//! alone.
+
+use adp_core::wire;
+use adp_relation::{KeyRange, SelectQuery, Value};
+use adp_server::protocol::{decode_frame, encode_frame, Frame};
+use adp_server::ErrorCode;
+
+/// PROTOCOL.md §2 "Frame header" — the smallest possible frame.
+#[test]
+fn ping_frame_example() {
+    let bytes = encode_frame(&Frame::Ping);
+    assert_eq!(bytes, [0xAD, 0x50, 0x01, 0x01, 0x00, 0x00, 0x00, 0x00]);
+}
+
+/// PROTOCOL.md §2 — pong differs only in the frame-type byte.
+#[test]
+fn pong_frame_example() {
+    let bytes = encode_frame(&Frame::Pong);
+    assert_eq!(bytes, [0xAD, 0x50, 0x01, 0x02, 0x00, 0x00, 0x00, 0x00]);
+}
+
+/// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
+/// `adp-core` wire codec's test vectors).
+#[test]
+fn value_encoding_examples() {
+    assert_eq!(
+        Value::Int(7).encode(),
+        [0x01, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
+    assert_eq!(Value::from("hi").encode(), [0x02, 0x68, 0x69]);
+    assert_eq!(Value::Bool(true).encode(), [0x04, 0x01]);
+}
+
+/// PROTOCOL.md §5 "QueryRequest" — the full worked example: table 7,
+/// `SELECT * WHERE 2000 ≤ K ≤ 9000`.
+#[test]
+fn query_request_frame_example() {
+    let frame = Frame::QueryRequest {
+        table_id: 7,
+        query: SelectQuery::range(KeyRange::closed(2_000, 9_000)),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50,             // magic
+        0x01,                   // version
+        0x03,                   // frame type: QueryRequest
+        0x20, 0x00, 0x00, 0x00, // payload length = 32
+        // payload
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x18, 0x00, 0x00, 0x00, // query blob length = 24
+        // query blob
+        0x01, 0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lo: Included(2000)
+        0x01, 0x28, 0x23, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // hi: Included(9000)
+        0x00, 0x00, 0x00, 0x00, // 0 filters
+        0x00,                   // projection: All
+        0x00,                   // distinct: false
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §6 "QueryResponse" — the response to a trivially-empty
+/// query: zero records, a `TriviallyEmpty` VO.
+#[test]
+fn query_response_frame_example() {
+    let frame = Frame::QueryResponse {
+        result: wire::encode_records(&[]),
+        vo: wire::encode_vo(&adp_core::vo::QueryVO::TriviallyEmpty),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x01, 0x04, // magic, version, QueryResponse
+        0x0D, 0x00, 0x00, 0x00, // payload length = 13
+        // payload
+        0x04, 0x00, 0x00, 0x00, // result blob length = 4
+        0x00, 0x00, 0x00, 0x00, //   encode_records([]): 0 records
+        0x01, 0x00, 0x00, 0x00, // vo blob length = 1
+        0x00,                   //   encode_vo(TriviallyEmpty): tag 0
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §8 "Error" — unknown table id.
+#[test]
+fn error_frame_example() {
+    let frame = Frame::Error {
+        code: ErrorCode::UnknownTable,
+        message: "no table with id 9".into(),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x01, 0x09, // magic, version, Error
+        0x17, 0x00, 0x00, 0x00, // payload length = 23
+        // payload
+        0x02,                   // code: UnknownTable
+        0x12, 0x00, 0x00, 0x00, // message length = 18
+        b'n', b'o', b' ', b't', b'a', b'b', b'l', b'e', b' ',
+        b'w', b'i', b't', b'h', b' ', b'i', b'd', b' ', b'9',
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §7 "Stats" — request is empty; the response is seven
+/// little-endian `u64` counters.
+#[test]
+fn stats_frames_example() {
+    assert_eq!(
+        encode_frame(&Frame::StatsRequest),
+        [0xAD, 0x50, 0x01, 0x07, 0x00, 0x00, 0x00, 0x00]
+    );
+    let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
+        connections: 1,
+        queries: 2,
+        batches: 0,
+        cache_hits: 1,
+        cache_misses: 1,
+        cache_entries: 1,
+        errors: 0,
+    });
+    let bytes = encode_frame(&frame);
+    assert_eq!(bytes.len(), 8 + 7 * 8);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x01, 0x08, 0x38, 0x00, 0x00, 0x00]);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}

@@ -1,0 +1,173 @@
+//! The Section 3.2 cheating strategies, replayed **through a live
+//! socket**: a tampering server mounts each `publisher::malicious` attack
+//! as a response hook, and the remote verifier must reject every forgery
+//! that arrives over the wire — same guarantee as the in-process
+//! `attack_matrix`, now across the network boundary (which also proves the
+//! forged VOs survive encode → TCP → decode and *still* get caught, rather
+//! than being saved by a codec error).
+//!
+//! Cells mirror `adp-core/tests/attack_matrix.rs` for the three
+//! select-query shapes the protocol carries (joins are not on the wire
+//! yet). Applicability is asserted, not assumed: an attack the tamper
+//! harness refuses on an expected-applicable shape fails the test.
+
+use adp_core::prelude::*;
+use adp_core::publisher::malicious::{tamper, Attack};
+use adp_relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use adp_server::{RemoteError, RemoteVerifier, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn staff_table() -> Table {
+    let schema = Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Text),
+            Column::new("salary", ValueType::Int),
+            Column::new("dept", ValueType::Int),
+        ],
+        "salary",
+    );
+    let mut t = Table::new("staff", schema);
+    for i in 0..20i64 {
+        t.insert(Record::new(vec![
+            Value::Int(i),
+            Value::from(format!("emp{i}")),
+            Value::Int(1_000 + i * 500),
+            Value::Int(i % 3),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn fixture() -> &'static (Arc<SignedTable>, Certificate) {
+    static FIX: OnceLock<(Arc<SignedTable>, Certificate)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA77AC);
+        let owner = Owner::new(512, &mut rng);
+        let st = owner
+            .sign_table(
+                staff_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
+            .unwrap();
+        let cert = owner.certificate(&st);
+        (Arc::new(st), cert)
+    })
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    RangeSelect,
+    FilteredSelect,
+    ProjectDistinct,
+}
+
+const SHAPES: [Shape; 3] = [
+    Shape::RangeSelect,
+    Shape::FilteredSelect,
+    Shape::ProjectDistinct,
+];
+
+fn select_query(shape: Shape) -> SelectQuery {
+    let base = SelectQuery::range(KeyRange::closed(2_000, 9_000));
+    match shape {
+        Shape::RangeSelect => base,
+        Shape::FilteredSelect => base.filter(Predicate::new("dept", CompareOp::Eq, 1i64)),
+        Shape::ProjectDistinct => base.project(&["dept"]).distinct(),
+    }
+}
+
+/// Mirrors `attack_matrix::applicable` for the select shapes.
+fn applicable(attack: Attack, shape: Shape) -> bool {
+    match attack {
+        Attack::MislabelFiltered => shape == Shape::FilteredSelect,
+        Attack::FakeDuplicate => shape == Shape::ProjectDistinct,
+        Attack::TruncateTail => shape != Shape::FilteredSelect,
+        _ => true,
+    }
+}
+
+/// Runs every shape against a server whose responses are forged with
+/// `attack`. The hook counts how often the tamper harness actually forged
+/// something, so "attack inapplicable" can be distinguished from "attack
+/// silently skipped".
+fn run_attack(attack: Attack) {
+    let (st, cert) = fixture();
+    let forged = Arc::new(AtomicUsize::new(0));
+    let forged_in_hook = Arc::clone(&forged);
+    let mut server = Server::new(ServerConfig::default());
+    server.add_shared_table(0, Arc::clone(st));
+    server.set_tamper(move |publisher, query, result, vo| {
+        match tamper(publisher, query, &result, &vo, attack) {
+            Some((bad_result, bad_vo)) => {
+                assert!(
+                    bad_result != result || bad_vo != vo,
+                    "{attack:?} was a no-op"
+                );
+                forged_in_hook.fetch_add(1, Ordering::SeqCst);
+                (bad_result, bad_vo)
+            }
+            None => (result, vo),
+        }
+    });
+    let handle = server.serve("127.0.0.1:0").unwrap();
+    let mut user = RemoteVerifier::connect(handle.addr(), cert.clone(), 0).unwrap();
+
+    for shape in SHAPES {
+        let query = select_query(shape);
+        let forged_before = forged.load(Ordering::SeqCst);
+        let verdict = user.select(&query);
+        let was_forged = forged.load(Ordering::SeqCst) > forged_before;
+        assert_eq!(
+            was_forged,
+            applicable(attack, shape),
+            "{attack:?} applicability drifted on {shape:?}"
+        );
+        if was_forged {
+            match verdict {
+                Err(RemoteError::Verify(_)) => {}
+                other => panic!(
+                    "{attack:?} on {shape:?} must be rejected by remote \
+                     verification, got {other:?}"
+                ),
+            }
+        } else {
+            // Inapplicable: the server answered honestly and honesty must
+            // verify — the hook may not break the honest path.
+            let r = verdict.unwrap_or_else(|e| {
+                panic!("honest {shape:?} answer through tampering server must verify: {e}")
+            });
+            assert!(!r.rows.is_empty());
+        }
+    }
+
+    handle.shutdown();
+}
+
+macro_rules! remote_attacks {
+    ($($name:ident => $attack:ident;)+) => {$(
+        #[test]
+        fn $name() {
+            run_attack(Attack::$attack);
+        }
+    )+};
+}
+
+remote_attacks! {
+    remote_omit_interior       => OmitInterior;
+    remote_truncate_tail       => TruncateTail;
+    remote_fake_empty          => FakeEmpty;
+    remote_inject_spurious     => InjectSpurious;
+    remote_tamper_value        => TamperValue;
+    remote_swap_values         => SwapValues;
+    remote_shift_left_boundary => ShiftLeftBoundary;
+    remote_mislabel_filtered   => MislabelFiltered;
+    remote_fake_duplicate      => FakeDuplicate;
+}

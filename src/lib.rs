@@ -1,5 +1,25 @@
-//! Facade crate; see crates/*.
+//! # adp
+//!
+//! Facade over the authenticated-data-publishing workspace — a Rust
+//! reproduction of *"Verifying Completeness of Relational Query Results in
+//! Data Publishing"* (Pang, Jain, Ramamritham, Tan — SIGMOD 2005), grown
+//! into a servable system.
+//!
+//! Each member crate is re-exported under a short name:
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`core`] | `adp-core` | Owner signing, publisher VOs, user verification |
+//! | [`crypto`] | `adp-crypto` | Bigint/RSA/SHA-256/Merkle/chain substrate |
+//! | [`relation`] | `adp-relation` | Schemas, sorted tables, queries, access control |
+//! | [`baselines`] | `adp-baselines` | The schemes the paper compares against |
+//! | [`server`] | `adp-server` | Threaded TCP publisher + remote verifier |
+//!
+//! See `docs/ARCHITECTURE.md` for the data-flow picture and
+//! `docs/PROTOCOL.md` for the wire protocol `server` speaks.
+
 pub use adp_baselines as baselines;
 pub use adp_core as core;
 pub use adp_crypto as crypto;
 pub use adp_relation as relation;
+pub use adp_server as server;
