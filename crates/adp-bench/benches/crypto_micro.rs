@@ -10,6 +10,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn keypair(bits: usize) -> Keypair {
+    let mut rng = StdRng::seed_from_u64(0xC0DE ^ bits as u64);
+    Keypair::generate(bits, &mut rng)
+}
+
 fn keypair_1024() -> Keypair {
     let mut rng = StdRng::seed_from_u64(0xC0DE);
     Keypair::generate(1024, &mut rng)
@@ -39,21 +44,37 @@ fn bench_chains(c: &mut Criterion) {
     g.bench_function("extend/1000steps", |b| {
         b.iter(|| chain_extend(&hasher, std::hint::black_box(seed), 1000))
     });
+    // chain_hash at the trajectory scales: the per-step cost of the
+    // owner/user iterated hash, measured over 512- and 1024-step walks.
+    for steps in [512u64, 1024] {
+        g.throughput(Throughput::Elements(steps));
+        g.bench_function(format!("chain_hash/{steps}steps"), |b| {
+            b.iter(|| chain_extend(&hasher, std::hint::black_box(seed), steps))
+        });
+    }
     g.finish();
 }
 
 fn bench_rsa(c: &mut Criterion) {
+    // Both the fast-test size (512: 8-limb modulus, 4-limb CRT halves) and
+    // the paper's M_sign (1024: 16-limb modulus, 8-limb CRT halves).
     let hasher = Hasher::new(16);
-    let kp = keypair_1024();
-    let digest = hasher.hash(HashDomain::Data, b"bench message");
-    let sig = kp.sign(&hasher, &digest);
-    let mut g = c.benchmark_group("rsa1024");
-    g.sample_size(20);
-    g.bench_function("sign_crt", |b| b.iter(|| kp.sign(&hasher, &digest)));
-    g.bench_function("verify", |b| {
-        b.iter(|| kp.public().verify(&hasher, &digest, &sig))
-    });
-    g.finish();
+    for bits in [512usize, 1024] {
+        let kp = if bits == 1024 {
+            keypair_1024()
+        } else {
+            keypair(bits)
+        };
+        let digest = hasher.hash(HashDomain::Data, b"bench message");
+        let sig = kp.sign(&hasher, &digest);
+        let mut g = c.benchmark_group(format!("rsa{bits}"));
+        g.sample_size(20);
+        g.bench_function("sign_crt", |b| b.iter(|| kp.sign(&hasher, &digest)));
+        g.bench_function("verify", |b| {
+            b.iter(|| kp.public().verify(&hasher, &digest, &sig))
+        });
+        g.finish();
+    }
 }
 
 fn bench_aggregation(c: &mut Criterion) {
@@ -88,19 +109,29 @@ fn bench_aggregation(c: &mut Criterion) {
 
 fn bench_merkle(c: &mut Criterion) {
     let hasher = Hasher::new(16);
+    let mut g = c.benchmark_group("merkle");
+    // Builds at the trajectory scales (power-of-two leaf counts matching
+    // the rep-MHT and attr-MHT shapes), plus the legacy 1000 — the
+    // `build/1000` id is kept so criterion history lines up across PRs.
+    for n in [512usize, 1000, 1024] {
+        let leaves: Vec<_> = (0..n as u32)
+            .map(|i| hasher.hash(HashDomain::Leaf, &i.to_le_bytes()))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("build/{n}"), |b| {
+            b.iter_batched(
+                || leaves.clone(),
+                |l| MerkleTree::build(hasher, l),
+                BatchSize::SmallInput,
+            )
+        });
+    }
     let leaves: Vec<_> = (0..1000u32)
         .map(|i| hasher.hash(HashDomain::Leaf, &i.to_le_bytes()))
         .collect();
-    let mut g = c.benchmark_group("merkle");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("build/1000", |b| {
-        b.iter_batched(
-            || leaves.clone(),
-            |l| MerkleTree::build(hasher, l),
-            BatchSize::SmallInput,
-        )
-    });
     let tree = MerkleTree::build(hasher, leaves);
+    // Reset throughput after the build loop left it at 1024 elements.
+    g.throughput(Throughput::Elements(1000));
     g.bench_function("prove/1000", |b| b.iter(|| tree.prove(500)));
     g.finish();
 }

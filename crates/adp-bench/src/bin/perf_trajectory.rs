@@ -1,0 +1,236 @@
+//! The committed performance trajectory: measures the crypto hot paths the
+//! paper's cost model leans on (Section 6, Figures 9–10) and writes them to
+//! a `BENCH_*.json` snapshot at the repo root so successive PRs can prove
+//! speedups against a fixed, machine-local baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p adp-bench --bin perf_trajectory -- \
+//!     [--out BENCH_PR3.json] [--label pr3] [--baseline BENCH_PR2.json]
+//! ```
+//!
+//! With `--baseline`, each bench in the output carries `before_ns` (the
+//! baseline's `after_ns`), `after_ns`, and `speedup`. Without it only
+//! `after_ns` is recorded. `ADP_PERF_SAMPLES` (default 25) bounds the
+//! number of timing samples per bench — CI's bench-smoke job sets it to 2
+//! so the harness cannot rot without burning minutes.
+//!
+//! See `docs/PERFORMANCE.md` for how to read the snapshot.
+
+use adp_crypto::{
+    chain_extend, chain_from_value, sha256::sha256, AggregateSignature, HashDomain, Hasher,
+    Keypair, MerkleTree, Signature,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Every bench key the snapshot must contain (CI asserts this set).
+pub const EXPECTED_BENCHES: &[&str] = &[
+    "hash/sha256_64B",
+    "hash/sha256_1024B",
+    "chain/from_value_64steps",
+    "chain/extend_1000steps",
+    "merkle/build_1000",
+    "rsa512/sign_crt",
+    "rsa512/verify",
+    "rsa1024/sign_crt",
+    "rsa1024/verify",
+    "aggregate/verify_100_1024",
+];
+
+fn samples() -> usize {
+    std::env::var("ADP_PERF_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25usize)
+        .max(1)
+}
+
+/// Median wall time of one call to `f`, calibrated so each sample spans
+/// ~2 ms (cheap routines are batched; expensive ones run once per sample).
+fn measure<T>(n_samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 20_000);
+    let mut times: Vec<f64> = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            std::hint::black_box(f());
+        }
+        times.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn keypair(bits: usize, seed: u64) -> Keypair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Keypair::generate(bits, &mut rng)
+}
+
+fn run_benches() -> Vec<(String, f64)> {
+    let n = samples();
+    let hasher = Hasher::new(16);
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        eprintln!("{name:<32} {ns:>14.1} ns");
+        out.push((name.to_string(), ns));
+    };
+
+    // Hashing (the paper's C_hash).
+    let msg64 = vec![0x5au8; 64];
+    let msg1k = vec![0x5au8; 1024];
+    record(
+        "hash/sha256_64B",
+        measure(n, || sha256(std::hint::black_box(&msg64))),
+    );
+    record(
+        "hash/sha256_1024B",
+        measure(n, || sha256(std::hint::black_box(&msg1k))),
+    );
+
+    // Hash chains (owner-side g(r) computation, user-side extension).
+    record(
+        "chain/from_value_64steps",
+        measure(n, || chain_from_value(&hasher, b"key-bytes", 0, 64)),
+    );
+    let seed = chain_from_value(&hasher, b"key-bytes", 0, 0);
+    record(
+        "chain/extend_1000steps",
+        measure(n, || {
+            chain_extend(&hasher, std::hint::black_box(seed), 1000)
+        }),
+    );
+
+    // Merkle builds (MHT(r.A), rep trees, Devanbu baseline).
+    let leaves: Vec<_> = (0..1000u32)
+        .map(|i| hasher.hash(HashDomain::Leaf, &i.to_le_bytes()))
+        .collect();
+    record(
+        "merkle/build_1000",
+        measure(n, || {
+            MerkleTree::build(hasher, std::hint::black_box(leaves.clone()))
+        }),
+    );
+
+    // RSA signing/verification at the test size and the paper's M_sign.
+    for (bits, seed) in [(512usize, 0x0512u64), (1024, 0xC0DE)] {
+        let kp = keypair(bits, seed);
+        let digest = hasher.hash(HashDomain::Data, b"bench message");
+        let sig = kp.sign(&hasher, &digest);
+        record(
+            &format!("rsa{bits}/sign_crt"),
+            measure(n, || kp.sign(&hasher, &digest)),
+        );
+        record(
+            &format!("rsa{bits}/verify"),
+            measure(n, || kp.public().verify(&hasher, &digest, &sig)),
+        );
+        if bits == 1024 {
+            let digests: Vec<_> = (0..100u32)
+                .map(|i| hasher.hash(HashDomain::Data, &i.to_le_bytes()))
+                .collect();
+            let sigs: Vec<Signature> = digests.iter().map(|d| kp.sign(&hasher, d)).collect();
+            let refs: Vec<&Signature> = sigs.iter().collect();
+            let agg = AggregateSignature::combine(kp.public(), &refs);
+            record(
+                "aggregate/verify_100_1024",
+                measure(n, || agg.verify(&hasher, kp.public(), &digests)),
+            );
+        }
+    }
+    out
+}
+
+/// Pulls `"name": { ... "after_ns": <num> ... }` out of a snapshot we wrote
+/// ourselves (not a general JSON parser; the emitter below is its dual).
+fn baseline_after_ns(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let obj = &json[json.find(&needle)? + needle.len()..];
+    let obj = &obj[..obj.find('}')?];
+    let tail = &obj[obj.find("\"after_ns\":")? + "\"after_ns\":".len()..];
+    let num: String = tail
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The `"label"` of a snapshot we wrote (same scanner caveat as above).
+fn baseline_label(json: &str) -> Option<String> {
+    let tail = &json[json.find("\"label\":")? + "\"label\":".len()..];
+    let tail = tail.trim_start();
+    let tail = tail.strip_prefix('"')?;
+    Some(tail[..tail.find('"')?].to_string())
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut label = "pr3".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline = baseline_path.map(|p| {
+        (
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}")),
+            p,
+        )
+    });
+
+    let results = run_benches();
+    for expected in EXPECTED_BENCHES {
+        assert!(
+            results.iter().any(|(n, _)| n == expected),
+            "bench {expected} missing from the run"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    if let Some((text, p)) = &baseline {
+        let id = baseline_label(text).unwrap_or_else(|| p.clone());
+        json.push_str(&format!("  \"baseline\": \"{id}\",\n"));
+    }
+    json.push_str(&format!("  \"samples\": {},\n", samples()));
+    json.push_str("  \"benches\": {\n");
+    for (i, (name, after)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        match baseline
+            .as_ref()
+            .and_then(|(text, _)| baseline_after_ns(text, name))
+        {
+            Some(before) => {
+                json.push_str(&format!(
+                    "    \"{name}\": {{ \"before_ns\": {before:.1}, \"after_ns\": {after:.1}, \
+                     \"speedup\": {:.2} }}{sep}\n",
+                    before / after
+                ));
+            }
+            None => {
+                json.push_str(&format!(
+                    "    \"{name}\": {{ \"after_ns\": {after:.1} }}{sep}\n"
+                ));
+            }
+        }
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -23,7 +23,7 @@
 use crate::domain::{key_bytes, Domain};
 use crate::repr::Radix;
 use crate::scheme::{Mode, SchemeConfig};
-use adp_crypto::{chain_from_value, hasher::HashDomain, Digest, Hasher, MerkleTree};
+use adp_crypto::{chain_from_value, chain_run, hasher::HashDomain, Digest, Hasher, MerkleTree};
 use adp_relation::{Record, Schema, Value};
 
 /// Chain direction.
@@ -107,6 +107,14 @@ pub fn link_digest(hasher: &Hasher, prev: &[u8], cur: &[u8], next: &[u8]) -> Dig
     hasher.hash_parts(HashDomain::Link, &[prev, cur, next])
 }
 
+/// Bulk form of [`link_digest`] over a whole chain: `encoded` is the
+/// sequence `[h(L), g(r_0), …, g(r_{n+1}), h(U)]` and the result is the
+/// `n + 2` link digests, each byte-identical to the single-link form.
+/// The owner signs tables through this so every `g` is serialized once.
+pub fn link_digests_run(hasher: &Hasher, encoded: &[&[u8]]) -> Vec<Digest> {
+    hasher.hash_triple_windows(HashDomain::Link, encoded)
+}
+
 /// Owner/publisher-side materials for one chain direction of one record.
 #[derive(Clone, Debug)]
 pub struct DirectionCommitment {
@@ -158,15 +166,15 @@ pub fn direction_commitment(
             debug_assert_eq!(radix.base(), base);
             let canon = radix.canonical(delta_t);
             let m = radix.m();
-            // Walk each digit chain once, memoizing the needed offsets:
-            // canonical δ_i, borrow δ_i - 1, boosted δ_i + B - 1 / + B.
             let at = |digit: u32, steps: u64| digit_chain(hasher, key, dir, digit, steps);
-            // Canonical representation digest.
-            let canon_components: Vec<Digest> = canon
+            // Canonical representation digest: all digit chains share the
+            // key bytes, so run them through the bulk chain API.
+            let canon_tags: Vec<(u32, u64)> = canon
                 .iter()
                 .enumerate()
-                .map(|(i, &d)| at(i as u32, d as u64))
+                .map(|(i, &d)| (dir.tag(i as u32), d as u64))
                 .collect();
+            let canon_components = chain_run(hasher, &key_bytes(key), &canon_tags);
             let canon_digest = rep_digest(hasher, &canon_components);
             // The m preferred non-canonical representations.
             let mut leaves = Vec::with_capacity(m as usize);
@@ -210,11 +218,12 @@ pub fn entry_component(
         Mode::Optimized { .. } => {
             let radix = radix.expect("optimized mode needs a radix");
             let canon = radix.canonical(delta_t);
-            let comps: Vec<Digest> = canon
+            let tags: Vec<(u32, u64)> = canon
                 .iter()
                 .enumerate()
-                .map(|(i, &d)| digit_chain(hasher, key, dir, i as u32, d as u64))
+                .map(|(i, &d)| (dir.tag(i as u32), d as u64))
                 .collect();
+            let comps = chain_run(hasher, &key_bytes(key), &tags);
             let canon_digest = rep_digest(hasher, &comps);
             let root = rep_root.expect("optimized mode needs the rep-MHT root");
             combine_component(hasher, canon_digest, root)

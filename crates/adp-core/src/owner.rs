@@ -483,28 +483,21 @@ impl Owner {
         });
         let materials: Vec<Material> = materials.into_iter().map(Option::unwrap).collect();
 
-        // Link digests, then signatures (parallel).
+        // Link digests over the whole chain in one bulk pass: each `g` is
+        // serialized once and the edge anchors flank the run, instead of
+        // re-encoding every neighbour triple.
         let edge_l = crate::gdigest::edge_digest(&hasher, domain.l())
             .as_bytes()
             .to_vec();
         let edge_u = crate::gdigest::edge_digest(&hasher, domain.u())
             .as_bytes()
             .to_vec();
-        let links: Vec<Digest> = (0..n + 2)
-            .map(|i| {
-                let prev = if i == 0 {
-                    edge_l.clone()
-                } else {
-                    materials[i - 1].0.to_bytes()
-                };
-                let next = if i == n + 1 {
-                    edge_u.clone()
-                } else {
-                    materials[i + 1].0.to_bytes()
-                };
-                link_digest(&hasher, &prev, &materials[i].0.to_bytes(), &next)
-            })
-            .collect();
+        let encoded: Vec<Vec<u8>> = materials.iter().map(|(g, _)| g.to_bytes()).collect();
+        let mut run: Vec<&[u8]> = Vec::with_capacity(n + 4);
+        run.push(&edge_l);
+        run.extend(encoded.iter().map(Vec::as_slice));
+        run.push(&edge_u);
+        let links: Vec<Digest> = crate::gdigest::link_digests_run(&hasher, &run);
 
         let mut signatures: Vec<Option<Signature>> = vec![None; n + 2];
         std::thread::scope(|s| {

@@ -45,10 +45,14 @@ impl AggregateSignature {
     pub fn combine(public: &PublicKey, sigs: &[&Signature]) -> Self {
         assert!(!sigs.is_empty(), "cannot aggregate zero signatures");
         let n = public.modulus();
-        let mut acc = BigUint::one();
-        for s in sigs {
-            acc = acc.mul_mod(s.value(), n);
-        }
+        let acc = match public.mont_ctx() {
+            // Montgomery product: two multiplications per signature, no
+            // divisions — the publisher-side hot path when answering.
+            Some(ctx) => ctx.product_mod(sigs.iter().map(|s| s.value())),
+            None => sigs
+                .iter()
+                .fold(BigUint::one(), |acc, s| acc.mul_mod(s.value(), n)),
+        };
         AggregateSignature {
             value: acc,
             len: public.signature_len(),
@@ -62,11 +66,12 @@ impl AggregateSignature {
             return false;
         }
         let n = public.modulus();
-        let lhs = self.value.mod_pow(public.exponent(), n);
-        let mut rhs = BigUint::one();
-        for d in digests {
-            rhs = rhs.mul_mod(&public.fdh(hasher, d), n);
-        }
+        let lhs = public.pow_mod_n(&self.value, public.exponent());
+        let fdhs: Vec<BigUint> = digests.iter().map(|d| public.fdh(hasher, d)).collect();
+        let rhs = match public.mont_ctx() {
+            Some(ctx) => ctx.product_mod(fdhs.iter()),
+            None => fdhs.iter().fold(BigUint::one(), |acc, f| acc.mul_mod(f, n)),
+        };
         lhs == rhs
     }
 

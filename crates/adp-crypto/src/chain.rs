@@ -36,6 +36,29 @@ pub fn chain_from_value(hasher: &Hasher, value: &[u8], position: u32, steps: u64
     d
 }
 
+/// Computes `h^{steps}(value|position)` for a whole run of tagged chains
+/// sharing one value — the owner-side shape in optimized mode, where the
+/// `m+1` digit chains of one key differ only in their position tag. The
+/// tag buffer is built once and patched per chain instead of reallocating.
+///
+/// Each returned digest is byte-identical to
+/// `chain_from_value(hasher, value, position, steps)`.
+pub fn chain_run(hasher: &Hasher, value: &[u8], tags: &[(u32, u64)]) -> Vec<Digest> {
+    let mut buf = Vec::with_capacity(value.len() + 4);
+    buf.extend_from_slice(value);
+    buf.extend_from_slice(&[0u8; 4]);
+    tags.iter()
+        .map(|&(position, steps)| {
+            buf[value.len()..].copy_from_slice(&position.to_le_bytes());
+            let mut d = hasher.hash(HashDomain::Value, &buf);
+            for _ in 0..steps {
+                d = hasher.hash(HashDomain::Step, d.as_bytes());
+            }
+            d
+        })
+        .collect()
+}
+
 /// Extends an intermediate chain digest by `extra` further applications.
 ///
 /// This is the user-side operation of Figure 4: the publisher transmits
@@ -123,6 +146,17 @@ mod tests {
                 chain_from_value(&h, b"val", 2, a + b),
                 "a={a} b={b}"
             );
+        }
+    }
+
+    #[test]
+    fn chain_run_matches_singles() {
+        let h = Hasher::default();
+        let tags = [(0u32, 0u64), (1, 5), (0x8000_0002, 13), (3, 1)];
+        let bulk = chain_run(&h, b"shared-key", &tags);
+        assert_eq!(bulk.len(), 4);
+        for (d, &(pos, steps)) in bulk.iter().zip(&tags) {
+            assert_eq!(*d, chain_from_value(&h, b"shared-key", pos, steps));
         }
     }
 

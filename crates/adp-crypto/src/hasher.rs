@@ -107,9 +107,10 @@ impl Hasher {
         self.digest_len * 8
     }
 
-    /// One application of `h` over `parts` under `domain`.
-    pub fn hash_parts(&self, domain: HashDomain, parts: &[&[u8]]) -> Digest {
-        HASH_OPS.fetch_add(1, Ordering::Relaxed);
+    /// One hash application without touching the op counter (shared core of
+    /// [`Self::hash_parts`] and the bulk APIs, which count in batches).
+    #[inline]
+    fn hash_parts_uncounted(&self, domain: HashDomain, parts: &[&[u8]]) -> Digest {
         let mut h = Sha256::new();
         h.update(&[domain as u8]);
         for p in parts {
@@ -120,6 +121,28 @@ impl Hasher {
         }
         let full = h.finalize();
         Digest::from_bytes(&full[..self.digest_len])
+    }
+
+    /// One application of `h` over `parts` under `domain`.
+    pub fn hash_parts(&self, domain: HashDomain, parts: &[&[u8]]) -> Digest {
+        HASH_OPS.fetch_add(1, Ordering::Relaxed);
+        self.hash_parts_uncounted(domain, parts)
+    }
+
+    /// Bulk link hashing: one digest per consecutive window of three parts
+    /// (`parts[i-1] | parts[i] | parts[i+1]` for every interior `i`), each
+    /// byte-identical to `hash_parts(domain, &[prev, cur, next])`.
+    ///
+    /// This is the owner-side signature-chain shape (formula (1)): callers
+    /// encode each record digest **once** and hash a whole run of tuples,
+    /// instead of re-buffering every neighbour triple.
+    pub fn hash_triple_windows(&self, domain: HashDomain, parts: &[&[u8]]) -> Vec<Digest> {
+        assert!(parts.len() >= 3, "need at least one window of three parts");
+        HASH_OPS.fetch_add((parts.len() - 2) as u64, Ordering::Relaxed);
+        parts
+            .windows(3)
+            .map(|w| self.hash_parts_uncounted(domain, w))
+            .collect()
     }
 
     /// One application of `h` over a single byte string.
@@ -207,6 +230,22 @@ mod tests {
         let _ = h.hash(HashDomain::Data, b"1");
         let _ = h.hash_digests(HashDomain::Node, &[h.hash(HashDomain::Leaf, b"2")]);
         assert!(hash_ops() >= before + 3);
+    }
+
+    #[test]
+    fn triple_windows_match_singles() {
+        let h = Hasher::default();
+        let parts: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 3 + i as usize]).collect();
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let bulk = h.hash_triple_windows(HashDomain::Link, &refs);
+        assert_eq!(bulk.len(), 4);
+        for (i, d) in bulk.iter().enumerate() {
+            assert_eq!(
+                *d,
+                h.hash_parts(HashDomain::Link, &[refs[i], refs[i + 1], refs[i + 2]]),
+                "window {i}"
+            );
+        }
     }
 
     #[test]

@@ -36,13 +36,14 @@ pub mod sha256;
 
 pub use aggregate::AggregateSignature;
 pub use bigint::BigUint;
-pub use chain::{chain_extend, chain_from_value, ChainWalker};
+pub use chain::{chain_extend, chain_from_value, chain_run, ChainWalker};
 pub use digest::Digest;
 pub use hasher::{hash_ops, reset_hash_ops, HashDomain, Hasher};
 pub use merkle::{
     root_from_mixed, root_from_range, verify_inclusion, InclusionProof, MerkleTree, MixedLeaf,
     ProofStep, RangeProofNode,
 };
+pub use montgomery::MontgomeryCtx;
 pub use rsa::{Keypair, PublicKey, Signature};
 
 pub mod rsa;

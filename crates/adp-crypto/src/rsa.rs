@@ -15,17 +15,33 @@
 use crate::bigint::{gen_prime, BigUint};
 use crate::digest::Digest;
 use crate::hasher::Hasher;
+use crate::montgomery::MontgomeryCtx;
 use rand::RngCore;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Public verification key `(n, e)`.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Carries a lazily built, shared [`MontgomeryCtx`] for `n`: every
+/// `verify` (and every condensed-aggregate verification) runs on the same
+/// precomputed `R² mod n` instead of re-deriving it per call. Clones share
+/// the cache, so a key threaded through certificates, verifiers, and
+/// servers warms it exactly once per process.
+#[derive(Clone)]
 pub struct PublicKey {
     n: BigUint,
     e: BigUint,
     bits: usize,
+    mont: Arc<OnceLock<Option<MontgomeryCtx>>>,
 }
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e && self.bits == other.bits
+    }
+}
+
+impl Eq for PublicKey {}
 
 impl fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -38,7 +54,35 @@ impl PublicKey {
     /// certificate file). The modulus size is derived from `n`.
     pub fn from_parts(n: BigUint, e: BigUint) -> Self {
         let bits = n.bit_len();
-        PublicKey { n, e, bits }
+        PublicKey {
+            n,
+            e,
+            bits,
+            mont: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The cached Montgomery context for `n` (built on first use; `None`
+    /// only for degenerate even moduli, which real keys never have).
+    pub(crate) fn mont_ctx(&self) -> Option<&MontgomeryCtx> {
+        self.mont
+            .get_or_init(|| MontgomeryCtx::new(&self.n))
+            .as_ref()
+    }
+
+    /// Eagerly builds the Montgomery context so the first verification on a
+    /// latency-sensitive path (e.g. a server answering its first query)
+    /// doesn't pay the one-time `R² mod n` setup.
+    pub fn precompute(&self) {
+        let _ = self.mont_ctx();
+    }
+
+    /// `base^exp mod n` through the cached Montgomery context.
+    pub fn pow_mod_n(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match self.mont_ctx() {
+            Some(ctx) => ctx.mod_pow(base, exp),
+            None => base.mod_pow(exp, &self.n),
+        }
     }
 
     /// The modulus.
@@ -77,11 +121,12 @@ impl PublicKey {
             return false;
         }
         let expected = self.fdh(hasher, digest);
-        sig.value.mod_pow(&self.e, &self.n) == expected
+        self.pow_mod_n(&sig.value, &self.e) == expected
     }
 }
 
-/// Private signing key (CRT form).
+/// Private signing key (CRT form), with cached per-prime Montgomery
+/// contexts so each CRT half-exponentiation skips the `R² mod p` setup.
 #[derive(Clone)]
 pub struct PrivateKey {
     public: PublicKey,
@@ -90,6 +135,22 @@ pub struct PrivateKey {
     dp: BigUint,
     dq: BigUint,
     q_inv: BigUint,
+    mont_p: OnceLock<Option<MontgomeryCtx>>,
+    mont_q: OnceLock<Option<MontgomeryCtx>>,
+}
+
+impl PrivateKey {
+    fn mont_p(&self) -> Option<&MontgomeryCtx> {
+        self.mont_p
+            .get_or_init(|| MontgomeryCtx::new(&self.p))
+            .as_ref()
+    }
+
+    fn mont_q(&self) -> Option<&MontgomeryCtx> {
+        self.mont_q
+            .get_or_init(|| MontgomeryCtx::new(&self.q))
+            .as_ref()
+    }
 }
 
 impl fmt::Debug for PrivateKey {
@@ -165,7 +226,7 @@ impl Keypair {
             let Some(q_inv) = q.mod_inverse(&p) else {
                 continue;
             };
-            let public = PublicKey { n, e, bits };
+            let public = PublicKey::from_parts(n, e);
             return Keypair {
                 inner: Arc::new(PrivateKey {
                     public,
@@ -174,6 +235,8 @@ impl Keypair {
                     dp,
                     dq,
                     q_inv,
+                    mont_p: OnceLock::new(),
+                    mont_q: OnceLock::new(),
                 }),
             };
         }
@@ -190,14 +253,24 @@ impl Keypair {
         let m = k.public.fdh(hasher, digest);
         // CRT: s_p = m^dp mod p, s_q = m^dq mod q,
         //      s  = s_q + q * ((s_p - s_q) * q_inv mod p)
-        let sp = m.mod_pow(&k.dp, &k.p);
-        let sq = m.mod_pow(&k.dq, &k.q);
-        let diff = if sp.cmp(&sq.rem(&k.p)) != std::cmp::Ordering::Less {
-            sp.sub(&sq.rem(&k.p))
-        } else {
-            sp.add(&k.p).sub(&sq.rem(&k.p))
+        let sp = match k.mont_p() {
+            Some(ctx) => ctx.mod_pow(&m, &k.dp),
+            None => m.mod_pow(&k.dp, &k.p),
         };
-        let h = diff.mul_mod(&k.q_inv, &k.p);
+        let sq = match k.mont_q() {
+            Some(ctx) => ctx.mod_pow(&m, &k.dq),
+            None => m.mod_pow(&k.dq, &k.q),
+        };
+        let sq_mod_p = sq.rem(&k.p);
+        let diff = if sp.cmp(&sq_mod_p) != std::cmp::Ordering::Less {
+            sp.sub(&sq_mod_p)
+        } else {
+            sp.add(&k.p).sub(&sq_mod_p)
+        };
+        let h = match k.mont_p() {
+            Some(ctx) => ctx.mul_mod(&diff, &k.q_inv),
+            None => diff.mul_mod(&k.q_inv, &k.p),
+        };
         let s = sq.add(&k.q.mul(&h));
         debug_assert_eq!(
             s.mod_pow(&k.public.e, &k.public.n),

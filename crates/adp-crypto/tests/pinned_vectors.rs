@@ -1,0 +1,161 @@
+//! Pinned byte vectors: every output of the crypto substrate, frozen.
+//!
+//! These hex constants were captured from the implementation **before** the
+//! Montgomery/SHA hot-path overhaul (PR 3) and must never change: the
+//! optimizations rework *how* signatures, digests, chains, and aggregates
+//! are computed, but a single flipped output byte would silently invalidate
+//! every published signature chain and VO. If any assertion here fails, the
+//! fast path has diverged from the scheme — fix the kernel, never the
+//! constant.
+//!
+//! Coverage: deterministic 512-bit keygen (8-limb CRT halves via the
+//! generic kernel, 8-limb modulus via the fixed kernel), a 768-bit key
+//! (12-limb modulus: generic kernel), FDH signatures, condensed
+//! aggregation, tagged hash chains at both digest lengths, Merkle roots,
+//! multi-part link hashing, and counter-mode FDH expansion.
+
+use adp_crypto::{
+    chain_from_value, AggregateSignature, HashDomain, Hasher, Keypair, MerkleTree, Signature,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn kp512() -> &'static Keypair {
+    static K: OnceLock<Keypair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x0ADB_5EED);
+        Keypair::generate(512, &mut rng)
+    })
+}
+
+fn kp768() -> &'static Keypair {
+    static K: OnceLock<Keypair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x0768);
+        Keypair::generate(768, &mut rng)
+    })
+}
+
+const N512: &str = "8e3d8098156f3cfcdac85cd5ccc7c31d50a4c8c8582a37ba4b2079fcdce6e8af454c736331034a8fd5919d300e8d9677faa135f8dd99d866738aabb267ad816d";
+const N768: &str = "b82438ddd90992afecc479072e63c5ab1d23f5613a0c5da6962d71a4e7674261470ae7f972c16c231085a1b11b1ff7a2d0aac78fb16332687fc5ef9bc9c8282432b30e79119b65882b4b937361b17764a0333b55bf0fb0ad8064e391ff5a1ad7";
+
+const DIGESTS16: [&str; 4] = [
+    "dc0331a295162a30509446bd62272b81",
+    "47231caa778c32ed992567c949fc8569",
+    "b3101638dd4b511fe790ce1491f6c7db",
+    "8b86bea6c652fadf505cb52ea408c8d1",
+];
+
+const SIGS512: [&str; 4] = [
+    "0aecc3e716319df7180feb87d9013dae3c85c998fdedcf40dd1d1b7a1b63216505aad12c259f8e980318cbb672a6ab620837ef4fb2b9038010fb70f41da826a1",
+    "2d60e7a84d1aebf9a2df2dfb1779389e82fffe40db2c512eeca7400e916e049dc7c5bd9363385177251ffc78d55697132c7c97425391b9266fecf16a68dd965a",
+    "87ee47e3c6ab7321edb21cbae9d4ea7b09325baf9fab4ad38a6a87582a9df1fc7cc6fb626fb052c2d0bb45ee562da6f1999db94b54de777b57d34b772ef717d3",
+    "6ca6e73a3e1d43154ca754082d66def10f79cb4faebf9945a0e6b3613bd5458ab76d6ce313162597d58914573c353fcd4d4cdf0da280059cb4c3a49138dfb037",
+];
+
+const AGG512: &str = "835867f2c5678869aa73403a0bd208ed69e244a6e3a810522593982854baea949bc2db5228f55a52f7d982e439704ac1ab3b01115bee06d3e0a7873428acf7fa";
+
+const SIG768: &str = "7c3fc27ccc580e3296b3c433724a38742179b32d20762155d3f67b87bde9ae2254341a9333815785c5a2513f5558c8162a127c663fc028701eba12d1c3ddf323050499e3f6b05bf5888e82548c449ff39053697c51effcf286c56f08e17033ba";
+
+#[test]
+fn keygen_is_byte_stable() {
+    assert_eq!(kp512().public().modulus().to_hex(), N512);
+    assert_eq!(kp512().public().exponent().to_hex(), "10001");
+    assert_eq!(kp768().public().modulus().to_hex(), N768);
+}
+
+#[test]
+fn digests_are_byte_stable() {
+    let h16 = Hasher::new(16);
+    for (i, expected) in DIGESTS16.iter().enumerate() {
+        let d = h16.hash(HashDomain::Data, format!("pin-{i}").as_bytes());
+        assert_eq!(&d.to_hex(), expected, "digest {i}");
+    }
+}
+
+#[test]
+fn signatures_are_byte_stable() {
+    let h16 = Hasher::new(16);
+    for (i, expected) in SIGS512.iter().enumerate() {
+        let d = h16.hash(HashDomain::Data, format!("pin-{i}").as_bytes());
+        let sig = kp512().sign(&h16, &d);
+        assert_eq!(&hex(&sig.to_bytes()), expected, "signature {i}");
+        assert!(kp512().public().verify(&h16, &d, &sig));
+    }
+}
+
+#[test]
+fn generic_width_signature_is_byte_stable() {
+    // 768-bit modulus = 12 limbs: exercises the generic CIOS fallback for
+    // the full-modulus verify and 6-limb CRT halves for signing.
+    let h32 = Hasher::new(32);
+    let d = h32.hash(HashDomain::Data, b"pin-768");
+    let sig = kp768().sign(&h32, &d);
+    assert_eq!(hex(&sig.to_bytes()), SIG768);
+    assert!(kp768().public().verify(&h32, &d, &sig));
+}
+
+#[test]
+fn aggregate_is_byte_stable() {
+    let h16 = Hasher::new(16);
+    let digests: Vec<_> = (0..4)
+        .map(|i| h16.hash(HashDomain::Data, format!("pin-{i}").as_bytes()))
+        .collect();
+    let sigs: Vec<Signature> = digests.iter().map(|d| kp512().sign(&h16, d)).collect();
+    let refs: Vec<&Signature> = sigs.iter().collect();
+    let agg = AggregateSignature::combine(kp512().public(), &refs);
+    assert_eq!(hex(&agg.to_bytes()), AGG512);
+    assert!(agg.verify(&h16, kp512().public(), &digests));
+}
+
+#[test]
+fn chains_are_byte_stable() {
+    let h16 = Hasher::new(16);
+    let h32 = Hasher::new(32);
+    assert_eq!(
+        chain_from_value(&h16, b"pinned-value", 7, 129).to_hex(),
+        "8b490cbc399355b7367ed95d211db759"
+    );
+    assert_eq!(
+        chain_from_value(&h32, b"pinned-value", 0x8000_0003, 64).to_hex(),
+        "3a0dce3e528968b0527cf7451499cff4d23d54cfc522a1004f757f40d2877643"
+    );
+}
+
+#[test]
+fn merkle_root_is_byte_stable() {
+    let h16 = Hasher::new(16);
+    let leaves: Vec<_> = (0..9u32)
+        .map(|i| h16.hash(HashDomain::Leaf, &i.to_le_bytes()))
+        .collect();
+    let tree = MerkleTree::build(h16, leaves);
+    assert_eq!(tree.root().to_hex(), "303bc289b1d7152e07b51750cdefb8de");
+}
+
+#[test]
+fn link_hash_is_byte_stable() {
+    let h32 = Hasher::new(32);
+    let single = h32.hash_parts(HashDomain::Link, &[b"left", b"center", b"right"]);
+    assert_eq!(
+        single.to_hex(),
+        "1b9125727b768a191a7555f6db3c3facbac687cd6dedc1aad67926c3e5b6379b"
+    );
+    // The bulk owner-side path must agree with the pinned single-link form.
+    let bulk = h32.hash_triple_windows(HashDomain::Link, &[b"left", b"center", b"right"]);
+    assert_eq!(bulk.len(), 1);
+    assert_eq!(bulk[0], single);
+}
+
+#[test]
+fn fdh_expansion_is_byte_stable() {
+    let h16 = Hasher::new(16);
+    assert_eq!(
+        hex(&h16.expand(b"pinned-seed", 96)),
+        "d3d924e3e269029f6526106d91d9db5ec5252030f9b320a4f91635b3cab8d41107388ad5b7b0f0e3d25633cec41c6059240f071b2ccab6296506456289e8d6980d36bc07fbe6c83becc27e415314eabc9f22d561cc82f4b0e670a85bb8bead24"
+    );
+}

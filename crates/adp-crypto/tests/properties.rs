@@ -4,8 +4,9 @@
 
 use adp_crypto::bigint::{is_probable_prime, BigUint};
 use adp_crypto::{
-    chain_extend, chain_from_value, hasher::HashDomain, root_from_mixed, root_from_range,
-    verify_inclusion, AggregateSignature, Hasher, Keypair, MerkleTree, MixedLeaf,
+    chain_extend, chain_from_value, chain_run, hasher::HashDomain, root_from_mixed,
+    root_from_range, verify_inclusion, AggregateSignature, Hasher, Keypair, MerkleTree, MixedLeaf,
+    MontgomeryCtx,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,6 +25,25 @@ prop_compose! {
     fn arb_biguint()(bytes in prop::collection::vec(any::<u8>(), 0..40)) -> BigUint {
         BigUint::from_bytes_be(&bytes)
     }
+}
+
+/// Limb widths straddling the fixed-width Montgomery kernels: the 8- and
+/// 16-limb fast paths plus one limb on either side of each.
+const BOUNDARY_LIMBS: [usize; 6] = [7, 8, 9, 15, 16, 17];
+
+/// A Montgomery context over a random odd modulus of exactly
+/// `BOUNDARY_LIMBS[widx]` limbs (`extra` scatters the bit length within
+/// the top limb), plus the modulus and the RNG for operand generation.
+fn boundary_ctx(widx: usize, extra: usize, seed: u64) -> (MontgomeryCtx, BigUint, StdRng) {
+    let limbs = BOUNDARY_LIMBS[widx];
+    let bits = (limbs - 1) * 64 + 1 + (extra % 64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = BigUint::random_bits(&mut rng, bits);
+    if m.is_even() {
+        m = m.add(&BigUint::one());
+    }
+    let ctx = MontgomeryCtx::new(&m).expect("odd modulus > 1");
+    (ctx, m, rng)
 }
 
 proptest! {
@@ -165,6 +185,70 @@ proptest! {
         prop_assert_eq!(root_from_mixed(&h, &mixed), tree.root());
     }
 
+    // ---------------- Montgomery differential suite ----------------
+    //
+    // The 8- and 16-limb operand widths take dedicated fixed-width CIOS
+    // kernels (512/1024 bits: the CRT halves and full moduli); everything
+    // else runs the generic loop. Each law below therefore samples limb
+    // counts straddling those fast-path boundaries (7/8/9 and 15/16/17)
+    // and checks the Montgomery result against the division-based
+    // reference arithmetic bit for bit.
+
+    #[test]
+    fn mont_mul_matches_mul_mod(widx in 0usize..6, extra in 0usize..64, seed in any::<u64>()) {
+        let (ctx, m, mut rng) = boundary_ctx(widx, extra, seed);
+        let a = BigUint::random_below(&mut rng, &m);
+        let b = BigUint::random_below(&mut rng, &m);
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    #[test]
+    fn mont_sqr_matches_mul_mod(widx in 0usize..6, extra in 0usize..64, seed in any::<u64>()) {
+        let (ctx, m, mut rng) = boundary_ctx(widx, extra, seed);
+        let a = BigUint::random_below(&mut rng, &m);
+        prop_assert_eq!(ctx.sqr_mod(&a), a.mul_mod(&a, &m));
+    }
+
+    #[test]
+    fn mont_mod_pow_matches_plain(
+        widx in 0usize..6,
+        extra in 0usize..64,
+        exp_bits in 1usize..224,
+        seed in any::<u64>(),
+    ) {
+        // exp_bits spans every sliding-window width the ladder selects.
+        let (ctx, m, mut rng) = boundary_ctx(widx, extra, seed);
+        let base = BigUint::random_below(&mut rng, &m);
+        let exp = BigUint::random_bits(&mut rng, exp_bits);
+        prop_assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_plain(&exp, &m));
+    }
+
+    #[test]
+    fn mont_mod_pow_degenerate_exponents(widx in 0usize..6, extra in 0usize..64, seed in any::<u64>()) {
+        let (ctx, m, mut rng) = boundary_ctx(widx, extra, seed);
+        let base = BigUint::random_below(&mut rng, &m);
+        prop_assert_eq!(ctx.mod_pow(&base, &BigUint::zero()), BigUint::one());
+        prop_assert_eq!(ctx.mod_pow(&base, &BigUint::one()), base.rem(&m));
+        // Unreduced base: the kernel must reduce before entering the domain.
+        let big_base = base.add(&m);
+        let exp = BigUint::from_u64(3);
+        prop_assert_eq!(ctx.mod_pow(&big_base, &exp), base.mod_pow_plain(&exp, &m));
+    }
+
+    #[test]
+    fn mont_product_matches_fold(
+        widx in 0usize..6,
+        count in 0usize..10,
+        extra in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let (ctx, m, mut rng) = boundary_ctx(widx, extra, seed);
+        let factors: Vec<BigUint> =
+            (0..count).map(|_| BigUint::random_below(&mut rng, &m)).collect();
+        let expected = factors.iter().fold(BigUint::one(), |acc, f| acc.mul_mod(f, &m));
+        prop_assert_eq!(ctx.product_mod(factors.iter()), expected);
+    }
+
     // ---------------- Chains ----------------
 
     #[test]
@@ -172,6 +256,16 @@ proptest! {
         let h = Hasher::default();
         let part = chain_from_value(&h, b"v", tag, a);
         prop_assert_eq!(chain_extend(&h, part, b), chain_from_value(&h, b"v", tag, a + b));
+    }
+
+    #[test]
+    fn chain_run_agrees_with_singles(tags in prop::collection::vec(any::<u32>(), 0..6), steps in 0u64..30) {
+        let h = Hasher::default();
+        let pairs: Vec<(u32, u64)> = tags.iter().map(|&t| (t, steps)).collect();
+        let bulk = chain_run(&h, b"prop-value", &pairs);
+        for (d, &(pos, st)) in bulk.iter().zip(&pairs) {
+            prop_assert_eq!(*d, chain_from_value(&h, b"prop-value", pos, st));
+        }
     }
 
     #[test]

@@ -185,8 +185,10 @@ pub struct RemoteVerifier {
 }
 
 impl RemoteVerifier {
-    /// Wraps an existing connection.
+    /// Wraps an existing connection. Warms the certificate key's Montgomery
+    /// context so the first verification doesn't pay the one-time setup.
     pub fn new(client: RemoteClient, cert: Certificate, table_id: u32) -> Self {
+        cert.public_key.precompute();
         RemoteVerifier {
             client,
             cert,

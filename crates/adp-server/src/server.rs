@@ -233,12 +233,15 @@ impl Server {
     /// Registers a signed table under `table_id` (replacing any previous
     /// registration of that id).
     pub fn add_table(&mut self, table_id: u32, st: SignedTable) -> &mut Self {
-        self.tables.insert(table_id, Arc::new(st));
-        self
+        self.add_shared_table(table_id, Arc::new(st))
     }
 
-    /// Registers an already-shared signed table under `table_id`.
+    /// Registers an already-shared signed table under `table_id`. Warms the
+    /// owner key's Montgomery context so the first answer (which aggregates
+    /// signatures mod `n`) doesn't pay the one-time `R² mod n` setup on a
+    /// client-visible request.
     pub fn add_shared_table(&mut self, table_id: u32, st: Arc<SignedTable>) -> &mut Self {
+        st.public_key().precompute();
         self.tables.insert(table_id, st);
         self
     }
