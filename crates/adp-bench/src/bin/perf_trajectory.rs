@@ -18,10 +18,14 @@
 //!
 //! See `docs/PERFORMANCE.md` for how to read the snapshot.
 
+use adp_core::prelude::*;
 use adp_crypto::{
     chain_extend, chain_from_value, sha256::sha256, AggregateSignature, HashDomain, Hasher,
     Keypair, MerkleTree, Signature,
 };
+use adp_relation::{Column, Record, Schema, Table, Value, ValueType};
+use adp_store::format::{decode_snapshot, encode_snapshot};
+use adp_store::LogRecord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -38,6 +42,9 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "rsa1024/sign_crt",
     "rsa1024/verify",
     "aggregate/verify_100_1024",
+    "store/ingest_batch",
+    "store/log_replay",
+    "store/snapshot_load",
 ];
 
 fn samples() -> usize {
@@ -142,6 +149,99 @@ fn run_benches() -> Vec<(String, f64)> {
                 measure(n, || agg.verify(&hasher, kp.public(), &digests)),
             );
         }
+    }
+
+    // Durable store (PR 4): incremental ingest, log replay, snapshot load.
+    {
+        let mut rng = StdRng::seed_from_u64(0x5704);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("k", ValueType::Int),
+            ],
+            "k",
+        );
+        let mut t = Table::new("bench", schema);
+        for i in 0..256i64 {
+            t.insert(Record::new(vec![Value::Int(i), Value::Int(1_000 + i * 10)]))
+                .unwrap();
+        }
+        let base = owner
+            .sign_table(t, Domain::new(0, 1_000_000), SchemeConfig::default())
+            .unwrap();
+
+        // ingest_batch: a steady-state cycle on ONE table — a batch of 16
+        // scattered inserts followed by the batch deleting them — so the
+        // measured closure is pure apply_batch (O(k) re-signing), with no
+        // per-iteration O(n) table clone polluting the number. One
+        // iteration = 2 batches = 32 mutations.
+        // Keys ≡ 3 (mod 10) can never collide with the base table's
+        // ≡ 0 (mod 10) keys, so each delete removes exactly its insert.
+        let inserts: Vec<Mutation> = (0..16i64)
+            .map(|i| {
+                Mutation::Insert(Record::new(vec![
+                    Value::Int(500 + i),
+                    Value::Int(1_003 + i * 170),
+                ]))
+            })
+            .collect();
+        let deletes: Vec<Mutation> = (0..16i64)
+            .map(|i| Mutation::Delete {
+                key: 1_003 + i * 170,
+                replica: 0,
+            })
+            .collect();
+        let mut ingest_st = base.clone();
+        record(
+            "store/ingest_batch",
+            measure(n, || {
+                owner.apply_batch(&mut ingest_st, inserts.clone()).unwrap();
+                owner.apply_batch(&mut ingest_st, deletes.clone()).unwrap()
+            }),
+        );
+
+        // log_replay: the publisher-side mirror — verify and splice 8
+        // logged batches (2 mutations each) without the signing key.
+        let mut replay_src = base.clone();
+        let records: Vec<LogRecord> = (0..8u64)
+            .map(|seq| {
+                let ops = vec![
+                    Mutation::Insert(Record::new(vec![
+                        Value::Int(700 + seq as i64),
+                        Value::Int(2_000 + seq as i64 * 331),
+                    ])),
+                    Mutation::Delete {
+                        key: 1_000 + seq as i64 * 10,
+                        replica: 0,
+                    },
+                ];
+                let report = owner.apply_batch(&mut replay_src, ops).unwrap();
+                LogRecord {
+                    seq,
+                    ops: report.ops,
+                    resigned: report.resigned,
+                }
+            })
+            .collect();
+        record(
+            "store/log_replay",
+            measure(n, || {
+                let mut st = base.clone();
+                for rec in &records {
+                    st.replay_batch(&rec.ops, &rec.resigned).unwrap();
+                }
+                st.len()
+            }),
+        );
+
+        // snapshot_load: decode + full digest rematerialization of the
+        // 256-row snapshot (the restart path).
+        let snapshot = encode_snapshot(&base, 0);
+        record(
+            "store/snapshot_load",
+            measure(n, || decode_snapshot(&snapshot).unwrap().0.len()),
+        );
     }
     out
 }

@@ -55,6 +55,8 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&parse_flags(&args[1..])),
         Some("serve") => cmd_serve(&parse_flags(&args[1..])),
         Some("rquery") => cmd_rquery(&parse_flags(&args[1..])),
+        Some("ingest") => cmd_ingest(&parse_flags(&args[1..])),
+        Some("compact") => cmd_compact(&parse_flags(&args[1..])),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -76,11 +78,21 @@ fn print_usage() {
          \n\
          USAGE:\n\
          adp publish --csv FILE --key COLUMN --domain L..U --out DIR [--seed N] [--bits N]\n\
-         adp query   --dir DIR --range A..B [--project c1,c2] --out DIR\n\
+         \x20           [--store DIR]\n\
+         adp query   (--dir DIR | --store DIR) --range A..B [--project c1,c2] --out DIR\n\
          adp verify  --cert FILE --range A..B [--project c1,c2] --answer DIR\n\
-         adp serve   --dir DIR [--addr HOST:PORT] [--table N] [--workers N] [--cache N]\n\
+         adp serve   (--dir DIR | --store DIR) [--addr HOST:PORT] [--table N]\n\
+         \x20           [--workers N] [--cache N]\n\
          adp rquery  --addr HOST:PORT --cert FILE --range A..B [--project c1,c2]\n\
-         \x20           [--table N] [--out DIR]\n"
+         \x20           [--table N] [--out DIR]\n\
+         adp ingest  --store DIR [--csv FILE] [--delete K[:R],...] [--seed N] [--bits N]\n\
+         adp compact --store DIR\n\
+         \n\
+         `--store DIR` is the durable format (docs/STORAGE.md): a snapshot\n\
+         plus an append-only update log. `ingest` applies a signed batch of\n\
+         inserts/deletes with O(k) re-signing (regenerate the owner keypair\n\
+         with the same --seed/--bits used at publish); `compact` folds the\n\
+         log into a fresh snapshot.\n"
     );
 }
 
@@ -171,6 +183,13 @@ fn cmd_publish(flags: &Flags) -> Result<(), String> {
         rows + 2,
         wire::encode_certificate(&cert).len()
     );
+    if let Some(store_dir) = flags.get("store").filter(|s| !s.is_empty()) {
+        let store = adp_store::Store::create(store_dir, signed).map_err(|e| e.to_string())?;
+        println!(
+            "store created at {} (snapshot + empty update log; mutate with 'adp ingest')",
+            store.dir().display()
+        );
+    }
     println!("ship the whole directory to publishers; give users certificate.bin");
     Ok(())
 }
@@ -263,12 +282,50 @@ fn load_published(dir: &Path) -> Result<SignedTable, String> {
     Ok(signed)
 }
 
+/// Where `query`/`serve` read their signed table from.
+enum TableSource {
+    /// A published directory (`--dir`): static files.
+    Published(Box<SignedTable>),
+    /// A durable store (`--store`): kept open so `serve` can stay
+    /// live-updatable.
+    Stored(adp_store::Store),
+}
+
+/// Resolves the `--dir` / `--store` selection into a [`TableSource`].
+/// Both paths refuse data that fails the signature audit.
+fn load_table_source(flags: &Flags) -> Result<TableSource, String> {
+    match (
+        flags.get("dir").filter(|s| !s.is_empty()),
+        flags.get("store").filter(|s| !s.is_empty()),
+    ) {
+        (Some(dir), None) => Ok(TableSource::Published(Box::new(load_published(
+            Path::new(dir),
+        )?))),
+        (None, Some(store_dir)) => {
+            let store = adp_store::Store::open(store_dir).map_err(|e| e.to_string())?;
+            if !store.audit() {
+                return Err("store data does not match its signatures — refusing to serve".into());
+            }
+            Ok(TableSource::Stored(store))
+        }
+        _ => Err("pass exactly one of --dir or --store".into()),
+    }
+}
+
+/// Loads the signed table itself when the caller doesn't need to keep the
+/// store open (the `query` path).
+fn load_signed_source(flags: &Flags) -> Result<SignedTable, String> {
+    Ok(match load_table_source(flags)? {
+        TableSource::Published(signed) => *signed,
+        TableSource::Stored(store) => store.into_table(),
+    })
+}
+
 fn cmd_query(flags: &Flags) -> Result<(), String> {
-    let dir = PathBuf::from(need(flags, "dir")?);
     let (a, b) = parse_range_pair(need(flags, "range")?)?;
     let out = PathBuf::from(need(flags, "out")?);
     let projection = parse_projection(flags);
-    let signed = load_published(&dir)?;
+    let signed = load_signed_source(flags)?;
 
     let query = SelectQuery {
         range: KeyRange::closed(a, b),
@@ -371,7 +428,6 @@ fn parse_u32_flag(flags: &Flags, key: &str, default: u32) -> Result<u32, String>
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    let dir = PathBuf::from(need(flags, "dir")?);
     let addr = flags
         .get("addr")
         .map(String::as_str)
@@ -380,18 +436,30 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let workers = parse_u32_flag(flags, "workers", 4)? as usize;
     let cache = parse_u32_flag(flags, "cache", 1024)? as usize;
 
-    let signed = load_published(&dir)?;
-    let rows = signed.len();
     let mut server = adp_server::Server::new(adp_server::ServerConfig {
         workers,
         cache_capacity: cache,
         ..adp_server::ServerConfig::default()
     });
-    server.add_table(table_id, signed);
+    let (rows, source) = match load_table_source(flags)? {
+        TableSource::Published(signed) => {
+            let rows = signed.len();
+            server.add_table(table_id, *signed);
+            (rows, "published dir".to_string())
+        }
+        TableSource::Stored(store) => {
+            // Store-backed: the table stays live-updatable (epoch-based VO
+            // cache invalidation) and the log was re-verified at open.
+            let rows = store.table().len();
+            let source = format!("store {} (seq {})", store.dir().display(), store.next_seq());
+            server.add_store(table_id, store);
+            (rows, source)
+        }
+    };
     let handle = server.serve(addr).map_err(|e| e.to_string())?;
     println!(
-        "serving table {table_id} ({rows} rows) on {} — {} workers, VO cache {} entries \
-         (protocol: docs/PROTOCOL.md; stop with ctrl-c)",
+        "serving table {table_id} ({rows} rows, from {source}) on {} — {} workers, \
+         VO cache {} entries (protocol: docs/PROTOCOL.md; stop with ctrl-c)",
         handle.addr(),
         workers.max(1),
         cache,
@@ -400,6 +468,169 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+// ------------------------------------------------------------ ingest
+
+/// Parses CSV rows against an existing schema (ingest cannot re-infer
+/// types: the batch must match the published table exactly). The header
+/// must name every schema column, in any order.
+fn records_for_schema(path: &Path, schema: &Schema) -> Result<Vec<Record>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    let names = csv::parse_line(header)?;
+    if names.len() != schema.arity() {
+        return Err(format!(
+            "CSV has {} columns, the table schema has {}",
+            names.len(),
+            schema.arity()
+        ));
+    }
+    let slots: Vec<usize> = names
+        .iter()
+        .map(|n| {
+            schema
+                .column_index(n)
+                .ok_or_else(|| format!("column '{n}' is not in the table schema"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut seen = vec![false; schema.arity()];
+    for &slot in &slots {
+        if seen[slot] {
+            return Err(format!(
+                "duplicate column '{}' in CSV header",
+                schema.columns()[slot].name
+            ));
+        }
+        seen[slot] = true;
+    }
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = csv::parse_line(line)?;
+        if fields.len() != names.len() {
+            return Err(format!(
+                "line {}: {} fields, header has {}",
+                lineno + 2,
+                fields.len(),
+                names.len()
+            ));
+        }
+        let mut values: Vec<Option<Value>> = vec![None; schema.arity()];
+        for (field, &slot) in fields.iter().zip(&slots) {
+            let col = &schema.columns()[slot];
+            let value =
+                match col.ty {
+                    ValueType::Int => Value::Int(field.trim().parse().map_err(|_| {
+                        format!("line {}: '{field}' is not an integer", lineno + 2)
+                    })?),
+                    ValueType::Text => Value::Text(field.clone()),
+                    ValueType::Bool => match field.trim() {
+                        "true" | "1" => Value::Bool(true),
+                        "false" | "0" => Value::Bool(false),
+                        other => return Err(format!("line {}: bad bool '{other}'", lineno + 2)),
+                    },
+                    ValueType::Bytes => {
+                        return Err(format!(
+                            "line {}: BYTES column '{}' cannot be ingested from CSV",
+                            lineno + 2,
+                            col.name
+                        ))
+                    }
+                };
+            values[slot] = Some(value);
+        }
+        records.push(Record::new(
+            values.into_iter().map(Option::unwrap).collect(),
+        ));
+    }
+    Ok(records)
+}
+
+/// Parses `--delete K[:R],K2[:R2],...` into delete mutations.
+fn parse_deletes(spec: &str) -> Result<Vec<adp_core::owner::Mutation>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|item| {
+            let item = item.trim();
+            let (key, replica) = match item.split_once(':') {
+                Some((k, r)) => (
+                    k.trim().parse().map_err(|_| format!("bad key '{k}'"))?,
+                    r.trim().parse().map_err(|_| format!("bad replica '{r}'"))?,
+                ),
+                None => (item.parse().map_err(|_| format!("bad key '{item}'"))?, 0u32),
+            };
+            Ok(adp_core::owner::Mutation::Delete { key, replica })
+        })
+        .collect()
+}
+
+fn cmd_ingest(flags: &Flags) -> Result<(), String> {
+    let store_dir = need(flags, "store")?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0xCAFE), |s| {
+        s.parse().map_err(|_| "bad --seed".to_string())
+    })?;
+    let bits: usize = flags.get("bits").map_or(Ok(1024), |s| {
+        s.parse().map_err(|_| "bad --bits".to_string())
+    })?;
+
+    let mut store = adp_store::Store::open(store_dir).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owner = Owner::new(bits, &mut rng);
+    if owner.public_key() != store.table().public_key() {
+        return Err(
+            "the regenerated keypair does not match the store's owner key — \
+             pass the same --seed and --bits used at publish time"
+                .into(),
+        );
+    }
+
+    let mut ops = Vec::new();
+    if let Some(del) = flags.get("delete").filter(|s| !s.is_empty()) {
+        ops.extend(parse_deletes(del)?);
+    }
+    if let Some(csv_path) = flags.get("csv").filter(|s| !s.is_empty()) {
+        let schema = store.table().table().schema().clone();
+        for record in records_for_schema(Path::new(csv_path), &schema)? {
+            ops.push(adp_core::owner::Mutation::Insert(record));
+        }
+    }
+    if ops.is_empty() {
+        return Err("nothing to ingest: pass --csv and/or --delete".into());
+    }
+    let total = ops.len();
+    let start = std::time::Instant::now();
+    let report = store.apply_batch(&owner, ops).map_err(|e| e.to_string())?;
+    println!(
+        "ingested {total} mutation(s) in {:.3}s: {} signatures recomputed \
+         ({} g digests) — O(k) neighborhoods, not O(n); table now {} rows, \
+         log {} record(s)",
+        start.elapsed().as_secs_f64(),
+        report.signatures_recomputed,
+        report.g_recomputed,
+        store.table().len(),
+        store.log_record_count(),
+    );
+    Ok(())
+}
+
+// ----------------------------------------------------------- compact
+
+fn cmd_compact(flags: &Flags) -> Result<(), String> {
+    let store_dir = need(flags, "store")?;
+    let mut store = adp_store::Store::open(store_dir).map_err(|e| e.to_string())?;
+    let folded = store.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {}: folded {folded} log record(s) into a fresh snapshot \
+         ({} rows, next seq {})",
+        store.dir().display(),
+        store.table().len(),
+        store.next_seq(),
+    );
+    Ok(())
 }
 
 // ----------------------------------------------------------------- rquery

@@ -279,6 +279,140 @@ fn corrupted_publication_refused_by_publisher() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("does not match its signatures"));
 }
 
+fn publish_with_store(dir: &Path) {
+    let out = adp(
+        &[
+            "publish",
+            "--csv",
+            "emp.csv",
+            "--key",
+            "salary",
+            "--domain",
+            "0..100000",
+            "--out",
+            "pub",
+            "--bits",
+            "512",
+            "--seed",
+            "41",
+            "--store",
+            "store",
+        ],
+        dir,
+    );
+    assert_ok(&out, "publish --store");
+}
+
+#[test]
+fn store_publish_ingest_compact_query_verify() {
+    let dir = workdir("store-flow");
+    sample_csv(&dir);
+    publish_with_store(&dir);
+    for f in ["snapshot.adps", "update.adpl"] {
+        assert!(dir.join("store").join(f).exists(), "missing {f}");
+    }
+
+    // Ingest two inserts and one delete through the update log.
+    fs::write(
+        dir.join("more.csv"),
+        "id,name,salary,dept\n9,Frank,5000,1\n10,Grace,15000,2\n",
+    )
+    .unwrap();
+    let out = adp(
+        &[
+            "ingest", "--store", "store", "--csv", "more.csv", "--delete", "3500", "--bits", "512",
+            "--seed", "41",
+        ],
+        &dir,
+    );
+    assert_ok(&out, "ingest");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 mutation(s)"), "{stdout}");
+    assert!(stdout.contains("6 rows"), "{stdout}");
+
+    // A wrong seed regenerates a different keypair and is refused.
+    let out = adp(
+        &[
+            "ingest", "--store", "store", "--delete", "2000", "--bits", "512", "--seed", "999",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success(), "wrong seed must be refused");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+
+    // Query straight from the store (snapshot + replayed log) and verify
+    // against the certificate from publish time.
+    let out = adp(
+        &[
+            "query", "--store", "store", "--range", "0..10000", "--out", "ans",
+        ],
+        &dir,
+    );
+    assert_ok(&out, "query --store");
+    let result_csv = fs::read_to_string(dir.join("ans/result.csv")).unwrap();
+    assert!(result_csv.contains("Frank"), "ingested row served");
+    assert!(!result_csv.contains("Chen"), "deleted row (3500) gone");
+    let out = adp(
+        &[
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--answer",
+            "ans",
+        ],
+        &dir,
+    );
+    assert_ok(&out, "verify post-ingest");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VERIFIED: 3 rows"));
+
+    // Compact, then everything still loads and verifies.
+    let out = adp(&["compact", "--store", "store"], &dir);
+    assert_ok(&out, "compact");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("folded 1 log record(s)"));
+    let out = adp(
+        &[
+            "query", "--store", "store", "--range", "0..10000", "--out", "ans2",
+        ],
+        &dir,
+    );
+    assert_ok(&out, "query after compact");
+    let out = adp(
+        &[
+            "verify",
+            "--cert",
+            "pub/certificate.bin",
+            "--range",
+            "0..10000",
+            "--answer",
+            "ans2",
+        ],
+        &dir,
+    );
+    assert_ok(&out, "verify after compact");
+}
+
+#[test]
+fn corrupted_store_refused() {
+    let dir = workdir("store-corrupt");
+    sample_csv(&dir);
+    publish_with_store(&dir);
+    let snap = dir.join("store/snapshot.adps");
+    let mut bytes = fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&snap, bytes).unwrap();
+    let out = adp(
+        &[
+            "query", "--store", "store", "--range", "0..10000", "--out", "ans",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success(), "corrupt snapshot must be refused");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CRC"));
+}
+
 #[test]
 fn bad_flags_reported() {
     let dir = workdir("flags");

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::client::{AggregateKind, AggregateValue, Client, ClientError, SessionStats};
     pub use crate::domain::{Domain, QueryBounds};
     pub use crate::errors::VerifyError;
-    pub use crate::owner::{Certificate, Owner, SignedTable, UpdateReport};
+    pub use crate::owner::{BatchReport, Certificate, Mutation, Owner, SignedTable, UpdateReport};
     pub use crate::publisher::Publisher;
     pub use crate::scheme::{Mode, SchemeConfig};
     pub use crate::verifier::{verify_select, verify_select_wire, VerifyReport};

@@ -36,6 +36,16 @@ pub enum OwnerError {
     /// A dissemination payload carried the wrong number of signatures for
     /// the table (`n + 2` expected).
     SignatureCount { expected: usize, got: usize },
+    /// A batch [`Mutation::Update`] changed the key attribute without being
+    /// decomposed into delete + insert (only [`Owner::apply_batch`]
+    /// canonicalizes; replayed logs must already be canonical).
+    UpdateChangesKey { key: i64, new_key: i64 },
+    /// A replayed batch's re-signed positions disagree with the chain
+    /// positions the mutations actually dirtied.
+    ResignSetMismatch { expected: usize, got: usize },
+    /// A replayed signature failed verification against the recomputed link
+    /// digest — the log record was tampered with or corrupted.
+    ResignatureInvalid { chain_pos: usize },
 }
 
 impl fmt::Display for OwnerError {
@@ -50,6 +60,27 @@ impl fmt::Display for OwnerError {
             }
             OwnerError::SignatureCount { expected, got } => {
                 write!(f, "expected {expected} signatures for the table, got {got}")
+            }
+            OwnerError::UpdateChangesKey { key, new_key } => {
+                write!(
+                    f,
+                    "batch update changes the key attribute ({key} -> {new_key}); \
+                     canonical batches decompose key changes into delete + insert"
+                )
+            }
+            OwnerError::ResignSetMismatch { expected, got } => {
+                write!(
+                    f,
+                    "replayed batch re-signs the wrong positions: \
+                     {expected} dirtied, {got} provided"
+                )
+            }
+            OwnerError::ResignatureInvalid { chain_pos } => {
+                write!(
+                    f,
+                    "replayed signature at chain position {chain_pos} does not \
+                     verify against the recomputed link digest"
+                )
             }
         }
     }
@@ -99,8 +130,57 @@ pub struct UpdateReport {
     pub index_nodes_touched: u64,
 }
 
+/// One owner-side mutation of a signed table, as carried in an ingest
+/// batch and in `adp-store` update-log records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert a new record (replica assigned automatically).
+    Insert(Record),
+    /// Delete the record identified by `(key, replica)`.
+    Delete {
+        /// Key attribute value.
+        key: i64,
+        /// Replica disambiguator.
+        replica: u32,
+    },
+    /// Replace the non-key attributes of `(key, replica)`. A replacement
+    /// record with a *different* key is decomposed by
+    /// [`Owner::apply_batch`] into delete + insert.
+    Update {
+        /// Key attribute value of the record being replaced.
+        key: i64,
+        /// Replica disambiguator.
+        replica: u32,
+        /// The replacement record.
+        record: Record,
+    },
+}
+
+/// Outcome of [`Owner::apply_batch`]: the canonicalized mutations as
+/// applied plus the signatures recomputed for the affected chain
+/// neighborhoods — exactly what an update-log record must carry so a
+/// publisher can replay the batch without the signing key.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// The mutations in canonical application order (deletes, then
+    /// in-place updates, then inserts, each sorted by key). Log these, not
+    /// the caller's original vector.
+    pub ops: Vec<Mutation>,
+    /// `(chain position, new signature)` for every re-signed position, in
+    /// chain order. Positions refer to the post-batch chain.
+    pub resigned: Vec<(u32, Signature)>,
+    /// Signatures recomputed — `O(k)` neighborhoods, never `O(n)`.
+    pub signatures_recomputed: usize,
+    /// `g` digests recomputed (one per insert/update).
+    pub g_recomputed: usize,
+}
+
 /// A table signed for publishing: data + signature chain + signature index.
-#[derive(Debug)]
+///
+/// Cloning copies the table, the chain entries, and the signature index —
+/// no cryptography is redone. `adp-store` and the live-reloading server
+/// clone a signed table to stage a batch before atomically swapping it in.
+#[derive(Clone, Debug)]
 pub struct SignedTable {
     table: Table,
     domain: Domain,
@@ -240,6 +320,280 @@ impl SignedTable {
             self.public_key
                 .verify(&self.hasher, &self.link_at(i), &self.entries[i].signature)
         })
+    }
+
+    /// `g` and rep-roots for one record, from this table's scheme state.
+    fn materialize_record(&self, record: &Record) -> (GDigest, Option<(Digest, Digest)>) {
+        let schema = self.table.schema();
+        let key = record.key(schema);
+        let up = direction_commitment(
+            &self.hasher,
+            &self.config,
+            self.radix.as_ref(),
+            &self.domain,
+            key,
+            Direction::Up,
+        );
+        let down = direction_commitment(
+            &self.hasher,
+            &self.config,
+            self.radix.as_ref(),
+            &self.domain,
+            key,
+            Direction::Down,
+        );
+        let attrs = attr_tree(&self.hasher, schema, record).root();
+        let roots = match (up.rep_tree.as_ref(), down.rep_tree.as_ref()) {
+            (Some(u), Some(d)) => Some((u.root(), d.root())),
+            _ => None,
+        };
+        (
+            GDigest {
+                up: up.component,
+                down: down.component,
+                attrs,
+            },
+            roots,
+        )
+    }
+
+    /// Current chain position of a `(key, replica)` tree key (delimiters
+    /// included), or `None` if it no longer exists.
+    fn chain_pos_of(&self, tree_key: (i64, u32)) -> Option<usize> {
+        if tree_key == (self.domain.left_delimiter(), 0) {
+            return Some(0);
+        }
+        if tree_key == (self.domain.right_delimiter(), 0) {
+            return Some(self.entries.len() - 1);
+        }
+        self.table
+            .position_of(tree_key.0, tree_key.1)
+            .map(|p| p + 1)
+    }
+
+    /// Schema-validates every record carried by the batch (must run before
+    /// anything extracts a key from a record).
+    fn prevalidate_records(&self, ops: &[Mutation]) -> Result<(), OwnerError> {
+        let schema = self.table.schema();
+        for op in ops {
+            match op {
+                Mutation::Insert(record) | Mutation::Update { record, .. } => {
+                    schema.validate(record.values())?;
+                }
+                Mutation::Delete { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a (canonical-order) batch against the pre-batch state so
+    /// staging cannot fail halfway: keys in domain, delete/update targets
+    /// present exactly once, no key-changing updates.
+    fn validate_batch(&self, ops: &[Mutation]) -> Result<(), OwnerError> {
+        let schema = self.table.schema();
+        let mut removed: std::collections::BTreeSet<(i64, u32)> = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                Mutation::Insert(record) => {
+                    let key = record.key(schema);
+                    if !self.domain.contains_key(key) {
+                        return Err(OwnerError::KeyOutOfDomain { key });
+                    }
+                }
+                Mutation::Delete { key, replica } => {
+                    if self.table.position_of(*key, *replica).is_none()
+                        || !removed.insert((*key, *replica))
+                    {
+                        return Err(OwnerError::NoSuchRecord {
+                            key: *key,
+                            replica: *replica,
+                        });
+                    }
+                }
+                Mutation::Update {
+                    key,
+                    replica,
+                    record,
+                } => {
+                    let new_key = record.key(schema);
+                    if new_key != *key {
+                        return Err(OwnerError::UpdateChangesKey { key: *key, new_key });
+                    }
+                    if self.table.position_of(*key, *replica).is_none()
+                        || removed.contains(&(*key, *replica))
+                    {
+                        return Err(OwnerError::NoSuchRecord {
+                            key: *key,
+                            replica: *replica,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the structural half of a batch — table rows, chain entries,
+    /// fresh `g` digests (signatures untouched except placeholders for
+    /// inserts) — and returns `(dirty chain positions, g recomputed)`.
+    /// Dirty positions are tracked by `(key, replica)` identity so earlier
+    /// mutations stay correct as later ones shift positions.
+    fn stage_batch(&mut self, ops: &[Mutation]) -> Result<(Vec<usize>, usize), OwnerError> {
+        let mut dirty: std::collections::BTreeSet<(i64, u32)> = std::collections::BTreeSet::new();
+        let mut g_recomputed = 0usize;
+        for op in ops {
+            match op {
+                Mutation::Insert(record) => {
+                    let (g, roots) = self.materialize_record(record);
+                    g_recomputed += 1;
+                    let pos = self.table.insert(record.clone())?;
+                    let cp = pos + 1;
+                    // Placeholder replaced when the position is re-signed.
+                    let placeholder = self.entries[0].signature.clone();
+                    self.entries.insert(
+                        cp,
+                        SignedEntry {
+                            g,
+                            roots,
+                            signature: placeholder,
+                        },
+                    );
+                    for p in [cp - 1, cp, cp + 1] {
+                        dirty.insert(self.tree_key_at(p));
+                    }
+                }
+                Mutation::Delete { key, replica } => {
+                    let Some(pos) = self.table.position_of(*key, *replica) else {
+                        return Err(OwnerError::NoSuchRecord {
+                            key: *key,
+                            replica: *replica,
+                        });
+                    };
+                    self.table.remove_at(pos);
+                    let cp = pos + 1;
+                    self.entries.remove(cp);
+                    self.sig_index.remove((*key, *replica));
+                    dirty.remove(&(*key, *replica));
+                    dirty.insert(self.tree_key_at(cp - 1));
+                    dirty.insert(self.tree_key_at(cp));
+                }
+                Mutation::Update {
+                    key,
+                    replica,
+                    record,
+                } => {
+                    let Some(pos) = self.table.position_of(*key, *replica) else {
+                        return Err(OwnerError::NoSuchRecord {
+                            key: *key,
+                            replica: *replica,
+                        });
+                    };
+                    let (g, roots) = self.materialize_record(record);
+                    g_recomputed += 1;
+                    self.table.update_in_place(pos, record.clone())?;
+                    let cp = pos + 1;
+                    self.entries[cp].g = g;
+                    self.entries[cp].roots = roots;
+                    for p in [cp - 1, cp, cp + 1] {
+                        dirty.insert(self.tree_key_at(p));
+                    }
+                }
+            }
+        }
+        let mut positions: Vec<usize> = dirty
+            .iter()
+            .filter_map(|&tk| self.chain_pos_of(tk))
+            .collect();
+        positions.sort_unstable();
+        Ok((positions, g_recomputed))
+    }
+
+    /// Link digests for the given (sorted) chain positions, computed with
+    /// the bulk [`crate::gdigest::link_digests_run`] sliding window over
+    /// each contiguous run — every `g` in a run is serialized once.
+    fn links_for(&self, positions: &[usize]) -> Vec<Digest> {
+        let edge_l = crate::gdigest::edge_digest(&self.hasher, self.domain.l())
+            .as_bytes()
+            .to_vec();
+        let edge_u = crate::gdigest::edge_digest(&self.hasher, self.domain.u())
+            .as_bytes()
+            .to_vec();
+        let last = self.entries.len() - 1;
+        let mut out = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let mut j = i;
+            while j + 1 < positions.len() && positions[j + 1] == positions[j] + 1 {
+                j += 1;
+            }
+            let (a, b) = (positions[i], positions[j]);
+            let prev = if a == 0 {
+                edge_l.clone()
+            } else {
+                self.entries[a - 1].g.to_bytes()
+            };
+            let next = if b == last {
+                edge_u.clone()
+            } else {
+                self.entries[b + 1].g.to_bytes()
+            };
+            let encoded: Vec<Vec<u8>> =
+                self.entries[a..=b].iter().map(|e| e.g.to_bytes()).collect();
+            let mut run: Vec<&[u8]> = Vec::with_capacity(encoded.len() + 2);
+            run.push(&prev);
+            run.extend(encoded.iter().map(Vec::as_slice));
+            run.push(&next);
+            out.extend(crate::gdigest::link_digests_run(&self.hasher, &run));
+            i = j + 1;
+        }
+        out
+    }
+
+    /// Publisher-side batch application: replays a logged batch *without
+    /// the signing key*, splicing in the owner-provided signatures after
+    /// verifying each against the link digest recomputed from local state.
+    /// A tampered log record — flipped payload bytes, a forged signature,
+    /// a wrong position set — is rejected with a typed error.
+    ///
+    /// `ops` must be in canonical order (as emitted by
+    /// [`Owner::apply_batch`]); `resigned` must list `(chain position,
+    /// signature)` in chain order for exactly the dirtied positions.
+    ///
+    /// On error the table may be partially mutated: replay into a clone
+    /// and swap on success (as `adp-store` does).
+    pub fn replay_batch(
+        &mut self,
+        ops: &[Mutation],
+        resigned: &[(u32, Signature)],
+    ) -> Result<(), OwnerError> {
+        self.prevalidate_records(ops)?;
+        self.validate_batch(ops)?;
+        let (positions, _) = self.stage_batch(ops)?;
+        if resigned.len() != positions.len()
+            || resigned
+                .iter()
+                .zip(&positions)
+                .any(|((p, _), &want)| *p as usize != want)
+        {
+            return Err(OwnerError::ResignSetMismatch {
+                expected: positions.len(),
+                got: resigned.len(),
+            });
+        }
+        let links = self.links_for(&positions);
+        for ((pos, sig), link) in resigned.iter().zip(&links) {
+            if !self.public_key.verify(&self.hasher, link, sig) {
+                return Err(OwnerError::ResignatureInvalid {
+                    chain_pos: *pos as usize,
+                });
+            }
+        }
+        for (pos, sig) in resigned {
+            let pos = *pos as usize;
+            self.entries[pos].signature = sig.clone();
+            self.sig_index.insert(self.tree_key_at(pos), sig.clone());
+        }
+        Ok(())
     }
 }
 
@@ -666,6 +1020,46 @@ impl Owner {
         })
     }
 
+    /// Incremental bulk ingest: applies a batch of `k` mutations to an
+    /// `n`-row signed table, re-signing only the `O(k)` affected chain
+    /// neighborhoods (each mutation dirties itself and its two neighbors;
+    /// adjacent mutations share neighborhoods). Link digests are computed
+    /// with the bulk `hash_triple_windows` sliding window per contiguous
+    /// dirty run — the same kernel `sign_table` uses for the full chain.
+    ///
+    /// The batch is canonicalized first — key-changing updates decompose
+    /// into delete + insert, then deletes, in-place updates, and inserts
+    /// apply in that order, each sorted by key — and the canonical
+    /// [`BatchReport::ops`] plus [`BatchReport::resigned`] are exactly what
+    /// an update-log record must carry for [`SignedTable::replay_batch`].
+    ///
+    /// Validation happens before any mutation, so an `Err` leaves the
+    /// table untouched.
+    pub fn apply_batch(
+        &self,
+        st: &mut SignedTable,
+        ops: Vec<Mutation>,
+    ) -> Result<BatchReport, OwnerError> {
+        st.prevalidate_records(&ops)?;
+        let ops = canonicalize_batch(st.table.schema(), ops);
+        st.validate_batch(&ops)?;
+        let (positions, g_recomputed) = st.stage_batch(&ops)?;
+        let links = st.links_for(&positions);
+        let mut resigned = Vec::with_capacity(positions.len());
+        for (&pos, link) in positions.iter().zip(&links) {
+            let sig = self.keypair.sign(&st.hasher, link);
+            st.entries[pos].signature = sig.clone();
+            st.sig_index.insert(st.tree_key_at(pos), sig.clone());
+            resigned.push((pos as u32, sig));
+        }
+        Ok(BatchReport {
+            ops,
+            signatures_recomputed: resigned.len(),
+            g_recomputed,
+            resigned,
+        })
+    }
+
     /// Issues the user-facing certificate for a signed table.
     pub fn certificate(&self, st: &SignedTable) -> Certificate {
         Certificate {
@@ -698,6 +1092,47 @@ impl Owner {
         }
         Ok(out)
     }
+}
+
+/// Canonicalizes a batch: key-changing updates decompose into
+/// delete + insert; then deletes, in-place updates, and inserts apply in
+/// that order, each sorted by `(key, replica)` (inserts by key, stable for
+/// duplicates). Records must already be schema-validated.
+fn canonicalize_batch(schema: &Schema, ops: Vec<Mutation>) -> Vec<Mutation> {
+    let mut deletes = Vec::new();
+    let mut updates = Vec::new();
+    let mut inserts = Vec::new();
+    for op in ops {
+        match op {
+            Mutation::Update {
+                key,
+                replica,
+                record,
+            } if record.key(schema) != key => {
+                deletes.push(Mutation::Delete { key, replica });
+                inserts.push(Mutation::Insert(record));
+            }
+            Mutation::Delete { .. } => deletes.push(op),
+            Mutation::Update { .. } => updates.push(op),
+            Mutation::Insert(_) => inserts.push(op),
+        }
+    }
+    let target = |op: &Mutation| match op {
+        Mutation::Delete { key, replica } | Mutation::Update { key, replica, .. } => {
+            (*key, *replica)
+        }
+        Mutation::Insert(_) => unreachable!("partitioned above"),
+    };
+    deletes.sort_by_key(target);
+    updates.sort_by_key(target);
+    inserts.sort_by_key(|op| match op {
+        Mutation::Insert(record) => record.key(schema),
+        _ => unreachable!("partitioned above"),
+    });
+    let mut out = deletes;
+    out.extend(updates);
+    out.extend(inserts);
+    out
 }
 
 #[cfg(test)]
@@ -1012,5 +1447,238 @@ mod tests {
             )
             .unwrap();
         assert_eq!(st.dissemination_size(), 7 * 64);
+    }
+
+    fn sig_bytes_by_key(st: &SignedTable) -> Vec<((i64, u32), Vec<u8>)> {
+        (0..st.chain_len())
+            .map(|p| (st.tree_key_at(p), st.entry(p).signature.to_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn apply_batch_mixed_mutations_audit() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
+            .unwrap();
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![
+                    Mutation::Insert(rec(9, 5_000)),
+                    Mutation::Delete {
+                        key: 2_000,
+                        replica: 0,
+                    },
+                    Mutation::Update {
+                        key: 25_000,
+                        replica: 0,
+                        record: rec(3, 25_000),
+                    },
+                    // Key change: decomposed into delete + insert.
+                    Mutation::Update {
+                        key: 12_100,
+                        replica: 0,
+                        record: rec(4, 60_000),
+                    },
+                ],
+            )
+            .unwrap();
+        assert!(st.audit(), "chain must verify after a mixed batch");
+        assert_eq!(st.len(), 5);
+        assert_eq!(report.g_recomputed, 3); // two inserts + one in-place update
+        assert_eq!(report.ops.len(), 5); // key change decomposed
+                                         // Canonical order: deletes first.
+        assert!(matches!(report.ops[0], Mutation::Delete { .. }));
+        assert_eq!(st.key_at(st.chain_len() - 2), 60_000);
+        assert_eq!(st.sig_index().len(), st.chain_len());
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_updates_byte_for_byte() {
+        // FDH-RSA signing is deterministic, so the batch path and the
+        // one-at-a-time path must land on identical signature bytes.
+        let owner = test_owner();
+        let signed = |t: Table| {
+            owner
+                .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+                .unwrap()
+        };
+        let mut batch_st = signed(figure1_table());
+        let mut seq_st = signed(figure1_table());
+
+        let report = owner
+            .apply_batch(
+                &mut batch_st,
+                vec![
+                    Mutation::Insert(rec(9, 5_000)),
+                    Mutation::Insert(rec(10, 5_500)),
+                    Mutation::Delete {
+                        key: 8_010,
+                        replica: 0,
+                    },
+                ],
+            )
+            .unwrap();
+        // Canonical order is deletes then inserts by key.
+        owner.delete_record(&mut seq_st, 8_010, 0).unwrap();
+        owner.insert_record(&mut seq_st, rec(9, 5_000)).unwrap();
+        owner.insert_record(&mut seq_st, rec(10, 5_500)).unwrap();
+
+        assert_eq!(sig_bytes_by_key(&batch_st), sig_bytes_by_key(&seq_st));
+        assert!(report.signatures_recomputed < batch_st.chain_len());
+    }
+
+    #[test]
+    fn apply_batch_resigns_o_k_not_o_n() {
+        let owner = test_owner();
+        let mut t = Table::new("big", emp_schema());
+        for i in 0..200i64 {
+            t.insert(rec(i, 100 + i * 37)).unwrap();
+        }
+        let mut st = owner
+            .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let before = sig_bytes_by_key(&st);
+        let k = 6;
+        let ops: Vec<Mutation> = (0..k)
+            .map(|i| Mutation::Insert(rec(1_000 + i, 150 + i * 1_111)))
+            .collect();
+        let report = owner.apply_batch(&mut st, ops).unwrap();
+        assert!(st.audit());
+        // Each of the k inserts dirties at most itself + 2 neighbors.
+        assert!(report.signatures_recomputed <= 3 * k as usize, "{report:?}");
+        // Probe the chain itself: count signatures that actually changed.
+        let after = sig_bytes_by_key(&st);
+        let before: std::collections::BTreeMap<_, _> = before.into_iter().collect();
+        let changed = after
+            .iter()
+            .filter(|(tk, sig)| before.get(tk) != Some(sig))
+            .count();
+        assert_eq!(changed, report.signatures_recomputed);
+        assert!(changed <= 3 * k as usize && changed < st.chain_len() / 2);
+    }
+
+    #[test]
+    fn apply_batch_validates_before_mutating() {
+        let owner = test_owner();
+        let mut st = owner
+            .sign_table(
+                figure1_table(),
+                Domain::new(0, 100_000),
+                SchemeConfig::default(),
+            )
+            .unwrap();
+        let before = sig_bytes_by_key(&st);
+        // Second op is invalid: the whole batch must be rejected with no
+        // partial application.
+        let err = owner
+            .apply_batch(
+                &mut st,
+                vec![
+                    Mutation::Insert(rec(9, 5_000)),
+                    Mutation::Delete {
+                        key: 4_242,
+                        replica: 0,
+                    },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::NoSuchRecord { key: 4_242, .. }));
+        let err = owner
+            .apply_batch(&mut st, vec![Mutation::Insert(rec(9, 2_000_000))])
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::KeyOutOfDomain { key: 2_000_000 }));
+        assert_eq!(
+            sig_bytes_by_key(&st),
+            before,
+            "failed batch must be a no-op"
+        );
+        assert!(st.audit());
+    }
+
+    #[test]
+    fn replay_batch_reconstructs_byte_identically() {
+        let owner = test_owner();
+        let signed = |t: Table| {
+            owner
+                .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+                .unwrap()
+        };
+        let mut owner_st = signed(figure1_table());
+        let mut publisher_st = signed(figure1_table());
+        let report = owner
+            .apply_batch(
+                &mut owner_st,
+                vec![
+                    Mutation::Insert(rec(9, 5_000)),
+                    Mutation::Delete {
+                        key: 3_500,
+                        replica: 0,
+                    },
+                ],
+            )
+            .unwrap();
+        publisher_st
+            .replay_batch(&report.ops, &report.resigned)
+            .unwrap();
+        assert!(publisher_st.audit());
+        assert_eq!(sig_bytes_by_key(&owner_st), sig_bytes_by_key(&publisher_st));
+    }
+
+    #[test]
+    fn replay_batch_rejects_forgeries() {
+        let owner = test_owner();
+        let signed = |t: Table| {
+            owner
+                .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+                .unwrap()
+        };
+        let mut owner_st = signed(figure1_table());
+        let report = owner
+            .apply_batch(&mut owner_st, vec![Mutation::Insert(rec(9, 5_000))])
+            .unwrap();
+
+        // A tampered signature byte is rejected.
+        let mut forged = report.resigned.clone();
+        let mut bytes = forged[1].1.to_bytes();
+        bytes[0] ^= 0x01;
+        forged[1].1 = Signature::from_bytes(&bytes);
+        let err = signed(figure1_table())
+            .replay_batch(&report.ops, &forged)
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::ResignatureInvalid { .. }));
+
+        // A wrong position set is rejected.
+        let err = signed(figure1_table())
+            .replay_batch(&report.ops, &report.resigned[..1])
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::ResignSetMismatch { .. }));
+
+        // A swapped record (honest sigs, different data) is rejected.
+        let err = signed(figure1_table())
+            .replay_batch(&[Mutation::Insert(rec(9, 5_001))], &report.resigned)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OwnerError::ResignatureInvalid { .. } | OwnerError::ResignSetMismatch { .. }
+        ));
+
+        // A non-canonical key-changing update is rejected at replay.
+        let err = signed(figure1_table())
+            .replay_batch(
+                &[Mutation::Update {
+                    key: 3_500,
+                    replica: 0,
+                    record: rec(2, 4_000),
+                }],
+                &report.resigned,
+            )
+            .unwrap_err();
+        assert!(matches!(err, OwnerError::UpdateChangesKey { .. }));
     }
 }

@@ -1,7 +1,8 @@
 //! Section 3.2 cheating-strategy matrix: every malicious-publisher attack is
 //! exercised against every query shape (plain range select, multipoint
-//! filtered select, projected DISTINCT select, and the outer leg of a pk-fk
-//! join), rstest-style — one generated test per (attack, shape) combination.
+//! filtered select, projected DISTINCT select, the outer leg of a pk-fk
+//! join, and the R-partition leg of a band join), rstest-style — one
+//! generated test per (attack, shape) combination.
 //!
 //! The matrix encodes which combinations each attack applies to (e.g.
 //! `FakeDuplicate` needs DISTINCT, `MislabelFiltered` needs a filter, and
@@ -12,13 +13,16 @@
 
 mod common;
 
-use adp_core::join::{answer_pkfk_join, verify_pkfk_join, PkFkJoinResult, PkFkJoinVO};
+use adp_core::join::{
+    answer_band_join, answer_pkfk_join, verify_band_join, verify_pkfk_join, BandJoinResult,
+    BandJoinVO, PkFkJoinResult, PkFkJoinVO,
+};
 use adp_core::prelude::*;
 use adp_core::publisher::malicious::{tamper, Attack};
 use adp_relation::{
     check_referential_integrity, CompareOp, KeyRange, Predicate, Projection, SelectQuery,
 };
-use common::{dept_table, emp_by_dept, staff_table};
+use common::{band_caps_table, dept_table, emp_by_dept, staff_table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
@@ -42,6 +46,10 @@ enum Shape {
     ProjectDistinct,
     /// The outer (R-side) selection leg of a pk-fk equi-join.
     PkFkJoin,
+    /// The R-partition leg of a band join `R.salary ≤ S.cap` (Section
+    /// 4.3's second join class): the completeness proof for all R rows
+    /// with key ≤ max(S).
+    BandJoin,
 }
 
 fn select_query(shape: Shape) -> SelectQuery {
@@ -50,12 +58,17 @@ fn select_query(shape: Shape) -> SelectQuery {
         Shape::RangeSelect => base,
         Shape::FilteredSelect => base.filter(Predicate::new("dept", CompareOp::Eq, 1i64)),
         Shape::ProjectDistinct => base.project(&["dept"]).distinct(),
-        Shape::PkFkJoin => unreachable!("join shape does not use a plain select query"),
+        Shape::PkFkJoin | Shape::BandJoin => {
+            unreachable!("join shapes do not use a plain select query")
+        }
     }
 }
 
 /// Whether `attack` is applicable to `shape` — mirrored from the tamper
-/// harness's own preconditions so the matrix notices if they drift.
+/// harness's own preconditions so the matrix notices if they drift. The
+/// two join legs behave like plain range selects (no filters, no
+/// DISTINCT), so only the filter- and duplicate-dependent attacks are
+/// inapplicable there.
 fn applicable(attack: Attack, shape: Shape) -> bool {
     match attack {
         // Needs a filter to mislabel against.
@@ -174,6 +187,72 @@ fn run_join_cell(attack: Attack) {
     }
 }
 
+/// Runs one attack cell against the R-partition leg of a band join: the
+/// forged partition proof is spliced back into the band-join VO, and
+/// `verify_band_join` must reject the whole join.
+fn run_band_cell(attack: Attack) {
+    use std::ops::Bound;
+    let o = owner();
+    let r = o
+        .sign_table(
+            staff_table(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
+        .unwrap();
+    let s = o
+        .sign_table(
+            band_caps_table(),
+            Domain::new(0, 100_000),
+            SchemeConfig::default(),
+        )
+        .unwrap();
+    let (rc, sc) = (o.certificate(&r), o.certificate(&s));
+    let (r_pub, s_pub) = (Publisher::new(&r), Publisher::new(&s));
+    let (result, vo) = answer_band_join(&r_pub, &s_pub).unwrap();
+    verify_band_join(&rc, &sc, &result, &vo)
+        .unwrap_or_else(|e| panic!("honest band join must verify: {e}"));
+    assert!(
+        result.r_partition.len() >= 3,
+        "fixture must leave a tamperable R partition"
+    );
+
+    // The R-partition leg is an ordinary select for keys ≤ max(S); forge it.
+    let r_query = SelectQuery {
+        range: KeyRange {
+            lo: Bound::Unbounded,
+            hi: Bound::Included(vo.s_max),
+        },
+        filters: Vec::new(),
+        projection: Projection::All,
+        distinct: false,
+    };
+    let tampered = tamper(&r_pub, &r_query, &result.r_partition, &vo.r_vo, attack);
+    match (tampered, applicable(attack, Shape::BandJoin)) {
+        (None, false) => {}
+        (None, true) => panic!("{attack:?} should be applicable to the band R partition"),
+        (Some(_), false) => panic!("{attack:?} unexpectedly applicable to the band R partition"),
+        (Some((bad_rows, bad_vo)), true) => {
+            let bad_result = BandJoinResult {
+                r_partition: bad_rows,
+                s_partition: result.s_partition.clone(),
+            };
+            let bad_full_vo = BandJoinVO {
+                r_vo: bad_vo,
+                s_max: vo.s_max,
+                s_max_vo: vo.s_max_vo.clone(),
+                s_max_rows: vo.s_max_rows.clone(),
+                s_vo: vo.s_vo.clone(),
+            };
+            let verdict = verify_band_join(&rc, &sc, &bad_result, &bad_full_vo);
+            assert!(
+                verdict.is_err(),
+                "{attack:?} on the band R partition must be detected, got {verdict:?}"
+            );
+        }
+    }
+}
+
 /// rstest-style expansion: one named test per (attack, shape) cell.
 macro_rules! attack_matrix {
     ($($name:ident => $attack:ident / $shape:ident;)+) => {$(
@@ -181,6 +260,7 @@ macro_rules! attack_matrix {
         fn $name() {
             match Shape::$shape {
                 Shape::PkFkJoin => run_join_cell(Attack::$attack),
+                Shape::BandJoin => run_band_cell(Attack::$attack),
                 shape => run_select_cell(Attack::$attack, shape),
             }
         }
@@ -192,44 +272,53 @@ attack_matrix! {
     omit_interior_on_filtered_select   => OmitInterior / FilteredSelect;
     omit_interior_on_project_distinct  => OmitInterior / ProjectDistinct;
     omit_interior_on_pkfk_join         => OmitInterior / PkFkJoin;
+    omit_interior_on_band_join         => OmitInterior / BandJoin;
 
     truncate_tail_on_range_select      => TruncateTail / RangeSelect;
     truncate_tail_on_filtered_select   => TruncateTail / FilteredSelect;
     truncate_tail_on_project_distinct  => TruncateTail / ProjectDistinct;
     truncate_tail_on_pkfk_join         => TruncateTail / PkFkJoin;
+    truncate_tail_on_band_join         => TruncateTail / BandJoin;
 
     fake_empty_on_range_select         => FakeEmpty / RangeSelect;
     fake_empty_on_filtered_select      => FakeEmpty / FilteredSelect;
     fake_empty_on_project_distinct     => FakeEmpty / ProjectDistinct;
     fake_empty_on_pkfk_join            => FakeEmpty / PkFkJoin;
+    fake_empty_on_band_join            => FakeEmpty / BandJoin;
 
     inject_spurious_on_range_select    => InjectSpurious / RangeSelect;
     inject_spurious_on_filtered_select => InjectSpurious / FilteredSelect;
     inject_spurious_on_project_distinct => InjectSpurious / ProjectDistinct;
     inject_spurious_on_pkfk_join       => InjectSpurious / PkFkJoin;
+    inject_spurious_on_band_join       => InjectSpurious / BandJoin;
 
     tamper_value_on_range_select       => TamperValue / RangeSelect;
     tamper_value_on_filtered_select    => TamperValue / FilteredSelect;
     tamper_value_on_project_distinct   => TamperValue / ProjectDistinct;
     tamper_value_on_pkfk_join          => TamperValue / PkFkJoin;
+    tamper_value_on_band_join          => TamperValue / BandJoin;
 
     swap_values_on_range_select        => SwapValues / RangeSelect;
     swap_values_on_filtered_select     => SwapValues / FilteredSelect;
     swap_values_on_project_distinct    => SwapValues / ProjectDistinct;
     swap_values_on_pkfk_join           => SwapValues / PkFkJoin;
+    swap_values_on_band_join           => SwapValues / BandJoin;
 
     shift_left_boundary_on_range_select => ShiftLeftBoundary / RangeSelect;
     shift_left_boundary_on_filtered_select => ShiftLeftBoundary / FilteredSelect;
     shift_left_boundary_on_project_distinct => ShiftLeftBoundary / ProjectDistinct;
     shift_left_boundary_on_pkfk_join   => ShiftLeftBoundary / PkFkJoin;
+    shift_left_boundary_on_band_join   => ShiftLeftBoundary / BandJoin;
 
     mislabel_filtered_on_range_select  => MislabelFiltered / RangeSelect;
     mislabel_filtered_on_filtered_select => MislabelFiltered / FilteredSelect;
     mislabel_filtered_on_project_distinct => MislabelFiltered / ProjectDistinct;
     mislabel_filtered_on_pkfk_join     => MislabelFiltered / PkFkJoin;
+    mislabel_filtered_on_band_join     => MislabelFiltered / BandJoin;
 
     fake_duplicate_on_range_select     => FakeDuplicate / RangeSelect;
     fake_duplicate_on_filtered_select  => FakeDuplicate / FilteredSelect;
     fake_duplicate_on_project_distinct => FakeDuplicate / ProjectDistinct;
     fake_duplicate_on_pkfk_join        => FakeDuplicate / PkFkJoin;
+    fake_duplicate_on_band_join        => FakeDuplicate / BandJoin;
 }

@@ -62,6 +62,26 @@ pub fn emp_by_dept() -> Table {
     t
 }
 
+/// Salary caps keyed on `cap`, the S side of the band join
+/// `staff.salary ≤ caps.cap`: max cap 7300 lands mid-way through
+/// [`staff_table`]'s salaries, so the R partition is a non-trivial prefix
+/// (13 of 20 rows) with enough interior for every tampering strategy.
+pub fn band_caps_table() -> Table {
+    let schema = Schema::new(
+        vec![
+            Column::new("cap", ValueType::Int),
+            Column::new("grade", ValueType::Text),
+        ],
+        "cap",
+    );
+    let mut t = Table::new("caps", schema);
+    for (cap, grade) in [(2_600i64, "junior"), (4_100, "mid"), (7_300, "senior")] {
+        t.insert(Record::new(vec![Value::Int(cap), Value::from(grade)]))
+            .unwrap();
+    }
+    t
+}
+
 /// Departments keyed on dept id: 5 rows, one (legal/50) never joined.
 pub fn dept_table() -> Table {
     let schema = Schema::new(

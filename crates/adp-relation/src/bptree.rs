@@ -60,6 +60,7 @@ impl TreeStats {
     }
 }
 
+#[derive(Clone)]
 enum Node<V> {
     Leaf {
         entries: Vec<(TreeKey, V)>,
@@ -92,6 +93,10 @@ impl<V> Node<V> {
 }
 
 /// A B+-tree mapping `(key, replica)` to values of type `V`.
+///
+/// Cloning copies the whole tree (used when a signed table is snapshotted
+/// for live reload); the visit counters are cloned at their current values.
+#[derive(Clone)]
 pub struct BPlusTree<V> {
     root: Node<V>,
     order: usize,

@@ -19,7 +19,8 @@ const NIL: usize = usize::MAX;
 
 struct Node<K, V> {
     key: K,
-    value: V,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
@@ -31,6 +32,9 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
+    /// Slab slots vacated by [`LruCache::remove`], recycled before the
+    /// slab grows.
+    free: Vec<usize>,
 }
 
 impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
@@ -46,6 +50,7 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            free: Vec::new(),
         }
     }
 
@@ -69,15 +74,23 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
         let idx = *self.map.get(key)?;
         self.detach(idx);
         self.attach_front(idx);
-        Some(&self.slab[idx].value)
+        self.slab[idx].value.as_ref()
     }
 
     /// Inserts (or replaces) `key`, evicting the least-recently-used entry
     /// when at capacity. Returns the evicted `(key, value)` pair, if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if let Some(&idx) = self.map.get(&key) {
-            self.slab[idx].value = value;
+            self.slab[idx].value = Some(value);
             self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        if let Some(idx) = self.free.pop() {
+            // Recycle a slot vacated by remove().
+            self.slab[idx].key = key.clone();
+            self.slab[idx].value = Some(value);
+            self.map.insert(key, idx);
             self.attach_front(idx);
             return None;
         }
@@ -86,15 +99,15 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
             let lru = self.tail;
             self.detach(lru);
             let old_key = std::mem::replace(&mut self.slab[lru].key, key.clone());
-            let old_value = std::mem::replace(&mut self.slab[lru].value, value);
+            let old_value = self.slab[lru].value.replace(value);
             self.map.remove(&old_key);
             self.map.insert(key, lru);
             self.attach_front(lru);
-            return Some((old_key, old_value));
+            return old_value.map(|v| (old_key, v));
         }
         self.slab.push(Node {
             key: key.clone(),
-            value,
+            value: Some(value),
             prev: NIL,
             next: NIL,
         });
@@ -102,6 +115,16 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
         self.map.insert(key, idx);
         self.attach_front(idx);
         None
+    }
+
+    /// Removes `key` (e.g. an entry invalidated by a table update),
+    /// returning its value. The vacated slab slot joins the free list and
+    /// is recycled by a later insert.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        self.slab[idx].value.take()
     }
 
     fn detach(&mut self, idx: usize) {
@@ -198,5 +221,42 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn remove_vacates_and_recycles_slots() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.remove(&1), None);
+        // The vacated slot is recycled: no eviction, no slab growth.
+        assert_eq!(c.insert(3, 30), None);
+        assert_eq!(c.len(), 2);
+        assert!(c.slab.len() <= 2);
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
+        // Eviction still works after the recycle dance.
+        let evicted = c.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+    }
+
+    #[test]
+    fn remove_head_and_tail_keep_list_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.remove(&3), Some(30)); // head
+        assert_eq!(c.remove(&1), Some(10)); // tail
+        assert_eq!(c.get(&2), Some(&20));
+        c.insert(4, 40);
+        c.insert(5, 50);
+        assert_eq!(c.len(), 3);
+        for (k, v) in [(2, 20), (4, 40), (5, 50)] {
+            assert_eq!(c.get(&k), Some(&v));
+        }
     }
 }

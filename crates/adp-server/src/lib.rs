@@ -65,4 +65,4 @@ pub mod server;
 pub use cache::LruCache;
 pub use client::{RemoteClient, RemoteError, RemoteVerifier};
 pub use protocol::{ErrorCode, Frame, ProtoError, StatsSnapshot};
-pub use server::{Server, ServerConfig, ServerHandle, TamperFn};
+pub use server::{Server, ServerConfig, ServerHandle, TamperFn, UpdateError};

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0xAD 0x50
-//! 2       1     protocol version (currently 0x01)
+//! 2       1     protocol version (currently 0x02)
 //! 3       1     frame type
 //! 4       4     payload length, u32 little-endian (max 64 MiB)
 //! ```
@@ -33,7 +33,12 @@ pub const MAGIC: [u8; 2] = [0xAD, 0x50];
 /// Protocol version spoken by this implementation. A server receiving any
 /// other version byte answers with an [`ErrorCode::BadFrame`] error frame
 /// and closes the connection.
-pub const VERSION: u8 = 0x01;
+///
+/// Version history (see `docs/PROTOCOL.md` §9): `0x01` shipped seven
+/// stats counters; `0x02` appended the `invalidations` counter to
+/// `StatsResponse` (the VO cache is no longer static — live updates bump
+/// per-table epochs and stale entries are dropped lazily).
+pub const VERSION: u8 = 0x02;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -117,6 +122,9 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Entries currently resident in the VO cache.
     pub cache_entries: u64,
+    /// Cached answers dropped because their table's epoch moved on (an
+    /// applied update invalidates lazily, on lookup). New in version 2.
+    pub invalidations: u64,
     /// Error frames emitted.
     pub errors: u64,
 }
@@ -302,6 +310,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(s.cache_hits);
             w.u64(s.cache_misses);
             w.u64(s.cache_entries);
+            w.u64(s.invalidations);
             w.u64(s.errors);
         }
         Frame::Error { code, message } => {
@@ -391,6 +400,7 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
             cache_entries: r.u64()?,
+            invalidations: r.u64()?,
             errors: r.u64()?,
         }),
         frame_type::ERROR => {
@@ -570,7 +580,8 @@ mod tests {
                 cache_hits: 4,
                 cache_misses: 5,
                 cache_entries: 6,
-                errors: 7,
+                invalidations: 7,
+                errors: 8,
             }),
             Frame::Error {
                 code: ErrorCode::BadFrame,
@@ -630,7 +641,7 @@ mod tests {
     fn ping_frame_fixed_vector_matches_protocol_doc() {
         assert_eq!(
             encode_frame(&Frame::Ping),
-            vec![0xAD, 0x50, 0x01, 0x01, 0, 0, 0, 0]
+            vec![0xAD, 0x50, 0x02, 0x01, 0, 0, 0, 0]
         );
     }
 
@@ -646,11 +657,13 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
+        // Version 1 frames are refused too: the StatsResponse layout
+        // changed, so v2 speakers must not silently accept v1 peers.
         let mut bytes = encode_frame(&Frame::Ping);
-        bytes[2] = 0x02;
+        bytes[2] = 0x01;
         assert!(matches!(
             decode_frame(&bytes),
-            Err(ProtoError::BadVersion(0x02))
+            Err(ProtoError::BadVersion(0x01))
         ));
     }
 

@@ -20,17 +20,21 @@ use crate::pool::ThreadPool;
 use crate::protocol::{
     write_frame, write_query_response, ErrorCode, Frame, ProtoError, StatsSnapshot,
 };
-use adp_core::owner::SignedTable;
+use adp_core::owner::{Mutation, SignedTable};
 use adp_core::publisher::Publisher;
 use adp_core::vo::QueryVO;
 use adp_core::wire::{self, Writer};
+use adp_crypto::Signature;
 use adp_relation::{KeyRange, Record, SelectQuery};
+use adp_store::{Store, StoreError};
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,6 +71,7 @@ pub struct ServerStats {
     batches: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    invalidations: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -83,6 +88,7 @@ impl ServerStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_entries,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -103,10 +109,60 @@ pub type TamperFn = dyn for<'a> Fn(&Publisher<'a>, &SelectQuery, Vec<Record>, Qu
 /// Encoded `(result, vo)` pair as cached and written to sockets.
 type AnswerBlob = Arc<(Vec<u8>, Vec<u8>)>;
 
+/// A registered table: the currently-served snapshot plus its epoch,
+/// bumped by every applied update. Cached answers remember the epoch they
+/// were computed at; an epoch mismatch on lookup drops the entry lazily.
+struct TableSlot {
+    st: Arc<SignedTable>,
+    epoch: u64,
+}
+
+/// A cached answer, valid only while its table stays at `epoch`.
+struct CachedAnswer {
+    epoch: u64,
+    blob: AnswerBlob,
+}
+
+/// Why [`ServerHandle::apply_update`] refused or failed.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// No table is registered under this id.
+    UnknownTable(u32),
+    /// The table was registered with [`Server::add_table`] (no backing
+    /// store), so there is nothing durable to apply updates to.
+    NotStoreBacked(u32),
+    /// The store rejected the batch (verification failure, corrupt or
+    /// unwritable log, …). The served table is unchanged.
+    Store(StoreError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownTable(id) => write!(f, "no table with id {id}"),
+            UpdateError::NotStoreBacked(id) => {
+                write!(f, "table {id} is not store-backed; updates need a store")
+            }
+            UpdateError::Store(e) => write!(f, "store rejected the update: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<StoreError> for UpdateError {
+    fn from(e: StoreError) -> Self {
+        UpdateError::Store(e)
+    }
+}
+
 /// Everything connection handlers and pool workers share.
 struct Inner {
-    tables: HashMap<u32, Arc<SignedTable>>,
-    cache: Option<Mutex<LruCache<Vec<u8>, AnswerBlob>>>,
+    tables: RwLock<HashMap<u32, TableSlot>>,
+    /// Backing stores for tables opened with [`Server::open_store`]
+    /// (absent for purely in-memory tables).
+    stores: Mutex<HashMap<u32, Store>>,
+    cache: Option<Mutex<LruCache<Vec<u8>, CachedAnswer>>>,
     stats: ServerStats,
     tamper: Option<Box<TamperFn>>,
 }
@@ -149,29 +205,45 @@ fn cache_key(table_id: u32, st: &SignedTable, query: &SelectQuery) -> Vec<u8> {
 }
 
 /// Answers one query, consulting the VO cache unless a tamper hook is
-/// mounted.
+/// mounted. Cached answers carry the table epoch they were computed at;
+/// a stale entry (its table was updated since) is dropped lazily here and
+/// counted as an invalidation.
 fn answer(
     inner: &Inner,
     table_id: u32,
     query: &SelectQuery,
 ) -> Result<AnswerBlob, (ErrorCode, String)> {
-    let st = inner.tables.get(&table_id).ok_or_else(|| {
-        (
-            ErrorCode::UnknownTable,
-            format!("no table with id {table_id}"),
-        )
-    })?;
+    let (st, epoch) = {
+        let tables = inner.tables.read().expect("table registry lock");
+        let slot = tables.get(&table_id).ok_or_else(|| {
+            (
+                ErrorCode::UnknownTable,
+                format!("no table with id {table_id}"),
+            )
+        })?;
+        (Arc::clone(&slot.st), slot.epoch)
+    };
+    let st = &*st;
     // The cache is consulted iff it is configured and no tamper hook is
     // mounted (forged and honest answers must never mix).
     let cache = inner.cache.as_ref().filter(|_| inner.tamper.is_none());
     let key = cache.map(|_| cache_key(table_id, st, query));
     if let (Some(cache), Some(key)) = (cache, &key) {
-        if let Some(hit) = cache.lock().expect("cache lock").get(key) {
-            ServerStats::bump(&inner.stats.cache_hits);
-            ServerStats::bump(&inner.stats.queries);
-            return Ok(Arc::clone(hit));
+        let mut cache = cache.lock().expect("cache lock");
+        match cache.get(key) {
+            Some(hit) if hit.epoch == epoch => {
+                ServerStats::bump(&inner.stats.cache_hits);
+                ServerStats::bump(&inner.stats.queries);
+                return Ok(Arc::clone(&hit.blob));
+            }
+            Some(_) => {
+                // Stale: the table moved on since this was cached.
+                cache.remove(key);
+                ServerStats::bump(&inner.stats.invalidations);
+                ServerStats::bump(&inner.stats.cache_misses);
+            }
+            None => ServerStats::bump(&inner.stats.cache_misses),
         }
-        ServerStats::bump(&inner.stats.cache_misses);
     }
     let publisher = Publisher::new(st);
     let (result, vo) = publisher
@@ -193,10 +265,15 @@ fn answer(
         ));
     }
     if let (Some(key), Some(cache)) = (key, cache) {
-        cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&blob));
+        // If the table was updated while we computed, the recorded epoch
+        // is already stale and the next lookup will drop the entry.
+        cache.lock().expect("cache lock").insert(
+            key,
+            CachedAnswer {
+                epoch,
+                blob: Arc::clone(&blob),
+            },
+        );
     }
     ServerStats::bump(&inner.stats.queries);
     Ok(blob)
@@ -216,7 +293,8 @@ fn answer(
 /// ```
 pub struct Server {
     config: ServerConfig,
-    tables: HashMap<u32, Arc<SignedTable>>,
+    tables: HashMap<u32, TableSlot>,
+    stores: HashMap<u32, Store>,
     tamper: Option<Box<TamperFn>>,
 }
 
@@ -226,6 +304,7 @@ impl Server {
         Server {
             config,
             tables: HashMap::new(),
+            stores: HashMap::new(),
             tamper: None,
         }
     }
@@ -242,7 +321,44 @@ impl Server {
     /// client-visible request.
     pub fn add_shared_table(&mut self, table_id: u32, st: Arc<SignedTable>) -> &mut Self {
         st.public_key().precompute();
-        self.tables.insert(table_id, st);
+        self.stores.remove(&table_id);
+        self.tables.insert(table_id, TableSlot { st, epoch: 0 });
+        self
+    }
+
+    /// Opens an `adp-store` directory, audits it against the owner's
+    /// public key (a publisher must not serve data it cannot prove —
+    /// `O(n)` signature verifications, refused with
+    /// [`StoreError::AuditFailed`]), and registers its table under
+    /// `table_id`. Store-backed tables accept live updates through
+    /// [`ServerHandle::apply_update`]: each applied batch is verified,
+    /// appended to the store's update log, and atomically swapped in with
+    /// a bumped epoch (invalidating cached VOs lazily).
+    pub fn open_store(
+        &mut self,
+        table_id: u32,
+        dir: impl AsRef<Path>,
+    ) -> Result<&mut Self, StoreError> {
+        let store = Store::open(dir)?;
+        if !store.audit() {
+            return Err(StoreError::AuditFailed);
+        }
+        Ok(self.add_store(table_id, store))
+    }
+
+    /// Registers an already-opened store under `table_id` (the
+    /// [`Server::open_store`] workhorse; useful when the caller audited or
+    /// inspected the store first).
+    pub fn add_store(&mut self, table_id: u32, store: Store) -> &mut Self {
+        store.table().public_key().precompute();
+        self.tables.insert(
+            table_id,
+            TableSlot {
+                st: store.table_arc(),
+                epoch: store.next_seq(),
+            },
+        );
+        self.stores.insert(table_id, store);
         self
     }
 
@@ -266,7 +382,8 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            tables: self.tables,
+            tables: RwLock::new(self.tables),
+            stores: Mutex::new(self.stores),
             cache: (self.config.cache_capacity > 0)
                 .then(|| Mutex::new(LruCache::new(self.config.cache_capacity))),
             stats: ServerStats::default(),
@@ -579,6 +696,55 @@ impl ServerHandle {
     /// `StatsRequest` reports).
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// The current epoch of a served table (bumps with every applied
+    /// update; cached answers from older epochs are dropped on lookup).
+    pub fn table_epoch(&self, table_id: u32) -> Option<u64> {
+        self.inner
+            .tables
+            .read()
+            .expect("table registry lock")
+            .get(&table_id)
+            .map(|slot| slot.epoch)
+    }
+
+    /// Applies an owner-produced update batch to a store-backed table
+    /// **while serving**: the batch (canonical `ops` plus the `O(k)`
+    /// re-signed signatures, exactly as `Owner::apply_batch` reported
+    /// them) is verified and appended to the store's update log, then the
+    /// new table is swapped in atomically and the table's epoch bumped —
+    /// in-flight queries keep the old snapshot, later ones see the new
+    /// one, and stale VO-cache entries are dropped lazily on lookup.
+    ///
+    /// Returns the table's new epoch. On error nothing changes.
+    pub fn apply_update(
+        &self,
+        table_id: u32,
+        ops: &[Mutation],
+        resigned: &[(u32, Signature)],
+    ) -> Result<u64, UpdateError> {
+        let mut stores = self.inner.stores.lock().expect("store registry lock");
+        let known = self
+            .inner
+            .tables
+            .read()
+            .expect("table registry lock")
+            .contains_key(&table_id);
+        let store = stores.get_mut(&table_id).ok_or(if known {
+            UpdateError::NotStoreBacked(table_id)
+        } else {
+            UpdateError::UnknownTable(table_id)
+        })?;
+        store.apply_replayed(ops, resigned)?;
+        let fresh = store.table_arc();
+        let mut tables = self.inner.tables.write().expect("table registry lock");
+        let slot = tables
+            .get_mut(&table_id)
+            .expect("store-backed table is registered");
+        slot.st = fresh;
+        slot.epoch += 1;
+        Ok(slot.epoch)
     }
 
     /// Stops accepting, joins every thread, and returns once the server is

@@ -12,14 +12,14 @@ use adp_server::ErrorCode;
 #[test]
 fn ping_frame_example() {
     let bytes = encode_frame(&Frame::Ping);
-    assert_eq!(bytes, [0xAD, 0x50, 0x01, 0x01, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x02, 0x01, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §2 — pong differs only in the frame-type byte.
 #[test]
 fn pong_frame_example() {
     let bytes = encode_frame(&Frame::Pong);
-    assert_eq!(bytes, [0xAD, 0x50, 0x01, 0x02, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x02, 0x02, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
@@ -47,7 +47,7 @@ fn query_request_frame_example() {
     let expected: &[u8] = &[
         // header
         0xAD, 0x50,             // magic
-        0x01,                   // version
+        0x02,                   // version
         0x03,                   // frame type: QueryRequest
         0x20, 0x00, 0x00, 0x00, // payload length = 32
         // payload
@@ -76,7 +76,7 @@ fn query_response_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x01, 0x04, // magic, version, QueryResponse
+        0xAD, 0x50, 0x02, 0x04, // magic, version, QueryResponse
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x04, 0x00, 0x00, 0x00, // result blob length = 4
@@ -99,7 +99,7 @@ fn error_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x01, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x02, 0x09, // magic, version, Error
         0x17, 0x00, 0x00, 0x00, // payload length = 23
         // payload
         0x02,                   // code: UnknownTable
@@ -111,13 +111,13 @@ fn error_frame_example() {
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
 
-/// PROTOCOL.md §7 "Stats" — request is empty; the response is seven
-/// little-endian `u64` counters.
+/// PROTOCOL.md §7 "Stats" — request is empty; the response is eight
+/// little-endian `u64` counters (version 2 appended `invalidations`).
 #[test]
 fn stats_frames_example() {
     assert_eq!(
         encode_frame(&Frame::StatsRequest),
-        [0xAD, 0x50, 0x01, 0x07, 0x00, 0x00, 0x00, 0x00]
+        [0xAD, 0x50, 0x02, 0x07, 0x00, 0x00, 0x00, 0x00]
     );
     let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
         connections: 1,
@@ -126,10 +126,11 @@ fn stats_frames_example() {
         cache_hits: 1,
         cache_misses: 1,
         cache_entries: 1,
+        invalidations: 0,
         errors: 0,
     });
     let bytes = encode_frame(&frame);
-    assert_eq!(bytes.len(), 8 + 7 * 8);
-    assert_eq!(bytes[..8], [0xAD, 0x50, 0x01, 0x08, 0x38, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes.len(), 8 + 8 * 8);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x02, 0x08, 0x40, 0x00, 0x00, 0x00]);
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }

@@ -1,0 +1,76 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for framing snapshot
+//! sections and log records. `std`-only like the rest of the workspace; a
+//! 256-entry table is built once at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init `0xFFFFFFFF`, final XOR `0xFFFFFFFF` — the
+/// standard zlib convention).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_multi(&[data])
+}
+
+/// CRC-32 over the concatenation of several slices without materializing
+/// it (the log frames `length || payload` this way).
+pub fn crc32_multi(parts: &[&[u8]]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn multi_matches_concat() {
+        assert_eq!(crc32_multi(&[b"12345", b"6789"]), crc32(b"123456789"));
+        assert_eq!(crc32_multi(&[b"", b"abc", b""]), crc32(b"abc"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"adp-store section payload".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut m = base.clone();
+            m[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&m), c0, "bit {i}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! # adp-store
+//!
+//! Durable storage for signed tables: the missing piece between the
+//! paper's one-shot `Owner::sign_table` and a long-running publisher. A
+//! store is a directory holding
+//!
+//! * a **snapshot** (`snapshot.adps`) — a versioned, CRC-framed image of a
+//!   [`SignedTable`]: certificate (schema, domain, scheme config, owner
+//!   public key), rows, and the `n + 2` chain signatures, each section
+//!   independently checksummed; and
+//! * an **update log** (`update.adpl`) — an append-only sequence of
+//!   length-prefixed, CRC-framed batch records, each carrying the
+//!   canonical mutations of one [`Owner::apply_batch`] call plus the
+//!   `O(k)` re-signed chain signatures.
+//!
+//! [`Store::open`] reconstructs the live table by loading the snapshot and
+//! replaying the log through [`SignedTable::replay_batch`], which verifies
+//! every replayed signature against the link digest recomputed from local
+//! state — a flipped bit anywhere in either file surfaces as a typed
+//! [`StoreError`], never a panic and never silently wrong data.
+//! [`Store::compact`] folds the log into a fresh snapshot.
+//!
+//! The byte-level formats are specified in `docs/STORAGE.md`; every layout
+//! rule there is enforced by the decoders in [`mod@format`] and [`log`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adp_core::prelude::*;
+//! use adp_relation::{Column, Record, Schema, Table, Value, ValueType};
+//! use adp_store::Store;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let schema = Schema::new(vec![Column::new("salary", ValueType::Int)], "salary");
+//! let mut table = Table::new("emp", schema);
+//! for s in [2000i64, 3500, 8010] {
+//!     table.insert(Record::new(vec![Value::Int(s)])).unwrap();
+//! }
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let owner = Owner::new(512, &mut rng);
+//! let signed = owner
+//!     .sign_table(table, Domain::new(0, 100_000), SchemeConfig::default())
+//!     .unwrap();
+//!
+//! let dir = std::env::temp_dir().join(format!("adp-store-doc-{}", std::process::id()));
+//! let mut store = Store::create(&dir, signed).unwrap();
+//! store
+//!     .apply_batch(&owner, vec![Mutation::Insert(Record::new(vec![Value::Int(5_000)]))])
+//!     .unwrap();
+//! drop(store);
+//!
+//! // "Restart": reload from disk; the log replays and re-verifies.
+//! let store = Store::open(&dir).unwrap();
+//! assert_eq!(store.table().len(), 4);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod crc32;
+pub mod format;
+pub mod log;
+pub mod store;
+
+pub use log::LogRecord;
+pub use store::{Store, LOG_FILE, SNAPSHOT_FILE};
+
+use adp_core::owner::OwnerError;
+#[allow(unused_imports)] // rustdoc links
+use adp_core::prelude::{Owner, SignedTable};
+use adp_core::wire::WireError;
+use std::fmt;
+use std::io;
+
+/// Why a store could not be read, decoded, or mutated. Corrupt input —
+/// truncation, bad magic or version, checksum mismatch, a tampered log
+/// record — always surfaces as one of these, never as a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// A file did not start with the expected magic bytes.
+    BadMagic {
+        /// Which file/structure was being decoded.
+        context: &'static str,
+    },
+    /// The format version is not one this build can read.
+    BadVersion {
+        /// Which file/structure was being decoded.
+        context: &'static str,
+        /// The version actually found.
+        got: u16,
+    },
+    /// The input ended before the declared structure was complete.
+    Truncated {
+        /// Which structure was cut short.
+        context: &'static str,
+    },
+    /// A CRC-32 check failed: the bytes were corrupted or tampered with.
+    CrcMismatch {
+        /// Which checksummed frame failed.
+        context: &'static str,
+    },
+    /// Extra bytes followed a complete structure.
+    TrailingBytes {
+        /// Which structure had a tail.
+        context: &'static str,
+    },
+    /// A section tag was unknown or sections arrived out of order.
+    BadSection {
+        /// What was wrong.
+        context: &'static str,
+    },
+    /// A section payload failed the inner wire codec.
+    Wire(WireError),
+    /// Reconstructing or mutating the signed table failed — including a
+    /// replayed log record whose signatures do not verify.
+    Owner(OwnerError),
+    /// Log record sequence numbers are not contiguous with the snapshot.
+    SequenceGap {
+        /// The sequence number the replay expected next.
+        expected: u64,
+        /// The sequence number actually found.
+        got: u64,
+    },
+    /// [`Store::apply_batch`] was called with an owner whose public key
+    /// does not match the stored table's.
+    OwnerKeyMismatch,
+    /// Another live process (or another `Store` in this one) holds the
+    /// directory's single-writer lock (an OS advisory lock, released
+    /// automatically when the holder exits). `holder` is the PID recorded
+    /// in the `LOCK` file, or 0 if it could not be read.
+    Locked {
+        /// PID recorded in the `LOCK` file.
+        holder: u32,
+    },
+    /// The reconstructed table failed the full signature audit: the
+    /// snapshot bytes were consistent (CRCs passed) but do not match the
+    /// owner's signatures — tampered or mis-published data.
+    AuditFailed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { context } => write!(f, "{context}: bad magic"),
+            StoreError::BadVersion { context, got } => {
+                write!(f, "{context}: unsupported format version {got}")
+            }
+            StoreError::Truncated { context } => write!(f, "{context}: truncated"),
+            StoreError::CrcMismatch { context } => write!(f, "{context}: CRC-32 mismatch"),
+            StoreError::TrailingBytes { context } => write!(f, "{context}: trailing bytes"),
+            StoreError::BadSection { context } => write!(f, "bad section: {context}"),
+            StoreError::Wire(e) => write!(f, "section payload: {e}"),
+            StoreError::Owner(e) => write!(f, "table reconstruction: {e}"),
+            StoreError::SequenceGap { expected, got } => {
+                write!(f, "log sequence gap: expected {expected}, found {got}")
+            }
+            StoreError::OwnerKeyMismatch => {
+                write!(f, "owner public key does not match the stored table's")
+            }
+            StoreError::Locked { holder } => {
+                write!(
+                    f,
+                    "store directory is locked by another writer (pid {holder})"
+                )
+            }
+            StoreError::AuditFailed => {
+                write!(f, "store data does not match its signatures")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        StoreError::Wire(e)
+    }
+}
+
+impl From<OwnerError> for StoreError {
+    fn from(e: OwnerError) -> Self {
+        StoreError::Owner(e)
+    }
+}

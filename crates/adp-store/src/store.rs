@@ -1,0 +1,300 @@
+//! The [`Store`]: a directory pairing a snapshot with an append-only
+//! update log, owning the authoritative in-memory [`SignedTable`].
+//!
+//! Commit discipline:
+//!
+//! * [`Store::apply_batch`] / [`Store::apply_replayed`] stage the batch on
+//!   a **clone** of the table, append the log record (synced), and only
+//!   then swap the clone in — an error at any step leaves both the disk
+//!   and the in-memory table at the previous state.
+//! * [`Store::compact`] writes the new snapshot to a temp file and
+//!   `rename`s it over the old one before truncating the log, so a crash
+//!   between the two steps leaves a fresh snapshot plus a log of
+//!   already-folded records — never a torn snapshot. [`Store::open`]
+//!   skips the folded prefix (records with `seq < base_seq`; their
+//!   effects are in the snapshot) and replays only from `base_seq` on,
+//!   so an interrupted compaction costs nothing but the next cleanup.
+
+use crate::format::{decode_snapshot, encode_snapshot};
+use crate::log::{check_log_header, decode_records, encode_record, log_header, LogRecord};
+use crate::StoreError;
+use adp_core::owner::BatchReport;
+use adp_core::prelude::{Mutation, Owner, SignedTable};
+use adp_crypto::Signature;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.adps";
+
+/// File name of the update log inside a store directory.
+pub const LOG_FILE: &str = "update.adpl";
+
+/// File name of the single-writer lock inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// An exclusive per-directory writer lock: an OS advisory lock
+/// (`File::try_lock`, i.e. `flock`-style) on the `LOCK` file, which also
+/// records the holder's PID for diagnostics. The kernel releases the lock
+/// when the holding process exits — cleanly or not — so a crash can never
+/// leave a stale lock, a live holder can never be stolen from, and the
+/// acquisition race is atomic on every platform. The file itself is left
+/// in place (unlinking a lock file reintroduces the classic
+/// unlink-vs-open race).
+#[derive(Debug)]
+struct DirLock {
+    /// Keeping the handle open keeps the lock held; dropping releases it.
+    _file: fs::File,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<DirLock, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {
+                let _ = file.set_len(0);
+                let _ = write!(file, "{}", std::process::id());
+                let _ = file.sync_data();
+                Ok(DirLock { _file: file })
+            }
+            Err(std::fs::TryLockError::WouldBlock) => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok())
+                    .unwrap_or(0);
+                Err(StoreError::Locked { holder })
+            }
+            Err(std::fs::TryLockError::Error(e)) => Err(StoreError::Io(e)),
+        }
+    }
+}
+
+/// A durable signed table: snapshot + update log + the live in-memory
+/// reconstruction. Holds the directory's single-writer lock for its whole
+/// lifetime — a second `Store` on the same directory (same or another
+/// process) fails with [`StoreError::Locked`], which is what keeps log
+/// sequence numbers append-once.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    /// Behind an `Arc` so live-serving callers can take a cheap handle to
+    /// the current version while the store stages the next one.
+    table: Arc<SignedTable>,
+    /// Sequence number the current snapshot starts from.
+    base_seq: u64,
+    /// Sequence number the next appended record will carry.
+    next_seq: u64,
+    _lock: DirLock,
+}
+
+impl Store {
+    /// Creates a new store directory holding `st` as its initial snapshot
+    /// and an empty update log. Fails if a snapshot already exists there.
+    pub fn create(dir: impl AsRef<Path>, st: SignedTable) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already exists", snap_path.display()),
+            )));
+        }
+        write_atomically(&snap_path, &encode_snapshot(&st, 0))?;
+        write_atomically(&dir.join(LOG_FILE), &log_header())?;
+        Ok(Store {
+            dir,
+            table: Arc::new(st),
+            base_seq: 0,
+            next_seq: 0,
+            _lock: lock,
+        })
+    }
+
+    /// Opens an existing store: loads the snapshot, then replays the
+    /// update log, verifying every replayed record's signatures against
+    /// link digests recomputed from local state. *Corruption* anywhere in
+    /// either file is a typed error (every byte is CRC-covered), and
+    /// *tampering with the log* is rejected by the replay's signature
+    /// checks — but a snapshot edited together with a recomputed CRC
+    /// decodes structurally; its authenticity is established by
+    /// [`Store::audit`] (which serving paths run — see
+    /// `Server::open_store` and `adp serve`/`adp query`) and, end to end,
+    /// by client-side VO verification.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let lock = DirLock::acquire(&dir)?;
+        let snap_bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+        let (mut table, base_seq) = decode_snapshot(&snap_bytes)?;
+        let log_bytes = fs::read(dir.join(LOG_FILE))?;
+        let body = check_log_header(&log_bytes)?;
+        let records = decode_records(body)?;
+        let mut next_seq = base_seq;
+        for rec in &records {
+            if rec.seq < base_seq {
+                // Already folded into the snapshot by a compaction that
+                // crashed before truncating the log; the snapshot carries
+                // this record's effects, so skip it.
+                continue;
+            }
+            if rec.seq != next_seq {
+                return Err(StoreError::SequenceGap {
+                    expected: next_seq,
+                    got: rec.seq,
+                });
+            }
+            table.replay_batch(&rec.ops, &rec.resigned)?;
+            next_seq += 1;
+        }
+        Ok(Store {
+            dir,
+            table: Arc::new(table),
+            base_seq,
+            next_seq,
+            _lock: lock,
+        })
+    }
+
+    /// The live signed table.
+    pub fn table(&self) -> &SignedTable {
+        &self.table
+    }
+
+    /// Consumes the store, returning the live signed table (for callers
+    /// that only wanted to load, not to keep mutating).
+    pub fn into_table(self) -> SignedTable {
+        Arc::try_unwrap(self.table).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// A cheap shared handle to the current table version (what the
+    /// server swaps into its registry — no deep copy).
+    pub fn table_arc(&self) -> Arc<SignedTable> {
+        Arc::clone(&self.table)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number the next batch will be logged under (equivalently:
+    /// total batches applied since the store was created).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records currently in the log (folded away by [`Store::compact`]).
+    pub fn log_record_count(&self) -> u64 {
+        self.next_seq - self.base_seq
+    }
+
+    /// Owner-side ingest: signs a batch into the table with
+    /// [`Owner::apply_batch`] (O(k) re-signing), appends the log record,
+    /// and commits. Returns the batch report (whose `ops`/`resigned` are
+    /// what was logged — ship them to publishers replaying the stream).
+    pub fn apply_batch(
+        &mut self,
+        owner: &Owner,
+        ops: Vec<Mutation>,
+    ) -> Result<BatchReport, StoreError> {
+        if owner.public_key() != self.table.public_key() {
+            return Err(StoreError::OwnerKeyMismatch);
+        }
+        let mut next = (*self.table).clone();
+        let report = owner.apply_batch(&mut next, ops)?;
+        self.append_record(&LogRecord {
+            seq: self.next_seq,
+            ops: report.ops.clone(),
+            resigned: report.resigned.clone(),
+        })?;
+        self.table = Arc::new(next);
+        self.next_seq += 1;
+        Ok(report)
+    }
+
+    /// Publisher-side ingest: replays a batch received from the owner
+    /// (no signing key involved), verifying every signature before the
+    /// log record is persisted and the table swapped.
+    pub fn apply_replayed(
+        &mut self,
+        ops: &[Mutation],
+        resigned: &[(u32, Signature)],
+    ) -> Result<(), StoreError> {
+        let mut next = (*self.table).clone();
+        next.replay_batch(ops, resigned)?;
+        self.append_record(&LogRecord {
+            seq: self.next_seq,
+            ops: ops.to_vec(),
+            resigned: resigned.to_vec(),
+        })?;
+        self.table = Arc::new(next);
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Folds the update log into a fresh snapshot: writes the current
+    /// table as a snapshot with `base_seq = next_seq` (atomic rename),
+    /// then truncates the log to its header. Returns the number of log
+    /// records folded away.
+    pub fn compact(&mut self) -> Result<u64, StoreError> {
+        let folded = self.log_record_count();
+        write_atomically(
+            &self.dir.join(SNAPSHOT_FILE),
+            &encode_snapshot(&self.table, self.next_seq),
+        )?;
+        write_atomically(&self.dir.join(LOG_FILE), &log_header())?;
+        self.base_seq = self.next_seq;
+        Ok(folded)
+    }
+
+    /// Full chain audit of the live table (`O(n)` signature verifications).
+    pub fn audit(&self) -> bool {
+        self.table.audit()
+    }
+
+    fn append_record(&self, rec: &LogRecord) -> Result<(), StoreError> {
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(self.dir.join(LOG_FILE))?;
+        let committed_len = f.metadata()?.len();
+        let result = f
+            .write_all(&encode_record(rec))
+            .and_then(|()| f.sync_data());
+        if let Err(e) = result {
+            // Roll a torn append back so the log stays parseable: later
+            // appends must never land after partial garbage.
+            let _ = f.set_len(committed_len);
+            let _ = f.sync_data();
+            return Err(StoreError::Io(e));
+        }
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` via a temp file + rename + parent-directory
+/// fsync, so readers never see a torn file, a crash mid-write leaves the
+/// previous version intact, and the rename itself is durable on power
+/// loss (the rename lives in the directory inode, which must be synced
+/// separately from the file).
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Corrupt-file robustness: randomized truncation, bit flips, and garbage
+//! extension of snapshot and log bytes must always surface as a typed
+//! [`StoreError`] — never a panic, never silently wrong data. Case counts
+//! are bounded and further capped by `PROPTEST_CASES` in CI.
+
+use adp_core::prelude::*;
+use adp_relation::{Column, Record, Schema, Table, Value, ValueType};
+use adp_store::format::{decode_snapshot, encode_snapshot};
+use adp_store::log::{check_log_header, decode_records, encode_record, log_header};
+use adp_store::{LogRecord, Store};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// `(snapshot bytes, log bytes)` of a store with two applied batches.
+fn fixture() -> &'static (Vec<u8>, Vec<u8>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC0FF);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(
+            vec![
+                Column::new("k", ValueType::Int),
+                Column::new("v", ValueType::Text),
+            ],
+            "k",
+        );
+        let mut t = Table::new("fuzz", schema);
+        for i in 0..6i64 {
+            t.insert(Record::new(vec![
+                Value::Int(10 + i * 9),
+                Value::from(format!("r{i}")),
+            ]))
+            .unwrap();
+        }
+        let mut st = owner
+            .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
+            .unwrap();
+        let snapshot = encode_snapshot(&st, 0);
+        let mut log: Vec<u8> = log_header().to_vec();
+        for (seq, ops) in [
+            vec![Mutation::Insert(Record::new(vec![
+                Value::Int(77),
+                Value::from("new"),
+            ]))],
+            vec![Mutation::Delete {
+                key: 10,
+                replica: 0,
+            }],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let report = owner.apply_batch(&mut st, ops).unwrap();
+            log.extend_from_slice(&encode_record(&LogRecord {
+                seq: seq as u64,
+                ops: report.ops,
+                resigned: report.resigned,
+            }));
+        }
+        (snapshot, log)
+    })
+}
+
+fn decode_log(bytes: &[u8]) -> Result<Vec<LogRecord>, adp_store::StoreError> {
+    decode_records(check_log_header(bytes)?)
+}
+
+/// Writes a `(snapshot, log)` pair to a fresh directory and opens it.
+fn open_with(snapshot: &[u8], log: &[u8]) -> Result<Store, adp_store::StoreError> {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "adp-store-fuzz-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(adp_store::SNAPSHOT_FILE), snapshot).unwrap();
+    std::fs::write(dir.join(adp_store::LOG_FILE), log).unwrap();
+    let result = Store::open(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any bit flip anywhere in the snapshot is a typed error (every byte
+    /// is CRC-covered).
+    #[test]
+    fn snapshot_bit_flip_rejected(pos in 0usize..1 << 16, bit in 0u8..8) {
+        let (snapshot, _) = fixture();
+        let mut bad = snapshot.clone();
+        let idx = pos % bad.len();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(decode_snapshot(&bad).is_err(), "flip at {idx}");
+    }
+
+    /// Any proper truncation of the snapshot is a typed error (three
+    /// mandatory sections, exact end).
+    #[test]
+    fn snapshot_truncation_rejected(cut in 0usize..1 << 16) {
+        let (snapshot, _) = fixture();
+        let cut = cut % snapshot.len();
+        prop_assert!(decode_snapshot(&snapshot[..cut]).is_err(), "cut at {cut}");
+    }
+
+    /// Trailing garbage after a complete snapshot is a typed error.
+    #[test]
+    fn snapshot_extension_rejected(tail in prop::collection::vec(any::<u8>(), 1..64)) {
+        let (snapshot, _) = fixture();
+        let mut bad = snapshot.clone();
+        bad.extend_from_slice(&tail);
+        prop_assert!(decode_snapshot(&bad).is_err());
+    }
+
+    /// Any bit flip anywhere in the log is a typed error.
+    #[test]
+    fn log_bit_flip_rejected(pos in 0usize..1 << 16, bit in 0u8..8) {
+        let (_, log) = fixture();
+        let mut bad = log.clone();
+        let idx = pos % bad.len();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(decode_log(&bad).is_err(), "flip at {idx}");
+    }
+
+    /// Truncating the log never panics: a cut at a record boundary is a
+    /// legitimately shorter log; any other cut is a typed error.
+    #[test]
+    fn log_truncation_never_panics(cut in 0usize..1 << 16) {
+        let (snapshot, log) = fixture();
+        let cut = cut % log.len();
+        match decode_log(&log[..cut]) {
+            Err(_) => {} // typed error, fine
+            Ok(records) => {
+                prop_assert!(records.len() < 2, "a proper cut cannot keep both records");
+                // A boundary cut must still reconstruct a verifiable table.
+                let store = open_with(snapshot, &log[..cut]);
+                prop_assert!(store.is_ok());
+                prop_assert!(store.unwrap().audit());
+            }
+        }
+    }
+
+    /// Garbage appended to the log is a typed error.
+    #[test]
+    fn log_extension_rejected(tail in prop::collection::vec(any::<u8>(), 1..64)) {
+        let (_, log) = fixture();
+        let mut bad = log.clone();
+        bad.extend_from_slice(&tail);
+        prop_assert!(decode_log(&bad).is_err());
+    }
+
+    /// The full `Store::open` path over corrupted files returns typed
+    /// errors and never panics.
+    #[test]
+    fn store_open_survives_joint_corruption(
+        which in 0u8..2,
+        pos in 0usize..1 << 16,
+        bit in 0u8..8,
+    ) {
+        let (snapshot, log) = fixture();
+        let mut snapshot = snapshot.clone();
+        let mut log = log.clone();
+        if which == 0 {
+            let idx = pos % snapshot.len();
+            snapshot[idx] ^= 1 << bit;
+        } else {
+            let idx = pos % log.len();
+            log[idx] ^= 1 << bit;
+        }
+        prop_assert!(open_with(&snapshot, &log).is_err());
+    }
+}
+
+/// The pristine fixture really does open (guards the proptest premises).
+#[test]
+fn pristine_fixture_opens() {
+    let (snapshot, log) = fixture();
+    let store = open_with(snapshot, log).unwrap();
+    assert!(store.audit());
+    assert_eq!(store.table().len(), 6); // 6 + 1 insert - 1 delete
+    assert_eq!(store.log_record_count(), 2);
+}

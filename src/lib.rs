@@ -14,12 +14,15 @@
 //! | [`relation`] | `adp-relation` | Schemas, sorted tables, queries, access control |
 //! | [`baselines`] | `adp-baselines` | The schemes the paper compares against |
 //! | [`server`] | `adp-server` | Threaded TCP publisher + remote verifier |
+//! | [`store`] | `adp-store` | Durable snapshots + append-only update log |
 //!
-//! See `docs/ARCHITECTURE.md` for the data-flow picture and
-//! `docs/PROTOCOL.md` for the wire protocol `server` speaks.
+//! See `docs/ARCHITECTURE.md` for the data-flow picture,
+//! `docs/PROTOCOL.md` for the wire protocol `server` speaks, and
+//! `docs/STORAGE.md` for the on-disk formats `store` reads and writes.
 
 pub use adp_baselines as baselines;
 pub use adp_core as core;
 pub use adp_crypto as crypto;
 pub use adp_relation as relation;
 pub use adp_server as server;
+pub use adp_store as store;
