@@ -41,13 +41,17 @@ pub struct MhtTable {
     /// Digest-path recomputations performed by updates (for the update
     /// cost experiment).
     pub update_digests_recomputed: std::cell::Cell<u64>,
+    /// Root re-signatures performed by updates — every update pays one,
+    /// which is the Section 6.3 contention hot-spot.
     pub root_resignatures: std::cell::Cell<u64>,
 }
 
 /// What users need to verify results.
 #[derive(Clone, Debug)]
 pub struct MhtCertificate {
+    /// The owner's verification key.
     pub public_key: PublicKey,
+    /// The hash configuration the tree was built under.
     pub hasher: Hasher,
     /// Users must know the table cardinality to check range positions.
     pub row_count: usize,
@@ -62,18 +66,29 @@ pub struct MhtRangeVO {
     pub fringe: Vec<RangeProofNode>,
     /// The signed root.
     pub root_signature: Signature,
+    /// Encoded bytes of the out-of-range boundary tuples the expansion
+    /// ships (accounting only — the tuples themselves travel in the
+    /// result vector, but the user never asked for them, so the shared
+    /// accounting rule charges them to the VO).
+    pub boundary_bytes: u32,
 }
 
 impl MhtRangeVO {
-    /// Approximate wire size: fringe digests + signature + framing.
+    /// Wire size under the shared baseline accounting rule
+    /// (`docs/EVALUATION.md` §"VO size accounting"): a 4-byte start
+    /// position, a 4-byte fringe count, `4 + 4 + 1 + len` per fringe node
+    /// (level, index, length-prefixed digest), `2 + len` for the root
+    /// signature, plus the encoded out-of-range boundary tuples.
     pub fn wire_size(&self) -> usize {
-        4 + self
-            .fringe
-            .iter()
-            .map(|n| 9 + n.digest.len() + 1)
-            .sum::<usize>()
+        4 + 4
+            + self
+                .fringe
+                .iter()
+                .map(|n| 4 + 4 + 1 + n.digest.len())
+                .sum::<usize>()
+            + 2
             + self.root_signature.byte_len()
-            + 4
+            + self.boundary_bytes as usize
     }
 }
 
@@ -169,12 +184,24 @@ impl MhtTable {
                     lo: 0,
                     fringe: self.tree.prove_range(0, 0),
                     root_signature: self.root_signature.clone(),
+                    boundary_bytes: 0,
                 },
             );
         }
         let rows: Vec<Record> = (lo..=hi)
             .map(|i| self.table.row(i).record.clone())
             .collect();
+        let key_idx = self.table.schema().key_index();
+        let boundary_bytes: usize = rows
+            .iter()
+            .filter(|r| {
+                r.get(key_idx)
+                    .as_int()
+                    .map(|k| !range.contains(k))
+                    .unwrap_or(true)
+            })
+            .map(|r| crate::wirecompat::encode_record(r).len())
+            .sum();
         let fringe = self.tree.prove_range(lo, hi);
         (
             rows,
@@ -182,6 +209,7 @@ impl MhtTable {
                 lo: lo as u32,
                 fringe,
                 root_signature: self.root_signature.clone(),
+                boundary_bytes: boundary_bytes as u32,
             },
         )
     }

@@ -7,6 +7,7 @@
 //! result. Weakness: **no completeness verification** — an omitted tuple is
 //! undetectable, which the comparison bench demonstrates.
 
+use crate::scheme::UpdateCost;
 use adp_crypto::{
     root_from_mixed, AggregateSignature, Digest, HashDomain, Hasher, Keypair, MixedLeaf, PublicKey,
     Signature,
@@ -25,31 +26,43 @@ pub struct MaTable {
 /// User-facing certificate.
 #[derive(Clone, Debug)]
 pub struct MaCertificate {
+    /// The owner's verification key.
     pub public_key: PublicKey,
+    /// The hash configuration every digest was produced under.
     pub hasher: Hasher,
 }
 
 /// Per-row proof: digests for projected-out attributes.
 #[derive(Clone, Debug)]
 pub struct MaRowProof {
+    /// `(column index, leaf digest)` for each attribute the projection
+    /// withheld — the verifier re-mixes them with the shipped values.
     pub hidden: Vec<(u32, Digest)>,
 }
 
 /// The VO: per-row hidden digests + one aggregated signature.
 #[derive(Clone, Debug)]
 pub struct MaVO {
+    /// One proof per returned row, in result order.
     pub rows: Vec<MaRowProof>,
+    /// The condensed-RSA aggregate of the returned rows' signatures
+    /// (`None` iff the result is empty).
     pub aggregate: Option<AggregateSignature>,
 }
 
 impl MaVO {
-    /// Approximate wire size.
+    /// Wire size under the shared baseline accounting rule
+    /// (`docs/EVALUATION.md` §"VO size accounting"): 4-byte collection
+    /// counts, 4-byte column positions, `1 + len` per digest, a 1-byte
+    /// presence tag plus `2 + len` for the aggregated signature.
     pub fn wire_size(&self) -> usize {
-        self.rows
+        4 + self
+            .rows
             .iter()
-            .map(|r| r.hidden.iter().map(|(_, d)| d.len() + 5).sum::<usize>() + 4)
+            .map(|r| 4 + r.hidden.iter().map(|(_, d)| 4 + 1 + d.len()).sum::<usize>())
             .sum::<usize>()
-            + self.aggregate.as_ref().map_or(0, |a| a.byte_len() + 8)
+            + 1
+            + self.aggregate.as_ref().map_or(0, |a| 2 + a.byte_len())
     }
 }
 
@@ -134,6 +147,28 @@ impl MaTable {
                 aggregate,
             },
         )
+    }
+
+    /// Owner-side update: replace the non-key attributes of the row at
+    /// `pos` and re-sign that row's attribute-tree root.
+    ///
+    /// This is the scheme's headline update property (and the reason the
+    /// paper's Section 6.3 can't beat it on churn): exactly **one**
+    /// signature regardless of table size — but the price is that no
+    /// completeness statement ties the rows together.
+    pub fn update_record(&mut self, keypair: &Keypair, pos: usize, record: Record) -> UpdateCost {
+        let digests = record.arity() as u64 + 1; // attribute leaves + root
+        self.table
+            .update_in_place(pos, record)
+            .expect("schema-valid, key-preserving update");
+        self.signatures[pos] = keypair.sign(
+            &self.hasher,
+            &row_root(&self.hasher, &self.table.row(pos).record),
+        );
+        UpdateCost {
+            signatures: 1,
+            digests,
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! structure at record granularity with a configurable fanout; the
 //! original's attribute-granularity refinement changes constants only.
 
+use crate::scheme::UpdateCost;
 use adp_crypto::{Digest, HashDomain, Hasher, Keypair, PublicKey, Signature};
 use adp_relation::{KeyRange, Record, Table};
 
@@ -31,9 +32,13 @@ pub struct VbTree {
 /// User-facing certificate.
 #[derive(Clone, Debug)]
 pub struct VbCertificate {
+    /// The owner's verification key.
     pub public_key: PublicKey,
+    /// The hash configuration every node digest was produced under.
     pub hasher: Hasher,
+    /// The tree fanout the envelope must be folded with.
     pub fanout: usize,
+    /// Table cardinality at publication time.
     pub row_count: usize,
 }
 
@@ -47,24 +52,31 @@ pub struct VbVO {
     pub node: u32,
     /// Position of the first returned row within the node's span.
     pub offset: u32,
-    /// Leaf digests left and right of the result inside the span.
+    /// Leaf digests left of the result inside the span.
     pub complement_left: Vec<Digest>,
+    /// Leaf digests right of the result inside the span.
     pub complement_right: Vec<Digest>,
+    /// The enveloping node's signature.
     pub signature: Signature,
 }
 
 impl VbVO {
-    /// Approximate wire size.
+    /// Wire size under the shared baseline accounting rule
+    /// (`docs/EVALUATION.md` §"VO size accounting"): 4-byte scalar
+    /// coordinates (`level`, `node`, `offset`), 4-byte counts for the two
+    /// complement vectors, `1 + len` per digest, `2 + len` for the
+    /// signature.
     pub fn wire_size(&self) -> usize {
-        13 + (self.complement_left.len() + self.complement_right.len()) * (self.hash_len() + 1)
+        12 + 4
+            + 4
+            + self
+                .complement_left
+                .iter()
+                .chain(&self.complement_right)
+                .map(|d| 1 + d.len())
+                .sum::<usize>()
+            + 2
             + self.signature.byte_len()
-    }
-
-    fn hash_len(&self) -> usize {
-        self.complement_left
-            .first()
-            .or(self.complement_right.first())
-            .map_or(16, Digest::len)
     }
 }
 
@@ -131,6 +143,12 @@ impl VbTree {
             .sum()
     }
 
+    /// Total node count across all levels — one signature each, which is
+    /// the scheme's dissemination and re-signing unit.
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
     /// Span (inclusive leaf positions) of node `idx` at `level`.
     fn span(&self, level: usize, idx: usize) -> (usize, usize) {
         let width = self.fanout.pow(level as u32);
@@ -179,6 +197,38 @@ impl VbTree {
             signature: self.signatures[level][node].clone(),
         };
         (rows, vo)
+    }
+
+    /// Owner-side update: replace the non-key attributes of the row at
+    /// `pos`, recompute the leaf-to-root digest path, and re-sign **every
+    /// node on that path** — the scheme's update weakness the paper's
+    /// Section 6.3 experiment highlights (a path of signatures per
+    /// update, vs one root signature for the MHT and a 3-signature
+    /// neighborhood for the chain).
+    pub fn update_record(&mut self, keypair: &Keypair, pos: usize, record: Record) -> UpdateCost {
+        self.table
+            .update_in_place(pos, record)
+            .expect("schema-valid, key-preserving update");
+        self.levels[0][pos] = leaf_digest(&self.hasher, &self.table.row(pos).record);
+        self.signatures[0][pos] = keypair.sign(&self.hasher, &self.levels[0][pos]);
+        let mut cost = UpdateCost {
+            signatures: 1,
+            digests: 1,
+        };
+        let mut idx = pos;
+        for level in 1..self.levels.len() {
+            idx /= self.fanout;
+            let lo = idx * self.fanout;
+            let hi = (lo + self.fanout).min(self.levels[level - 1].len());
+            let digest = self
+                .hasher
+                .hash_digests(HashDomain::Node, &self.levels[level - 1][lo..hi]);
+            self.levels[level][idx] = digest;
+            self.signatures[level][idx] = keypair.sign(&self.hasher, &digest);
+            cost.signatures += 1;
+            cost.digests += 1;
+        }
+        cost
     }
 }
 

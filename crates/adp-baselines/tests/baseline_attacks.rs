@@ -1,0 +1,229 @@
+//! A slice of the paper's Section 3.2 attack matrix ported to the
+//! baseline verifiers, so "the baselines verify too" is proven rather
+//! than assumed. Three cheating strategies per scheme:
+//!
+//! * **dropped boundary row** — omit the first/last row of the answer;
+//! * **substituted row** — replace one returned record with a forgery;
+//! * **truncated VO** — ship fewer proof elements than the answer needs.
+//!
+//! Where a scheme *cannot* detect a strategy (the completeness gaps of
+//! Ma et al. and the VB-tree), the test asserts the forged answer
+//! **passes** — the gap is the documented finding (`docs/EVALUATION.md`
+//! §"What the baselines cannot detect"), and these tests keep the doc's
+//! claims tied to executable fact.
+
+use adp_baselines::{devanbu, ma, vbtree};
+use adp_crypto::{Hasher, Keypair};
+use adp_relation::{Column, KeyRange, Record, Schema, Table, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn keypair() -> &'static Keypair {
+    static K: OnceLock<Keypair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA77AC);
+        Keypair::generate(512, &mut rng)
+    })
+}
+
+/// 30 rows, keys 0, 10, …, 290, one text payload column.
+fn table() -> Table {
+    let schema = Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Text),
+        ],
+        "k",
+    );
+    let mut t = Table::new("t", schema);
+    for i in 0..30i64 {
+        t.insert(Record::new(vec![
+            Value::Int(i * 10),
+            Value::from(format!("r{i}")),
+        ]))
+        .unwrap();
+    }
+    t
+}
+
+fn forged(k: i64) -> Record {
+    Record::new(vec![Value::Int(k), Value::from("forged")])
+}
+
+const RANGE_LO: i64 = 100;
+const RANGE_HI: i64 = 200;
+
+// ---------------------------------------------------------------- Devanbu
+
+fn mht_answer() -> (
+    devanbu::MhtCertificate,
+    KeyRange,
+    Vec<Record>,
+    devanbu::MhtRangeVO,
+) {
+    let mht = devanbu::MhtTable::publish(keypair(), Hasher::default(), table());
+    let range = KeyRange::closed(RANGE_LO, RANGE_HI);
+    let (rows, vo) = mht.answer_range(&range);
+    (mht.certificate(), range, rows, vo)
+}
+
+#[test]
+fn mht_honest_answer_verifies() {
+    let (cert, range, rows, vo) = mht_answer();
+    devanbu::verify_range(&cert, 0, &range, &rows, &vo).unwrap();
+}
+
+#[test]
+fn mht_detects_dropped_boundary_row() {
+    // Dropping the left boundary tuple (and claiming the answer starts
+    // one position later) must break either the root or the straddle
+    // check — this is exactly the expansion device's job.
+    let (cert, range, mut rows, mut vo) = mht_answer();
+    rows.remove(0);
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+    // Even adjusting `lo` to keep the leaf positions consistent fails:
+    // the first row is now in-range, so the straddle condition trips.
+    vo.lo += 1;
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+}
+
+#[test]
+fn mht_detects_dropped_interior_row() {
+    let (cert, range, mut rows, vo) = mht_answer();
+    rows.remove(rows.len() / 2);
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+}
+
+#[test]
+fn mht_detects_substituted_row() {
+    let (cert, range, mut rows, vo) = mht_answer();
+    rows[3] = forged(130);
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+}
+
+#[test]
+fn mht_detects_truncated_vo() {
+    let (cert, range, rows, mut vo) = mht_answer();
+    assert!(!vo.fringe.is_empty(), "interior range must carry fringe");
+    vo.fringe.pop();
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+    vo.fringe.clear();
+    assert!(devanbu::verify_range(&cert, 0, &range, &rows, &vo).is_err());
+}
+
+// ------------------------------------------------------------------- Ma
+
+fn ma_answer() -> (ma::MaCertificate, Vec<usize>, Vec<Record>, ma::MaVO) {
+    let t = ma::MaTable::publish(keypair(), Hasher::default(), table());
+    let proj: Vec<usize> = vec![0, 1];
+    let (rows, vo) = t.answer_range(&KeyRange::closed(RANGE_LO, RANGE_HI), &proj);
+    (t.certificate(), proj, rows, vo)
+}
+
+#[test]
+fn ma_honest_answer_verifies() {
+    let (cert, proj, rows, vo) = ma_answer();
+    ma::verify_range(&cert, &proj, 2, &rows, &vo).unwrap();
+}
+
+#[test]
+fn ma_detects_substituted_row() {
+    let (cert, proj, mut rows, vo) = ma_answer();
+    rows[2] = forged(120);
+    assert!(ma::verify_range(&cert, &proj, 2, &rows, &vo).is_err());
+}
+
+#[test]
+fn ma_detects_truncated_vo() {
+    // Dropping a row proof (but not the row) breaks the count check;
+    // dropping the aggregate breaks the presence check.
+    let (cert, proj, rows, mut vo) = ma_answer();
+    vo.rows.pop();
+    assert!(ma::verify_range(&cert, &proj, 2, &rows, &vo).is_err());
+    let (cert, proj, rows, mut vo) = ma_answer();
+    vo.aggregate = None;
+    assert!(ma::verify_range(&cert, &proj, 2, &rows, &vo).is_err());
+}
+
+#[test]
+fn ma_detects_clumsy_row_drop() {
+    // Dropping a row while keeping its proof in the VO: count mismatch.
+    let (cert, proj, mut rows, vo) = ma_answer();
+    rows.pop();
+    assert!(ma::verify_range(&cert, &proj, 2, &rows, &vo).is_err());
+}
+
+#[test]
+fn ma_cannot_detect_consistent_boundary_drop() {
+    // THE completeness gap: re-answering a narrower range produces a
+    // perfectly valid (rows, VO) pair — the dropped boundary row is
+    // undetectable because nothing ties the result to the query range.
+    let t = ma::MaTable::publish(keypair(), Hasher::default(), table());
+    let cert = t.certificate();
+    let proj: Vec<usize> = vec![0, 1];
+    let full = KeyRange::closed(RANGE_LO, RANGE_HI);
+    let (honest_rows, _) = t.answer_range(&full, &proj);
+    let (rows, vo) = t.answer_range(&KeyRange::closed(RANGE_LO, RANGE_HI - 10), &proj);
+    assert_eq!(rows.len() + 1, honest_rows.len());
+    ma::verify_range(&cert, &proj, 2, &rows, &vo).unwrap();
+}
+
+// -------------------------------------------------------------- VB-tree
+
+fn vb_answer() -> (vbtree::VbCertificate, Vec<Record>, vbtree::VbVO) {
+    let t = vbtree::VbTree::publish(keypair(), Hasher::default(), 4, table());
+    let (rows, vo) = t.answer_range(&KeyRange::closed(RANGE_LO, RANGE_HI));
+    (t.certificate(), rows, vo)
+}
+
+#[test]
+fn vb_honest_answer_verifies() {
+    let (cert, rows, vo) = vb_answer();
+    vbtree::verify_range(&cert, &rows, &vo).unwrap();
+}
+
+#[test]
+fn vb_detects_substituted_row() {
+    let (cert, mut rows, vo) = vb_answer();
+    rows[4] = forged(140);
+    assert!(vbtree::verify_range(&cert, &rows, &vo).is_err());
+}
+
+#[test]
+fn vb_detects_interior_drop() {
+    let (cert, mut rows, vo) = vb_answer();
+    rows.remove(rows.len() / 2);
+    assert!(vbtree::verify_range(&cert, &rows, &vo).is_err());
+}
+
+#[test]
+fn vb_detects_truncated_vo() {
+    // The complement digests are load-bearing: removing one changes the
+    // envelope fold and the signature no longer matches.
+    let t = vbtree::VbTree::publish(keypair(), Hasher::default(), 4, table());
+    // A range starting mid-node so the left complement is non-empty.
+    let (rows, mut vo) = t.answer_range(&KeyRange::closed(RANGE_LO + 10, RANGE_HI));
+    let cert = t.certificate();
+    assert!(
+        !vo.complement_left.is_empty() || !vo.complement_right.is_empty(),
+        "fixture must exercise a non-empty complement"
+    );
+    if vo.complement_left.is_empty() {
+        vo.complement_right.pop();
+    } else {
+        vo.complement_left.remove(0);
+    }
+    assert!(vbtree::verify_range(&cert, &rows, &vo).is_err());
+}
+
+#[test]
+fn vb_cannot_detect_consistent_boundary_drop() {
+    // Same gap as Ma: a fresh envelope for a narrower range verifies.
+    let t = vbtree::VbTree::publish(keypair(), Hasher::default(), 4, table());
+    let cert = t.certificate();
+    let (honest_rows, _) = t.answer_range(&KeyRange::closed(RANGE_LO, RANGE_HI));
+    let (rows, vo) = t.answer_range(&KeyRange::closed(RANGE_LO, RANGE_HI - 10));
+    assert_eq!(rows.len() + 1, honest_rows.len());
+    vbtree::verify_range(&cert, &rows, &vo).unwrap();
+}

@@ -28,7 +28,6 @@ use adp_store::format::{decode_snapshot, encode_snapshot};
 use adp_store::LogRecord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
 
 /// Every bench key the snapshot must contain (CI asserts this set).
 pub const EXPECTED_BENCHES: &[&str] = &[
@@ -47,32 +46,10 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "store/snapshot_load",
 ];
 
-fn samples() -> usize {
-    std::env::var("ADP_PERF_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(25usize)
-        .max(1)
-}
-
-/// Median wall time of one call to `f`, calibrated so each sample spans
-/// ~2 ms (cheap routines are batched; expensive ones run once per sample).
-fn measure<T>(n_samples: usize, mut f: impl FnMut() -> T) -> f64 {
-    let start = Instant::now();
-    std::hint::black_box(f());
-    let once = start.elapsed().max(Duration::from_nanos(50));
-    let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 20_000);
-    let mut times: Vec<f64> = Vec::with_capacity(n_samples);
-    for _ in 0..n_samples {
-        let start = Instant::now();
-        for _ in 0..per_sample {
-            std::hint::black_box(f());
-        }
-        times.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
+// Sampling and the calibrated-median estimator are shared with the
+// baseline_compare harness so the two snapshot families stay comparable.
+use adp_bench::measure_ns as measure;
+use adp_bench::perf_samples as samples;
 
 fn keypair(bits: usize, seed: u64) -> Keypair {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -21,6 +21,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
+pub mod compare;
+
 /// Key distributions for generated tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KeyDist {
@@ -155,6 +157,36 @@ pub fn bench_owner_small() -> &'static Owner {
         let mut rng = StdRng::seed_from_u64(0xBE9D);
         Owner::new(512, &mut rng)
     })
+}
+
+/// Timing samples per measurement, from `ADP_PERF_SAMPLES` (default 25;
+/// CI smoke jobs set 2 so harnesses cannot rot without burning minutes).
+pub fn perf_samples() -> usize {
+    std::env::var("ADP_PERF_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25usize)
+        .max(1)
+}
+
+/// Median wall time of one call to `f` in nanoseconds, calibrated so each
+/// sample spans ~2 ms (cheap routines are batched; expensive ones run
+/// once per sample). The same estimator `perf_trajectory` uses.
+pub fn measure_ns<T>(n_samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 20_000);
+    let mut times: Vec<f64> = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            std::hint::black_box(f());
+        }
+        times.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
 }
 
 /// Times a closure, returning (result, elapsed).

@@ -1033,6 +1033,12 @@ impl Owner {
     /// [`BatchReport::ops`] plus [`BatchReport::resigned`] are exactly what
     /// an update-log record must carry for [`SignedTable::replay_batch`].
     ///
+    /// This is the owner-side path of the Section 6.3 churn experiment:
+    /// `baseline_compare` drives batches of scattered updates through
+    /// here into an `adp-store` log and tabulates the per-batch
+    /// re-signing and log traffic against the baselines' update costs
+    /// (`docs/EVALUATION.md` §"Update churn").
+    ///
     /// Validation happens before any mutation, so an `Err` leaves the
     /// table untouched.
     pub fn apply_batch(

@@ -197,6 +197,15 @@ impl Store {
         self.next_seq - self.base_seq
     }
 
+    /// Current size of the update log file in bytes (header + framed
+    /// records). This is the owner→publisher churn traffic a follower
+    /// replaying the stream would download, and the quantity the
+    /// `baseline_compare` churn experiment charges per batch
+    /// (`docs/EVALUATION.md` §"Update churn").
+    pub fn log_bytes(&self) -> Result<u64, StoreError> {
+        Ok(fs::metadata(self.dir.join(LOG_FILE))?.len())
+    }
+
     /// Owner-side ingest: signs a batch into the table with
     /// [`Owner::apply_batch`] (O(k) re-signing), appends the log record,
     /// and commits. Returns the batch report (whose `ops`/`resigned` are
