@@ -408,6 +408,24 @@ impl Server {
     }
 }
 
+/// Joins (not merely drops) every finished connection thread, keeping the
+/// handle vector bounded by the number of *live* connections. Joining a
+/// finished thread is instantaneous and, unlike dropping the handle,
+/// propagates nothing silently: the thread's stack and TLS are released
+/// deterministically here rather than whenever the detached thread's
+/// runtime gets around to it.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
+    let mut live = Vec::with_capacity(connections.len());
+    for h in connections.drain(..) {
+        if h.is_finished() {
+            let _ = h.join();
+        } else {
+            live.push(h);
+        }
+    }
+    *connections = live;
+}
+
 fn accept_loop(
     listener: TcpListener,
     inner: Arc<Inner>,
@@ -425,8 +443,10 @@ fn accept_loop(
                 }
                 // Transient accept failures (fd exhaustion, client abort
                 // while queued) must not kill the server; back off briefly
-                // and keep accepting.
+                // and keep accepting. Reap here too: fd exhaustion is
+                // exactly when finished-but-unjoined threads hurt most.
                 ServerStats::bump(&inner.stats.errors);
+                reap_finished(&mut connections);
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
@@ -448,8 +468,9 @@ fn accept_loop(
             Ok(h) => connections.push(h),
             Err(_) => ServerStats::bump(&inner.stats.errors),
         }
-        // Reap finished connection threads so the vector stays bounded.
-        connections.retain(|h| !h.is_finished());
+        // Reap finished connection threads on every accept so the vector
+        // stays bounded by live connections, not by total accepted.
+        reap_finished(&mut connections);
     }
     for h in connections {
         let _ = h.join();
