@@ -36,7 +36,13 @@ impl ThreadPool {
                             Err(_) => break,
                         };
                         match job {
-                            Ok(job) => job(),
+                            // A panicking job must not kill the worker: the
+                            // pool would silently shrink until batches hang.
+                            // The panic is contained here and the worker
+                            // moves on to the next job.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
                             Err(_) => break,
                         }
                     })
@@ -92,6 +98,19 @@ mod tests {
             }
         } // drop joins the workers
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("job panic must be contained"));
+        // The single worker survived and still executes jobs.
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            7
+        );
     }
 
     #[test]

@@ -34,9 +34,30 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning. A worker that panics while
+/// holding a server lock (a publisher bug on one query, say) must not take
+/// the whole service down: every subsequent request would otherwise meet a
+/// `PoisonError` and panic in turn. The guarded structures stay usable
+/// across such a panic — the cache and the table registry are only ever
+/// mutated through operations that leave them structurally consistent — so
+/// the right response is to keep serving, not to crash.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock_recover`] for read-locking an `RwLock`.
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock_recover`] for write-locking an `RwLock`.
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Tuning knobs for [`Server::serve`].
 #[derive(Clone, Debug)]
@@ -172,7 +193,7 @@ impl Inner {
         let cache_entries = self
             .cache
             .as_ref()
-            .map_or(0, |c| c.lock().expect("cache lock").len() as u64);
+            .map_or(0, |c| lock_recover(c).len() as u64);
         self.stats.snapshot(cache_entries)
     }
 }
@@ -214,7 +235,7 @@ fn answer(
     query: &SelectQuery,
 ) -> Result<AnswerBlob, (ErrorCode, String)> {
     let (st, epoch) = {
-        let tables = inner.tables.read().expect("table registry lock");
+        let tables = read_recover(&inner.tables);
         let slot = tables.get(&table_id).ok_or_else(|| {
             (
                 ErrorCode::UnknownTable,
@@ -229,7 +250,7 @@ fn answer(
     let cache = inner.cache.as_ref().filter(|_| inner.tamper.is_none());
     let key = cache.map(|_| cache_key(table_id, st, query));
     if let (Some(cache), Some(key)) = (cache, &key) {
-        let mut cache = cache.lock().expect("cache lock");
+        let mut cache = lock_recover(cache);
         match cache.get(key) {
             Some(hit) if hit.epoch == epoch => {
                 ServerStats::bump(&inner.stats.cache_hits);
@@ -267,7 +288,7 @@ fn answer(
     if let (Some(key), Some(cache)) = (key, cache) {
         // If the table was updated while we computed, the recorded epoch
         // is already stale and the next lookup will drop the entry.
-        cache.lock().expect("cache lock").insert(
+        lock_recover(cache).insert(
             key,
             CachedAnswer {
                 epoch,
@@ -722,10 +743,7 @@ impl ServerHandle {
     /// The current epoch of a served table (bumps with every applied
     /// update; cached answers from older epochs are dropped on lookup).
     pub fn table_epoch(&self, table_id: u32) -> Option<u64> {
-        self.inner
-            .tables
-            .read()
-            .expect("table registry lock")
+        read_recover(&self.inner.tables)
             .get(&table_id)
             .map(|slot| slot.epoch)
     }
@@ -745,13 +763,8 @@ impl ServerHandle {
         ops: &[Mutation],
         resigned: &[(u32, Signature)],
     ) -> Result<u64, UpdateError> {
-        let mut stores = self.inner.stores.lock().expect("store registry lock");
-        let known = self
-            .inner
-            .tables
-            .read()
-            .expect("table registry lock")
-            .contains_key(&table_id);
+        let mut stores = lock_recover(&self.inner.stores);
+        let known = read_recover(&self.inner.tables).contains_key(&table_id);
         let store = stores.get_mut(&table_id).ok_or(if known {
             UpdateError::NotStoreBacked(table_id)
         } else {
@@ -759,7 +772,7 @@ impl ServerHandle {
         })?;
         store.apply_replayed(ops, resigned)?;
         let fresh = store.table_arc();
-        let mut tables = self.inner.tables.write().expect("table registry lock");
+        let mut tables = write_recover(&self.inner.tables);
         let slot = tables
             .get_mut(&table_id)
             .expect("store-backed table is registered");
@@ -789,5 +802,79 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_core::prelude::*;
+    use adp_relation::{Column, Schema, Table, Value, ValueType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_inner() -> Inner {
+        let mut rng = StdRng::seed_from_u64(0x9015);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+        let mut t = Table::new("t", schema);
+        for i in 0..5i64 {
+            t.insert(Record::new(vec![Value::Int(i * 10 + 5)])).unwrap();
+        }
+        let st = owner
+            .sign_table(t, Domain::new(0, 1_000), SchemeConfig::default())
+            .unwrap();
+        let mut tables = HashMap::new();
+        tables.insert(
+            0u32,
+            TableSlot {
+                st: Arc::new(st),
+                epoch: 0,
+            },
+        );
+        Inner {
+            tables: RwLock::new(tables),
+            stores: Mutex::new(HashMap::new()),
+            cache: Some(Mutex::new(LruCache::new(8))),
+            stats: ServerStats::default(),
+            tamper: None,
+        }
+    }
+
+    /// One panicking worker must not poison the whole service: the cache
+    /// and registry locks recover from poisoning, so requests after the
+    /// panic still answer (previously every one of them panicked on
+    /// `.expect("cache lock")`).
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let inner = Arc::new(test_inner());
+        // Poison the cache mutex: a thread panics while holding the lock.
+        let poisoner = Arc::clone(&inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.cache.as_ref().unwrap().lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(
+            inner.cache.as_ref().unwrap().lock().is_err(),
+            "the cache mutex must actually be poisoned for this test to bite"
+        );
+        // Poison the table registry the same way.
+        let poisoner = Arc::clone(&inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.tables.write().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        // Requests still serve end to end: registry lookup, cache
+        // miss/insert, then a cache hit, then a stats snapshot.
+        let q = SelectQuery::range(KeyRange::closed(0, 100));
+        answer(&inner, 0, &q).expect("first answer after poisoning");
+        answer(&inner, 0, &q).expect("second answer after poisoning");
+        let snap = inner.snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.cache_entries, 1);
     }
 }
