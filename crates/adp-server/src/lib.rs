@@ -10,15 +10,19 @@
 //! * [`protocol`] — the versioned frame layer (`Ping`, `QueryRequest`,
 //!   `BatchRequest`, `Stats`, `Error`), layered on the byte-exact
 //!   [`adp_core::wire`] codec. Specified in `docs/PROTOCOL.md`.
-//! * [`server`] — accept loop, per-connection threads, a worker pool for
-//!   batched answering, and an LRU **VO cache** keyed on
-//!   `(table_id, canonical query)` with hit/miss counters.
+//! * [`server`] — an event-driven core: epoll reactor shards own the
+//!   non-blocking listener and connection sockets (frame reassembly,
+//!   bounded write queues, idle timeouts), a worker pool runs the
+//!   queries, and an LRU **VO cache** keyed on
+//!   `(table_id, canonical query)` serves hot ranges without touching
+//!   the publisher. Thread count is bounded by shards + workers, not by
+//!   connection count.
 //! * [`client`] — [`RemoteClient`] (raw frames) and [`RemoteVerifier`],
 //!   which runs the unchanged `adp-core` verifier against the socket: the
 //!   server is untrusted, so every answer is verified against the owner's
 //!   certificate before being returned.
-//! * [`cache`] / [`pool`] — the `std`-only LRU map and thread pool the
-//!   server is built from.
+//! * [`cache`] / [`pool`] / [`sys`] — the `std`-only LRU map, thread
+//!   pool, and raw epoll bindings the server is built from.
 //!
 //! ## Quick start
 //!
@@ -60,7 +64,9 @@ pub mod cache;
 pub mod client;
 pub mod pool;
 pub mod protocol;
+mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use cache::LruCache;
 pub use client::{RemoteClient, RemoteError, RemoteVerifier};

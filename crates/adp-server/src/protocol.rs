@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0xAD 0x50
-//! 2       1     protocol version (currently 0x02)
+//! 2       1     protocol version (currently 0x03)
 //! 3       1     frame type
 //! 4       4     payload length, u32 little-endian (max 64 MiB)
 //! ```
@@ -37,8 +37,10 @@ pub const MAGIC: [u8; 2] = [0xAD, 0x50];
 /// Version history (see `docs/PROTOCOL.md` §9): `0x01` shipped seven
 /// stats counters; `0x02` appended the `invalidations` counter to
 /// `StatsResponse` (the VO cache is no longer static — live updates bump
-/// per-table epochs and stale entries are dropped lazily).
-pub const VERSION: u8 = 0x02;
+/// per-table epochs and stale entries are dropped lazily); `0x03` added
+/// the connection-lifecycle gauges (`open_connections`, `queue_depth`,
+/// `idle_reaped`) that the event-driven server core exports.
+pub const VERSION: u8 = 0x03;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -125,6 +127,15 @@ pub struct StatsSnapshot {
     /// Cached answers dropped because their table's epoch moved on (an
     /// applied update invalidates lazily, on lookup). New in version 2.
     pub invalidations: u64,
+    /// Connections currently registered with a reactor shard (a gauge,
+    /// not a counter). New in version 3.
+    pub open_connections: u64,
+    /// Bytes currently queued across all per-connection write queues (a
+    /// gauge; backpressure pauses reads once a connection's share exceeds
+    /// the configured limit). New in version 3.
+    pub queue_depth: u64,
+    /// Connections reaped by the idle timeout. New in version 3.
+    pub idle_reaped: u64,
     /// Error frames emitted.
     pub errors: u64,
 }
@@ -311,6 +322,9 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(s.cache_misses);
             w.u64(s.cache_entries);
             w.u64(s.invalidations);
+            w.u64(s.open_connections);
+            w.u64(s.queue_depth);
+            w.u64(s.idle_reaped);
             w.u64(s.errors);
         }
         Frame::Error { code, message } => {
@@ -401,6 +415,9 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
             cache_misses: r.u64()?,
             cache_entries: r.u64()?,
             invalidations: r.u64()?,
+            open_connections: r.u64()?,
+            queue_depth: r.u64()?,
+            idle_reaped: r.u64()?,
             errors: r.u64()?,
         }),
         frame_type::ERROR => {
@@ -581,7 +598,10 @@ mod tests {
                 cache_misses: 5,
                 cache_entries: 6,
                 invalidations: 7,
-                errors: 8,
+                open_connections: 8,
+                queue_depth: 9,
+                idle_reaped: 10,
+                errors: 11,
             }),
             Frame::Error {
                 code: ErrorCode::BadFrame,
@@ -641,7 +661,7 @@ mod tests {
     fn ping_frame_fixed_vector_matches_protocol_doc() {
         assert_eq!(
             encode_frame(&Frame::Ping),
-            vec![0xAD, 0x50, 0x02, 0x01, 0, 0, 0, 0]
+            vec![0xAD, 0x50, 0x03, 0x01, 0, 0, 0, 0]
         );
     }
 
@@ -657,14 +677,17 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        // Version 1 frames are refused too: the StatsResponse layout
-        // changed, so v2 speakers must not silently accept v1 peers.
-        let mut bytes = encode_frame(&Frame::Ping);
-        bytes[2] = 0x01;
-        assert!(matches!(
-            decode_frame(&bytes),
-            Err(ProtoError::BadVersion(0x01))
-        ));
+        // Older versions are refused too: the StatsResponse layout
+        // changed in both v2 and v3, so a v3 speaker must not silently
+        // accept earlier peers.
+        for old in [0x01, 0x02] {
+            let mut bytes = encode_frame(&Frame::Ping);
+            bytes[2] = old;
+            assert!(matches!(
+                decode_frame(&bytes),
+                Err(ProtoError::BadVersion(v)) if v == old
+            ));
+        }
     }
 
     #[test]

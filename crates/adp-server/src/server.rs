@@ -1,25 +1,30 @@
-//! The threaded publisher server: accepts TCP connections, answers
-//! [`Frame::QueryRequest`]/[`Frame::BatchRequest`] frames against its
-//! registered [`SignedTable`]s, and serves hot ranges from the VO cache.
+//! The event-driven publisher server: answers
+//! [`QueryRequest`](crate::protocol::Frame::QueryRequest) and
+//! [`BatchRequest`](crate::protocol::Frame::BatchRequest) frames against
+//! its registered [`SignedTable`]s, and serves hot ranges from the VO
+//! cache.
 //!
-//! Concurrency model (no async runtime in this environment):
+//! Concurrency model (no async runtime in this environment — a hand-rolled
+//! epoll readiness loop in the private `reactor` module):
 //!
-//! * one **accept thread** owns the listener,
-//! * one **connection thread** per client reads frames and writes replies,
-//! * a shared **worker pool** answers the items of a batch in parallel,
-//!   replying in request order once all items finish.
+//! * **reactor shards** (one thread each, [`ServerConfig::shards`]) own
+//!   the non-blocking listener and connection sockets: frame reassembly,
+//!   bounded write queues with backpressure, idle/frame timeouts. Thread
+//!   count is bounded by shards + workers, never by connection count.
+//! * a shared **worker pool** runs every query and batch item (the crypto
+//!   is never on a reactor thread); answers complete back to the owning
+//!   shard, which writes them in request order per connection.
 //!
 //! The **VO cache** is an LRU keyed on `(table_id, canonical query)`: the
 //! key range is normalized against the table's domain first (so `K < 100`
 //! and `K ≤ 99` are one entry) and the cached value is the already-encoded
 //! `(result, vo)` pair — a hit bypasses the publisher *and* the codec.
-//! Hit/miss counters are exported through [`Frame::StatsRequest`].
+//! Hit/miss counters are exported through [`Frame::StatsRequest`](crate::protocol::Frame::StatsRequest).
 
 use crate::cache::LruCache;
 use crate::pool::ThreadPool;
-use crate::protocol::{
-    write_frame, write_query_response, ErrorCode, Frame, ProtoError, StatsSnapshot,
-};
+use crate::protocol::{ErrorCode, StatsSnapshot};
+use crate::reactor::{self, ShardHandle};
 use adp_core::owner::{Mutation, SignedTable};
 use adp_core::publisher::Publisher;
 use adp_core::vo::QueryVO;
@@ -30,13 +35,12 @@ use adp_store::{Store, StoreError};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Locks a mutex, recovering from poisoning. A worker that panics while
 /// holding a server lock (a publisher bug on one query, say) must not take
@@ -45,7 +49,7 @@ use std::time::{Duration, Instant};
 /// across such a panic — the cache and the table registry are only ever
 /// mutated through operations that leave them structurally consistent — so
 /// the right response is to keep serving, not to crash.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -62,14 +66,22 @@ fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// Tuning knobs for [`Server::serve`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads answering batch items (clamped to ≥ 1).
+    /// Worker threads answering queries and batch items (clamped to ≥ 1).
     pub workers: usize,
     /// VO cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
-    /// How often idle connection threads poll the shutdown flag.
-    pub poll_interval: Duration,
+    /// Reactor shards (I/O threads); `0` means one per available core.
+    pub shards: usize,
     /// Patience for the rest of a frame once its first byte arrived.
     pub frame_timeout: Duration,
+    /// Reap connections with no traffic for this long (`None` disables
+    /// reaping). Reaps are counted by the `idle_reaped` stat.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection write-queue bound in bytes: past it the server
+    /// stops reading from (and answering) the connection until the client
+    /// drains responses; a client that never drains falls to the idle
+    /// timeout instead of buffering unboundedly.
+    pub write_queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,27 +89,38 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             cache_capacity: 1024,
-            poll_interval: Duration::from_millis(100),
+            shards: 0,
             frame_timeout: Duration::from_secs(30),
+            idle_timeout: Some(Duration::from_secs(60)),
+            write_queue_limit: 8 << 20,
         }
     }
 }
 
-/// Monotonic server counters (lock-free; read via
-/// [`ServerHandle::stats`] or the wire's [`Frame::StatsRequest`]).
+/// Server counters and gauges (lock-free; read via
+/// [`ServerHandle::stats`] or the wire's [`Frame::StatsRequest`](crate::protocol::Frame::StatsRequest)).
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    connections: AtomicU64,
-    queries: AtomicU64,
-    batches: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    invalidations: AtomicU64,
-    errors: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) invalidations: AtomicU64,
+    /// Gauge: connections currently registered with a reactor shard.
+    pub(crate) open_connections: AtomicU64,
+    /// Gauge: bytes queued across all per-connection write queues.
+    pub(crate) queue_depth: AtomicU64,
+    pub(crate) idle_reaped: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    /// Reactor loop iterations across all shards. Not on the wire — a
+    /// diagnostic proving idle connections cost zero steady-state wakeups
+    /// (exported via [`ServerHandle::reactor_wakeups`]).
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
+    pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -110,6 +133,9 @@ impl ServerStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_entries,
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -128,7 +154,7 @@ pub type TamperFn = dyn for<'a> Fn(&Publisher<'a>, &SelectQuery, Vec<Record>, Qu
     + Sync;
 
 /// Encoded `(result, vo)` pair as cached and written to sockets.
-type AnswerBlob = Arc<(Vec<u8>, Vec<u8>)>;
+pub(crate) type AnswerBlob = Arc<(Vec<u8>, Vec<u8>)>;
 
 /// A registered table: the currently-served snapshot plus its epoch,
 /// bumped by every applied update. Cached answers remember the epoch they
@@ -177,19 +203,19 @@ impl From<StoreError> for UpdateError {
     }
 }
 
-/// Everything connection handlers and pool workers share.
-struct Inner {
+/// Everything reactor shards and pool workers share.
+pub(crate) struct Inner {
     tables: RwLock<HashMap<u32, TableSlot>>,
     /// Backing stores for tables opened with [`Server::open_store`]
     /// (absent for purely in-memory tables).
     stores: Mutex<HashMap<u32, Store>>,
     cache: Option<Mutex<LruCache<Vec<u8>, CachedAnswer>>>,
-    stats: ServerStats,
+    pub(crate) stats: ServerStats,
     tamper: Option<Box<TamperFn>>,
 }
 
 impl Inner {
-    fn snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let cache_entries = self
             .cache
             .as_ref()
@@ -229,7 +255,7 @@ fn cache_key(table_id: u32, st: &SignedTable, query: &SelectQuery) -> Vec<u8> {
 /// mounted. Cached answers carry the table epoch they were computed at;
 /// a stale entry (its table was updated since) is dropped lazily here and
 /// counted as an invalidation.
-fn answer(
+pub(crate) fn answer(
     inner: &Inner,
     table_id: u32,
     query: &SelectQuery,
@@ -397,10 +423,12 @@ impl Server {
     }
 
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// in background threads. The returned handle owns the server:
-    /// dropping it shuts everything down.
+    /// in background threads: the reactor shards plus the worker pool —
+    /// thread count never grows with connection count. The returned
+    /// handle owns the server: dropping it shuts everything down.
     pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             tables: RwLock::new(self.tables),
@@ -412,281 +440,39 @@ impl Server {
         });
         let pool = Arc::new(ThreadPool::new(self.config.workers));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let inner = Arc::clone(&inner);
-            let shutdown = Arc::clone(&shutdown);
-            let config = self.config.clone();
-            std::thread::Builder::new()
-                .name("adp-accept".into())
-                .spawn(move || accept_loop(listener, inner, pool, shutdown, config))?
+        let nshards = if self.config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.shards
         };
+        let (shards, shard_threads) = reactor::spawn_shards(
+            listener,
+            nshards,
+            Arc::clone(&inner),
+            Arc::clone(&pool),
+            Arc::clone(&shutdown),
+            self.config.clone(),
+        )?;
         Ok(ServerHandle {
             addr,
             inner,
             shutdown,
-            accept_thread: Some(accept_thread),
+            shards,
+            shard_threads,
+            _pool: pool,
         })
     }
 }
 
-/// Joins (not merely drops) every finished connection thread, keeping the
-/// handle vector bounded by the number of *live* connections. Joining a
-/// finished thread is instantaneous and, unlike dropping the handle,
-/// propagates nothing silently: the thread's stack and TLS are released
-/// deterministically here rather than whenever the detached thread's
-/// runtime gets around to it.
-fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
-    let mut live = Vec::with_capacity(connections.len());
-    for h in connections.drain(..) {
-        if h.is_finished() {
-            let _ = h.join();
-        } else {
-            live.push(h);
-        }
-    }
-    *connections = live;
-}
+pub(crate) type BatchAnswer = Result<AnswerBlob, (ErrorCode, String)>;
 
-fn accept_loop(
-    listener: TcpListener,
-    inner: Arc<Inner>,
-    pool: Arc<ThreadPool>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
-) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Transient accept failures (fd exhaustion, client abort
-                // while queued) must not kill the server; back off briefly
-                // and keep accepting. Reap here too: fd exhaustion is
-                // exactly when finished-but-unjoined threads hurt most.
-                ServerStats::bump(&inner.stats.errors);
-                reap_finished(&mut connections);
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if shutdown.load(Ordering::SeqCst) {
-            break; // the wake-up connection from ServerHandle::shutdown
-        }
-        ServerStats::bump(&inner.stats.connections);
-        let conn_inner = Arc::clone(&inner);
-        let conn_pool = Arc::clone(&pool);
-        let conn_shutdown = Arc::clone(&shutdown);
-        let conn_config = config.clone();
-        let handle = std::thread::Builder::new()
-            .name("adp-conn".into())
-            .spawn(move || {
-                handle_connection(stream, conn_inner, conn_pool, conn_shutdown, conn_config)
-            });
-        match handle {
-            Ok(h) => connections.push(h),
-            Err(_) => ServerStats::bump(&inner.stats.errors),
-        }
-        // Reap finished connection threads on every accept so the vector
-        // stays bounded by live connections, not by total accepted.
-        reap_finished(&mut connections);
-    }
-    for h in connections {
-        let _ = h.join();
-    }
-}
-
-/// Reads exactly `buf.len()` bytes, enforcing `deadline` across recv
-/// calls. A per-socket read timeout only bounds a *single* recv, so a
-/// client trickling one byte per recv could otherwise pin a connection
-/// thread far past the configured frame timeout.
-fn read_exact_deadline(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    deadline: Instant,
-) -> Result<(), ProtoError> {
-    use std::io::Read;
-    let mut filled = 0;
-    while filled < buf.len() {
-        let now = Instant::now();
-        let Some(remaining) = deadline
-            .checked_duration_since(now)
-            .filter(|d| !d.is_zero())
-        else {
-            return Err(ProtoError::Io(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "frame deadline exceeded",
-            )));
-        };
-        let _ = stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))));
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(ProtoError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "peer closed mid-frame",
-                )))
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                continue;
-            }
-            Err(e) => return Err(ProtoError::Io(e)),
-        }
-    }
-    Ok(())
-}
-
-/// Reads one frame with an end-to-end deadline covering header + payload.
-fn read_frame_deadline(stream: &mut TcpStream, timeout: Duration) -> Result<Frame, ProtoError> {
-    let deadline = Instant::now() + timeout;
-    let mut header = [0u8; crate::protocol::HEADER_LEN];
-    read_exact_deadline(stream, &mut header, deadline)?;
-    let (type_byte, declared) = crate::protocol::parse_header(&header)?;
-    let mut payload = vec![0u8; declared as usize];
-    read_exact_deadline(stream, &mut payload, deadline)?;
-    crate::protocol::decode_payload(type_byte, &payload)
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    inner: Arc<Inner>,
-    pool: Arc<ThreadPool>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
-) {
-    let _ = stream.set_nodelay(true);
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Poll for the next frame's first byte with a short timeout so the
-        // shutdown flag is honored on idle connections; once bytes are in
-        // flight, the frame must complete within `frame_timeout`.
-        let _ = stream.set_read_timeout(Some(config.poll_interval));
-        match stream.peek(&mut [0u8; 1]) {
-            Ok(0) => return, // peer closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        }
-        let frame = match read_frame_deadline(&mut stream, config.frame_timeout) {
-            Ok(frame) => frame,
-            Err(e) if e.is_eof() => return,
-            Err(e) => {
-                // Malformed input: answer with an error frame (best effort)
-                // and drop the connection — framing is unrecoverable.
-                ServerStats::bump(&inner.stats.errors);
-                let _ = write_frame(
-                    &mut stream,
-                    &Frame::Error {
-                        code: ErrorCode::BadFrame,
-                        message: e.to_string(),
-                    },
-                );
-                return;
-            }
-        };
-        let written = match frame {
-            Frame::Ping => write_frame(&mut stream, &Frame::Pong),
-            Frame::StatsRequest => {
-                write_frame(&mut stream, &Frame::StatsResponse(inner.snapshot()))
-            }
-            Frame::QueryRequest { table_id, query } => match answer(&inner, table_id, &query) {
-                // Cache-hit hot path: the blobs go straight from the Arc
-                // to the socket, no intermediate Frame or copies.
-                Ok(blob) => write_query_response(&mut stream, &blob.0, &blob.1),
-                Err((code, message)) => {
-                    ServerStats::bump(&inner.stats.errors);
-                    write_frame(&mut stream, &Frame::Error { code, message })
-                }
-            },
-            Frame::BatchRequest { items } => {
-                let answers = answer_batch(&inner, &pool, items);
-                write_batch_answers(&mut stream, &inner, &answers)
-            }
-            // Server-to-client frames arriving at the server are protocol
-            // violations.
-            Frame::Pong
-            | Frame::QueryResponse { .. }
-            | Frame::BatchResponse { .. }
-            | Frame::StatsResponse(_)
-            | Frame::Error { .. } => {
-                ServerStats::bump(&inner.stats.errors);
-                write_frame(
-                    &mut stream,
-                    &Frame::Error {
-                        code: ErrorCode::BadFrame,
-                        message: "unexpected frame direction".into(),
-                    },
-                )
-            }
-        };
-        if written.is_err() {
-            return;
-        }
-    }
-}
-
-type BatchAnswer = Result<AnswerBlob, (ErrorCode, String)>;
-
-/// Fans a batch out across the worker pool and reassembles the answers in
-/// request order.
-fn answer_batch(
-    inner: &Arc<Inner>,
-    pool: &ThreadPool,
-    items: Vec<(u32, SelectQuery)>,
-) -> Vec<BatchAnswer> {
-    ServerStats::bump(&inner.stats.batches);
-    let n = items.len();
-    let (tx, rx) = channel();
-    for (index, (table_id, query)) in items.into_iter().enumerate() {
-        let inner = Arc::clone(inner);
-        let tx = tx.clone();
-        pool.execute(move || {
-            let item = answer(&inner, table_id, &query);
-            if item.is_err() {
-                ServerStats::bump(&inner.stats.errors);
-            }
-            let _ = tx.send((index, item));
-        });
-    }
-    drop(tx);
-    let mut slots: Vec<Option<BatchAnswer>> = (0..n).map(|_| None).collect();
-    for (index, item) in rx {
-        slots[index] = Some(item);
-    }
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.unwrap_or(Err((
-                ErrorCode::Internal,
-                "worker dropped the answer".into(),
-            )))
-        })
-        .collect()
-}
-
-/// Writes a batch response, enforcing the frame payload cap on the
+/// Encodes a batch response, enforcing the frame payload cap on the
 /// *aggregate*: items are answered in order until the budget runs out,
 /// and any item that would overflow the frame is downgraded to a per-item
 /// error — the client gets an explained partial failure instead of a
 /// dropped connection. (Each item is individually bounded by `answer`,
 /// but N individually-legal answers can still sum past the cap.)
-fn write_batch_answers(
-    stream: &mut TcpStream,
-    inner: &Inner,
-    answers: &[BatchAnswer],
-) -> io::Result<()> {
+pub(crate) fn encode_batch_frame(inner: &Inner, answers: &[BatchAnswer]) -> Vec<u8> {
     const OVERFLOW_MSG: &str = "batch response exceeds the frame payload cap";
     // Every item is pre-reserved one error-sized slot (error messages are
     // short; 256 bytes is generous and 65536 items × 256 B ≪ the cap), so
@@ -715,17 +501,23 @@ fn write_batch_answers(
             Err((code, message)) => Err((*code, message.as_str())),
         })
         .collect();
-    crate::protocol::write_batch_response(stream, &refs)
+    let mut out = Vec::new();
+    crate::protocol::write_batch_response(&mut out, &refs).expect("writing to a Vec cannot fail");
+    out
 }
 
 /// A running server. Dropping the handle (or calling
-/// [`ServerHandle::shutdown`]) stops the accept loop, joins every
-/// connection thread, and drains the worker pool.
+/// [`ServerHandle::shutdown`]) wakes every reactor shard, which closes
+/// its connections and exits; the worker pool then drains on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shards: Vec<Arc<ShardHandle>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    /// Kept so the pool outlives the shards: in-flight worker jobs may
+    /// still complete (harmlessly) into a shard's queue during shutdown.
+    _pool: Arc<ThreadPool>,
 }
 
 impl ServerHandle {
@@ -738,6 +530,15 @@ impl ServerHandle {
     /// `StatsRequest` reports).
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// Total reactor loop iterations across all shards since start. A
+    /// diagnostic, not a wire stat: idle connections park in `epoll_wait`
+    /// with their deadlines in a timer heap, so a server with only idle
+    /// connections shows **zero** growth here (the old thread-per-
+    /// connection core woke every connection twice a second).
+    pub fn reactor_wakeups(&self) -> u64 {
+        self.inner.stats.wakeups.load(Ordering::Relaxed)
     }
 
     /// The current epoch of a served table (bumps with every applied
@@ -791,9 +592,13 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(thread) = self.accept_thread.take() {
+        // One wake byte per shard replaces the old throwaway
+        // self-connection hack: each shard sees the flag on wakeup,
+        // closes its connections, and exits.
+        for shard in &self.shards {
+            shard.wake();
+        }
+        for thread in self.shard_threads.drain(..) {
             let _ = thread.join();
         }
     }

@@ -1,0 +1,335 @@
+//! Thin `std`-only bindings to the few Linux syscalls the readiness loop
+//! needs: `epoll_create1` / `epoll_ctl` / `epoll_pwait`, plus `prlimit64`
+//! so the load harness can raise the open-file limit before holding tens
+//! of thousands of sockets.
+//!
+//! This build environment has no `libc` crate (offline, shims only), so
+//! the syscalls are issued directly with inline assembly. Only Linux on
+//! x86_64 and aarch64 is supported — the reactor is epoll-shaped through
+//! and through, and a poll/kqueue port would be a separate backend, not a
+//! cfg twiddle.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "adp-server's readiness loop requires Linux epoll; \
+     no other backend is implemented"
+);
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const EPOLL_CTL: u64 = 233;
+    pub const EPOLL_PWAIT: u64 = 281;
+    pub const EPOLL_CREATE1: u64 = 291;
+    pub const PRLIMIT64: u64 = 302;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EPOLL_CTL: u64 = 21;
+    pub const EPOLL_PWAIT: u64 = 22;
+    pub const EPOLL_CREATE1: u64 = 20;
+    pub const PRLIMIT64: u64 = 261;
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+compile_error!("no syscall numbers wired up for this architecture");
+
+/// Issues a raw syscall with up to six arguments, returning the kernel's
+/// raw result (negative errno on failure).
+///
+/// # Safety
+/// The caller must uphold the specific syscall's contract: every pointer
+/// argument must be valid for the access the kernel performs.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> i64 {
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as i64 => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// See the x86_64 variant; aarch64 passes the number in `x8`.
+///
+/// # Safety
+/// Same contract as the x86_64 variant.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> i64 {
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a1 as i64 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Readiness: data to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the socket's send buffer has room.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: u64 = 1;
+const EPOLL_CTL_DEL: u64 = 2;
+const EPOLL_CTL_MOD: u64 = 3;
+const EPOLL_CLOEXEC: u64 = 0x80000;
+
+/// One readiness report. The kernel's layout: on x86_64 the struct is
+/// packed (no padding between the `u32` mask and the `u64` data), on
+/// other architectures it is naturally aligned.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for the wait buffer.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness mask (copied out by value — the struct may be packed).
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token registered with [`Epoll::add`].
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+/// An epoll instance (RAII over the epoll fd).
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+        })
+    }
+
+    fn ctl(&self, op: u64, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        check(unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                self.fd.as_raw_fd() as u64,
+                op,
+                fd as u64,
+                ptr as u64,
+                0,
+                0,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Registers `fd` (level-triggered) with the given interest mask and
+    /// token; the token comes back verbatim in [`EpollEvent::token`].
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Unregisters a fd. (Closing the fd also unregisters it; this exists
+    /// for the rare case where the fd must outlive its registration.)
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness, filling `events` and returning how many slots
+    /// were written. `timeout_ms` < 0 blocks indefinitely; 0 polls.
+    /// Interrupted waits (`EINTR`) are retried internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // epoll_pwait with a null sigmask == epoll_wait; aarch64 has
+            // no plain epoll_wait syscall, so use pwait on both arches.
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd.as_raw_fd() as u64,
+                    events.as_mut_ptr() as u64,
+                    events.len() as u64,
+                    timeout_ms as u64,
+                    0, // sigmask: NULL
+                    8, // sigsetsize
+                )
+            };
+            match check(ret) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+const RLIMIT_NOFILE: u64 = 7;
+
+#[repr(C)]
+struct RLimit64 {
+    cur: u64,
+    max: u64,
+}
+
+/// Returns the current `(soft, hard)` open-file limit.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = RLimit64 { cur: 0, max: 0 };
+    check(unsafe {
+        syscall6(
+            nr::PRLIMIT64,
+            0, // pid 0: this process
+            RLIMIT_NOFILE,
+            0, // new_limit: NULL
+            &mut lim as *mut RLimit64 as u64,
+            0,
+            0,
+        )
+    })?;
+    Ok((lim.cur, lim.max))
+}
+
+/// Raises the open-file soft limit to at least `want` fds (raising the
+/// hard limit too when the process is privileged enough), returning the
+/// soft limit actually in effect. Never lowers anything.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= want {
+        return Ok(soft);
+    }
+    let set = |cur: u64, max: u64| -> io::Result<()> {
+        let new = RLimit64 { cur, max };
+        check(unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &new as *const RLimit64 as u64,
+                0, // old_limit: NULL
+                0,
+                0,
+            )
+        })
+        .map(|_| ())
+    };
+    if want > hard {
+        // Needs privilege; fall back to the hard limit if refused.
+        if set(want, want).is_ok() {
+            return Ok(want);
+        }
+        set(hard, hard)?;
+        return Ok(hard);
+    }
+    set(want, hard)?;
+    Ok(want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readable_socket() {
+        let epoll = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        epoll.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing written yet: a zero-timeout wait reports nothing.
+        let mut events = [EpollEvent::zeroed(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 1);
+
+        epoll.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let epoll = Epoll::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        // A fresh socket pair is writable immediately but not readable.
+        epoll.add(b.as_raw_fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        epoll.modify(b.as_raw_fd(), EPOLLIN | EPOLLOUT, 7).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].events() & EPOLLOUT, 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0);
+        assert!(hard >= soft);
+    }
+}

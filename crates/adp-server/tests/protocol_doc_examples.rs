@@ -12,14 +12,14 @@ use adp_server::ErrorCode;
 #[test]
 fn ping_frame_example() {
     let bytes = encode_frame(&Frame::Ping);
-    assert_eq!(bytes, [0xAD, 0x50, 0x02, 0x01, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x03, 0x01, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §2 — pong differs only in the frame-type byte.
 #[test]
 fn pong_frame_example() {
     let bytes = encode_frame(&Frame::Pong);
-    assert_eq!(bytes, [0xAD, 0x50, 0x02, 0x02, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x03, 0x02, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
@@ -47,7 +47,7 @@ fn query_request_frame_example() {
     let expected: &[u8] = &[
         // header
         0xAD, 0x50,             // magic
-        0x02,                   // version
+        0x03,                   // version
         0x03,                   // frame type: QueryRequest
         0x20, 0x00, 0x00, 0x00, // payload length = 32
         // payload
@@ -76,7 +76,7 @@ fn query_response_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x02, 0x04, // magic, version, QueryResponse
+        0xAD, 0x50, 0x03, 0x04, // magic, version, QueryResponse
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x04, 0x00, 0x00, 0x00, // result blob length = 4
@@ -99,7 +99,7 @@ fn error_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x02, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x03, 0x09, // magic, version, Error
         0x17, 0x00, 0x00, 0x00, // payload length = 23
         // payload
         0x02,                   // code: UnknownTable
@@ -111,13 +111,39 @@ fn error_frame_example() {
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
 
-/// PROTOCOL.md §7 "Stats" — request is empty; the response is eight
-/// little-endian `u64` counters (version 2 appended `invalidations`).
+/// PROTOCOL.md §1.1 "Connection lifecycle" — the frame-deadline error a
+/// slow-loris client is answered with.
+#[test]
+fn frame_deadline_error_example() {
+    let frame = Frame::Error {
+        code: ErrorCode::BadFrame,
+        message: "frame deadline exceeded".into(),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x03, 0x09, // magic, version, Error
+        0x1C, 0x00, 0x00, 0x00, // payload length = 28
+        // payload
+        0x01,                   // code: BadFrame
+        0x17, 0x00, 0x00, 0x00, // message length = 23
+        b'f', b'r', b'a', b'm', b'e', b' ', b'd', b'e', b'a',
+        b'd', b'l', b'i', b'n', b'e', b' ', b'e', b'x', b'c',
+        b'e', b'e', b'd', b'e', b'd',
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §7 "Stats" — request is empty; the response is eleven
+/// little-endian `u64` counters (version 2 appended `invalidations`;
+/// version 3 appended `open_connections`, `queue_depth`, `idle_reaped`).
 #[test]
 fn stats_frames_example() {
     assert_eq!(
         encode_frame(&Frame::StatsRequest),
-        [0xAD, 0x50, 0x02, 0x07, 0x00, 0x00, 0x00, 0x00]
+        [0xAD, 0x50, 0x03, 0x07, 0x00, 0x00, 0x00, 0x00]
     );
     let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
         connections: 1,
@@ -127,10 +153,16 @@ fn stats_frames_example() {
         cache_misses: 1,
         cache_entries: 1,
         invalidations: 0,
+        open_connections: 1,
+        queue_depth: 0,
+        idle_reaped: 0,
         errors: 0,
     });
     let bytes = encode_frame(&frame);
-    assert_eq!(bytes.len(), 8 + 8 * 8);
-    assert_eq!(bytes[..8], [0xAD, 0x50, 0x02, 0x08, 0x40, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes.len(), 8 + 11 * 8);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x03, 0x08, 0x58, 0x00, 0x00, 0x00]);
+    // The §7 worked example's first counters: connections = 1, queries = 2.
+    assert_eq!(bytes[8..16], 1u64.to_le_bytes());
+    assert_eq!(bytes[16..24], 2u64.to_le_bytes());
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
