@@ -1,0 +1,86 @@
+//! The PR 6 load snapshot: parks a 10k-connection idle fleet on the epoll
+//! server, proves steady-state wakeups and thread count stay flat, then
+//! drives an open-loop query load and writes the latency distribution to
+//! `BENCH_PR6.json` at the repo root.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p adp-bench --bin load_harness -- \
+//!     [--out BENCH_PR6.json] [--label pr6] [--idle-conns 10000] \
+//!     [--rate 1000] [--duration-secs 5] [--query-conns 8]
+//! ```
+//!
+//! `ADP_PERF_SAMPLES` (the same knob the other harnesses honor) shortens
+//! the measurement window when set to a smoke value: CI runs with
+//! `ADP_PERF_SAMPLES=2 --idle-conns 200` so the harness stays exercised
+//! without needing a raised fd limit or burning minutes.
+//!
+//! See `docs/PERFORMANCE.md` for how to read the snapshot.
+
+use adp_bench::load::{render_json, run, LoadConfig};
+use std::time::Duration;
+
+fn main() {
+    // Hidden helper mode the harness re-execs itself in when the fd limit
+    // cannot hold both ends of every idle connection in one process.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--flood") {
+        adp_bench::load::flood_main(&raw[1..]).expect("flood helper failed");
+        return;
+    }
+
+    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut label = "pr6".to_string();
+    let mut cfg = LoadConfig::default();
+    if adp_bench::perf_samples() <= 2 {
+        cfg.duration = Duration::from_secs(1);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--label" => label = value("--label"),
+            "--idle-conns" => cfg.idle_connections = value("--idle-conns").parse().unwrap(),
+            "--rate" => cfg.rate_per_sec = value("--rate").parse().unwrap(),
+            "--duration-secs" => {
+                cfg.duration = Duration::from_secs_f64(value("--duration-secs").parse().unwrap())
+            }
+            "--query-conns" => cfg.query_connections = value("--query-conns").parse().unwrap(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run(&cfg).expect("load run failed");
+    eprintln!(
+        "idle fleet   {} held / {} target, {} wakeups over {:?}, {} threads",
+        report.idle_held,
+        report.idle_target,
+        report.steady_wakeups,
+        report.steady_window,
+        report.threads,
+    );
+    let o = &report.open_loop;
+    eprintln!(
+        "open loop    {:.0} rps offered / {:.0} achieved, {} ok / {} err",
+        o.offered_rps, o.achieved_rps, o.completed, o.errors
+    );
+    eprintln!(
+        "latency      p50 {} us, p90 {} us, p99 {} us, max {} us",
+        o.p50_us, o.p90_us, o.p99_us, o.max_us
+    );
+    assert_eq!(
+        report.steady_wakeups, 0,
+        "idle connections must not wake the reactor"
+    );
+
+    std::fs::write(&out_path, render_json(&report, &label)).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

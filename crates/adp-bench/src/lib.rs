@@ -22,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 pub mod compare;
+pub mod load;
 
 /// Key distributions for generated tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,423 @@
+//! Load harness for the epoll server core: holds thousands of idle
+//! connections in one process (proving the reactor's thread count and
+//! steady-state wakeups stay flat) while driving an **open-loop** query
+//! workload against the same server and recording the latency
+//! distribution.
+//!
+//! Open-loop means arrivals are scheduled on a fixed clock — request `i`
+//! is *due* at `start + i/rate` — and each latency is measured from the
+//! scheduled arrival, not from when the sender got around to writing it.
+//! A server that stalls therefore accrues queueing delay in the recorded
+//! percentiles instead of silently slowing the offered rate (the
+//! coordinated-omission trap a closed loop falls into).
+//!
+//! Driven by `cargo run --release -p adp-bench --bin load_harness` (which
+//! writes `BENCH_PR6.json`) and by `adp load`.
+
+use crate::{bench_owner_small, WorkloadSpec};
+use adp_core::prelude::SchemeConfig;
+use adp_relation::{KeyRange, SelectQuery};
+use adp_server::sys::raise_nofile_limit;
+use adp_server::{RemoteClient, Server, ServerConfig, ServerHandle};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Knobs for one harness run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Idle connections to hold open for the whole run.
+    pub idle_connections: usize,
+    /// Offered open-loop arrival rate, queries per second.
+    pub rate_per_sec: f64,
+    /// Length of the open-loop measurement window.
+    pub duration: Duration,
+    /// Sender connections the scheduled arrivals are striped across.
+    pub query_connections: usize,
+    /// Rows in the served table.
+    pub rows: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Reactor shards (0 = one per core).
+    pub shards: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            idle_connections: 10_000,
+            rate_per_sec: 1_000.0,
+            duration: Duration::from_secs(5),
+            query_connections: 8,
+            rows: 1_000,
+            workers: 4,
+            shards: 0,
+        }
+    }
+}
+
+/// The open-loop leg's outcome.
+#[derive(Clone, Debug)]
+pub struct OpenLoopStats {
+    pub offered_rps: f64,
+    pub achieved_rps: f64,
+    pub sent: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Everything one run proves.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Idle connections requested (after clamping to the fd limit).
+    pub idle_target: usize,
+    /// Idle connections actually held concurrently during the run.
+    pub idle_held: usize,
+    /// Reactor wakeups observed over [`Self::steady_window`] with every
+    /// connection parked — the "idle connections are free" claim, as a
+    /// measurement.
+    pub steady_wakeups: u64,
+    pub steady_window: Duration,
+    /// Process thread count while holding all idle connections: shards +
+    /// workers + harness threads, *independent of connection count*.
+    pub threads: usize,
+    pub open_loop: OpenLoopStats,
+}
+
+fn threads_now() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Waits until the server's `open_connections` gauge reaches `want`.
+fn wait_for_gauge(handle: &ServerHandle, want: u64, deadline: Duration) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if handle.stats().open_connections >= want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// The parked idle fleet: client socket ends held in this process when the
+/// fd budget allows, else in a re-exec'd helper child (each connection
+/// costs *two* fds when both ends live in one process, and the fd hard
+/// limit may not be raisable — the server side still holds every
+/// connection either way).
+enum Fleet {
+    InProcess(Vec<TcpStream>),
+    Child(Child),
+}
+
+impl Fleet {
+    fn disband(self) {
+        match self {
+            Fleet::InProcess(conns) => drop(conns),
+            Fleet::Child(mut child) => {
+                // Closing the child's stdin is the disband signal.
+                drop(child.stdin.take());
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Entry point for the hidden `--flood ADDR COUNT` helper mode: connects
+/// `COUNT` idle connections to `ADDR`, prints `ready COUNT` on stdout,
+/// and parks until stdin reaches EOF. Host binaries (`load_harness`,
+/// `adp`) dispatch here before normal argument parsing.
+pub fn flood_main(args: &[String]) -> io::Result<()> {
+    let (addr, count) = match args {
+        [addr, count] => (
+            addr.clone(),
+            count
+                .parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad COUNT"))?,
+        ),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "usage: --flood ADDR COUNT",
+            ))
+        }
+    };
+    raise_nofile_limit(count as u64 + 64)?;
+    let mut conns = Vec::with_capacity(count);
+    while conns.len() < count {
+        // Paced chunks: connecting flat-out overflows the accept backlog
+        // and the resulting SYN retransmits take seconds.
+        for _ in 0..(count - conns.len()).min(128) {
+            conns.push(connect_with_retry(&addr)?);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!("ready {count}");
+    io::stdout().flush()?;
+    // Park until the parent hangs up.
+    let mut sink = Vec::new();
+    io::stdin().read_to_end(&mut sink)?;
+    Ok(())
+}
+
+fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(10);
+    for _ in 0..8 {
+        match TcpStream::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}
+
+/// Spawns this same executable in `--flood` mode and waits for its fleet
+/// to come up.
+fn spawn_flood_child(addr: &str, count: usize) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("--flood")
+        .arg(addr)
+        .arg(count.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    if line.trim() != format!("ready {count}") {
+        let _ = child.kill();
+        return Err(io::Error::other(format!(
+            "flood helper failed to park its fleet (got {line:?})"
+        )));
+    }
+    Ok(child)
+}
+
+/// Runs the full harness: start a server, park the idle fleet, measure
+/// steady-state wakeups and thread count, then drive the open-loop leg
+/// with the fleet still parked.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    // Each idle connection is one client fd plus one server fd when both
+    // ends live in this process, so budget two per connection with
+    // headroom for the senders, listener, epoll fds, and stdio. If the fd
+    // limit cannot stretch that far the client ends move to a helper
+    // child (one fd per connection here), and only if even that does not
+    // fit is the fleet shrunk.
+    let overhead = (cfg.query_connections * 2 + 128) as u64;
+    let want_fds = cfg.idle_connections as u64 * 2 + overhead;
+    let granted = raise_nofile_limit(want_fds)?;
+    let (idle_target, external_fleet) = if granted >= want_fds {
+        (cfg.idle_connections, false)
+    } else if granted >= cfg.idle_connections as u64 + overhead {
+        (cfg.idle_connections, true)
+    } else {
+        ((granted.saturating_sub(overhead)) as usize, true)
+    };
+
+    let (st, _cert) =
+        WorkloadSpec::new(cfg.rows).signed(bench_owner_small(), SchemeConfig::default());
+    let mut server = Server::new(ServerConfig {
+        workers: cfg.workers,
+        shards: cfg.shards,
+        // The harness parks connections on purpose; reaping them mid-run
+        // would turn the held-connection count into a race.
+        idle_timeout: None,
+        ..ServerConfig::default()
+    });
+    server.add_table(0, st);
+    let handle = server.serve("127.0.0.1:0")?;
+    let addr = handle.addr();
+
+    // Park the idle fleet in paced chunks so the accept backlog never
+    // overflows (SYN drops on loopback retry after seconds — poison for a
+    // timing harness).
+    let fleet = if external_fleet {
+        Fleet::Child(spawn_flood_child(&addr.to_string(), idle_target)?)
+    } else {
+        let mut idlers: Vec<TcpStream> = Vec::with_capacity(idle_target);
+        while idlers.len() < idle_target {
+            for _ in 0..(idle_target - idlers.len()).min(64) {
+                idlers.push(TcpStream::connect(addr)?);
+            }
+            wait_for_gauge(&handle, idlers.len() as u64, Duration::from_secs(10));
+        }
+        Fleet::InProcess(idlers)
+    };
+    if !wait_for_gauge(&handle, idle_target as u64, Duration::from_secs(30)) {
+        return Err(io::Error::other("idle fleet never fully registered"));
+    }
+    let idle_held = handle.stats().open_connections as usize;
+    let threads = threads_now();
+
+    // Steady state: with every connection parked and no timers due, the
+    // reactor must not wake at all.
+    let steady_window = Duration::from_millis(1_000);
+    std::thread::sleep(Duration::from_millis(200));
+    let wakeups_before = handle.reactor_wakeups();
+    std::thread::sleep(steady_window);
+    let steady_wakeups = handle.reactor_wakeups() - wakeups_before;
+
+    // Open-loop leg, idle fleet still parked. Arrival i is due at
+    // start + i/rate; sender (i mod K) owns it and measures from the due
+    // time, so server stalls show up as queueing delay.
+    let nsenders = cfg.query_connections.max(1);
+    let total: u64 = (cfg.rate_per_sec * cfg.duration.as_secs_f64()).round() as u64;
+    let tick = Duration::from_secs_f64(1.0 / cfg.rate_per_sec.max(1.0));
+    let start = Instant::now() + Duration::from_millis(50);
+    let senders: Vec<_> = (0..nsenders)
+        .map(|s| {
+            let span = cfg.rows as i64 * 10;
+            std::thread::spawn(move || -> io::Result<(Vec<u64>, u64, u64)> {
+                let mut client = RemoteClient::connect(addr)?;
+                let mut lat_us = Vec::new();
+                let mut errors = 0u64;
+                let mut sent = 0u64;
+                let mut i = s as u64;
+                while i < total {
+                    let due = start + tick * (i as u32);
+                    if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(sleep);
+                    }
+                    // 16 rotating ranges, ~5% of the key span each.
+                    let lo = (i % 16) as i64 * (span / 16);
+                    let q = SelectQuery::range(KeyRange::closed(lo, lo + span / 20));
+                    sent += 1;
+                    match client.query_raw(0, &q) {
+                        Ok(_) => lat_us.push(due.elapsed().as_micros() as u64),
+                        Err(_) => errors += 1,
+                    }
+                    i += nsenders as u64;
+                }
+                Ok((lat_us, sent, errors))
+            })
+        })
+        .collect();
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut sent = 0u64;
+    let mut errors = 0u64;
+    for t in senders {
+        let (l, s, e) = t.join().expect("sender thread panicked")?;
+        lat_us.extend(l);
+        sent += s;
+        errors += e;
+    }
+    let elapsed = (Instant::now() - start).as_secs_f64().max(1e-9);
+    lat_us.sort_unstable();
+    let open_loop = OpenLoopStats {
+        offered_rps: cfg.rate_per_sec,
+        achieved_rps: lat_us.len() as f64 / elapsed,
+        sent,
+        completed: lat_us.len() as u64,
+        errors,
+        p50_us: percentile(&lat_us, 0.50),
+        p90_us: percentile(&lat_us, 0.90),
+        p99_us: percentile(&lat_us, 0.99),
+        max_us: lat_us.last().copied().unwrap_or(0),
+    };
+
+    // The fleet must still be parked after the query storm.
+    let idle_after = handle.stats().open_connections as usize;
+    fleet.disband();
+    handle.shutdown();
+
+    Ok(LoadReport {
+        idle_target,
+        idle_held: idle_held.min(idle_after),
+        steady_wakeups,
+        steady_window,
+        threads,
+        open_loop,
+    })
+}
+
+/// Renders the report as the `BENCH_PR6.json`-style snapshot (a sibling of
+/// `perf_trajectory`'s format: same `schema_version`/`label` envelope, with
+/// a `load` section instead of `benches`).
+pub fn render_json(report: &LoadReport, label: &str) -> String {
+    let o = &report.open_loop;
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"label\": \"{label}\",\n  \"load\": {{\n    \
+         \"idle_conns_target\": {},\n    \
+         \"idle_conns_held\": {},\n    \
+         \"steady_wakeups\": {},\n    \
+         \"steady_window_ms\": {},\n    \
+         \"threads\": {},\n    \
+         \"offered_rps\": {:.1},\n    \
+         \"achieved_rps\": {:.1},\n    \
+         \"sent\": {},\n    \
+         \"completed\": {},\n    \
+         \"errors\": {},\n    \
+         \"p50_us\": {},\n    \
+         \"p90_us\": {},\n    \
+         \"p99_us\": {},\n    \
+         \"max_us\": {}\n  }}\n}}\n",
+        report.idle_target,
+        report.idle_held,
+        report.steady_wakeups,
+        report.steady_window.as_millis(),
+        report.threads,
+        o.offered_rps,
+        o.achieved_rps,
+        o.sent,
+        o.completed,
+        o.errors,
+        o.p50_us,
+        o.p90_us,
+        o.p99_us,
+        o.max_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_holds_connections_and_measures_latency() {
+        let report = run(&LoadConfig {
+            idle_connections: 64,
+            rate_per_sec: 200.0,
+            duration: Duration::from_millis(400),
+            query_connections: 2,
+            rows: 100,
+            workers: 2,
+            shards: 1,
+        })
+        .unwrap();
+        assert_eq!(report.idle_held, 64);
+        assert_eq!(report.steady_wakeups, 0, "parked connections must be free");
+        assert!(report.open_loop.completed > 0);
+        assert_eq!(report.open_loop.errors, 0);
+        assert!(report.open_loop.p50_us <= report.open_loop.p99_us);
+
+        let json = render_json(&report, "test");
+        for key in ["idle_conns_held", "p50_us", "p99_us", "achieved_rps"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+}

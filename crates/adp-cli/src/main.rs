@@ -58,6 +58,10 @@ fn main() -> ExitCode {
         Some("ingest") => cmd_ingest(&parse_flags(&args[1..])),
         Some("compact") => cmd_compact(&parse_flags(&args[1..])),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("load") => cmd_load(&parse_flags(&args[1..])),
+        // Hidden helper mode `adp load` re-execs itself in when the fd
+        // limit cannot hold both ends of every idle connection at once.
+        Some("--flood") => adp_bench::load::flood_main(&args[1..]).map_err(|e| e.to_string()),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -89,10 +93,15 @@ fn print_usage() {
          adp ingest  --store DIR [--csv FILE] [--delete K[:R],...] [--seed N] [--bits N]\n\
          adp compact --store DIR\n\
          adp compare [--tiny] [--check] [--write-doc] [--out FILE] [--doc FILE]\n\
+         adp load    [--idle-conns N] [--rate N] [--duration-secs N] [--query-conns N]\n\
+         \x20           [--out FILE] [--label L]\n\
          \n\
          `compare` reproduces the paper's scheme comparison (chain vs MHT,\n\
          aggregated signatures, VB-tree) over the shared workload grid and\n\
          keeps docs/EVALUATION.md verifiably in sync (--check).\n\
+         `load` runs the self-contained load harness (docs/PERFORMANCE.md):\n\
+         an in-process server holding an idle connection fleet while an\n\
+         open-loop query storm measures p50/p90/p99 latency.\n\
          `--store DIR` is the durable format (docs/STORAGE.md): a snapshot\n\
          plus an append-only update log. `ingest` applies a signed batch of\n\
          inserts/deletes with O(k) re-signing (regenerate the owner keypair\n\
@@ -473,6 +482,54 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+// -------------------------------------------------------------- load
+
+/// `adp load` — the PR 6 load harness as a subcommand: a self-contained
+/// server + idle fleet + open-loop query storm in this process, printing
+/// the latency distribution (and optionally the JSON snapshot).
+fn cmd_load(flags: &Flags) -> Result<(), String> {
+    use adp_bench::load::{render_json, run, LoadConfig};
+
+    let mut cfg = LoadConfig {
+        idle_connections: parse_u32_flag(flags, "idle-conns", 10_000)? as usize,
+        query_connections: parse_u32_flag(flags, "query-conns", 8)? as usize,
+        ..LoadConfig::default()
+    };
+    if let Some(rate) = flags.get("rate") {
+        cfg.rate_per_sec = rate.parse().map_err(|_| "bad --rate")?;
+    }
+    if let Some(secs) = flags.get("duration-secs") {
+        cfg.duration =
+            std::time::Duration::from_secs_f64(secs.parse().map_err(|_| "bad --duration-secs")?);
+    }
+
+    let report = run(&cfg).map_err(|e| format!("load run failed: {e}"))?;
+    let o = &report.open_loop;
+    println!(
+        "idle fleet : {} connections held ({} requested), {} reactor wakeups over {:?}, \
+         {} process threads",
+        report.idle_held,
+        report.idle_target,
+        report.steady_wakeups,
+        report.steady_window,
+        report.threads,
+    );
+    println!(
+        "open loop  : {:.0} rps offered, {:.0} achieved ({} ok / {} err)",
+        o.offered_rps, o.achieved_rps, o.completed, o.errors
+    );
+    println!(
+        "latency    : p50 {} us | p90 {} us | p99 {} us | max {} us",
+        o.p50_us, o.p90_us, o.p99_us, o.max_us
+    );
+    if let Some(out) = flags.get("out") {
+        let label = flags.get("label").map(String::as_str).unwrap_or("adp-load");
+        std::fs::write(out, render_json(&report, label)).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------ ingest
