@@ -49,7 +49,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Token of the shard's wake socket (the read end of its socketpair).
 const TOKEN_WAKE: u64 = 0;
@@ -64,6 +64,8 @@ const PENDING_CAP: usize = 64;
 const READ_CHUNK: usize = 64 * 1024;
 /// Epoll events collected per wakeup.
 const EVENT_BATCH: usize = 256;
+/// How long a failing listener stays out of epoll before accepts retry.
+const ACCEPT_RETRY: Duration = Duration::from_millis(10);
 
 /// Work injected into a shard from outside its thread: new sockets from
 /// the accepting shard, finished answers from pool workers.
@@ -262,6 +264,9 @@ pub(crate) struct Shard {
     timers: BinaryHeap<Reverse<(Instant, u64)>>,
     next_token: u64,
     listener: Option<TcpListener>,
+    /// The listener is deregistered from epoll after a transient accept
+    /// failure; a [`TOKEN_LISTENER`] timer-heap entry re-arms it.
+    listener_paused: bool,
     rr: usize,
     wake: UnixStream,
     scratch: Vec<u8>,
@@ -317,6 +322,7 @@ pub(crate) fn spawn_shards(
             timers: BinaryHeap::new(),
             next_token: FIRST_CONN_TOKEN,
             listener: lst,
+            listener_paused: false,
             rr: i,
             wake,
             scratch: vec![0u8; READ_CHUNK],
@@ -335,7 +341,16 @@ impl Shard {
         let mut events = vec![EpollEvent::zeroed(); EVENT_BATCH];
         loop {
             let timeout = self.next_timeout();
-            let n = self.core.epoll.wait(&mut events, timeout).unwrap_or(0);
+            let n = match self.core.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => {
+                    // `Epoll::wait` retries EINTR internally, so this is a
+                    // persistent failure (e.g. EBADF); retrying would spin
+                    // the shard with n=0 forever. Count it and stop.
+                    ServerStats::bump(&self.core.inner.stats.errors);
+                    break;
+                }
+            };
             ServerStats::bump(&self.core.inner.stats.wakeups);
             if self.core.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -408,14 +423,59 @@ impl Shard {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     // Transient accept failure (fd exhaustion, aborted
-                    // handshake). The brief sleep bounds the busy-loop a
-                    // level-triggered listener would otherwise spin on
-                    // while fds stay exhausted.
+                    // handshake). Pausing the listener bounds the busy-loop
+                    // a level-triggered listener would otherwise spin on
+                    // while fds stay exhausted — without stalling I/O for
+                    // the connections this shard already owns.
                     ServerStats::bump(&self.core.inner.stats.errors);
-                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    self.pause_listener();
                     return;
                 }
             }
+        }
+    }
+
+    /// Takes the listener out of epoll and schedules its return through
+    /// the timer heap, so existing connections keep being serviced while
+    /// accepts back off.
+    fn pause_listener(&mut self) {
+        if self.listener_paused {
+            return;
+        }
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        if self.core.epoll.delete(listener.as_raw_fd()).is_ok() {
+            self.listener_paused = true;
+            self.timers
+                .push(Reverse((Instant::now() + ACCEPT_RETRY, TOKEN_LISTENER)));
+        } else {
+            // Can't deregister (shouldn't happen); fall back to a bounded
+            // sleep so the shard at least doesn't spin.
+            std::thread::sleep(ACCEPT_RETRY);
+        }
+    }
+
+    /// Puts a paused listener back into epoll and catches up on anything
+    /// that queued while it was out; if re-adding fails, retries later.
+    fn resume_listener(&mut self) {
+        if !self.listener_paused {
+            return;
+        }
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        if self
+            .core
+            .epoll
+            .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+            .is_ok()
+        {
+            self.listener_paused = false;
+            self.accept_ready();
+        } else {
+            self.timers
+                .push(Reverse((Instant::now() + ACCEPT_RETRY, TOKEN_LISTENER)));
         }
     }
 
@@ -478,7 +538,7 @@ impl Shard {
                 if events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
                     read_and_parse(&self.core, conn, &mut self.scratch);
                 }
-                dispatch(&self.core, conn, token);
+                pump(&self.core, conn, token);
                 write_some(&self.core, conn);
             }
         }
@@ -501,7 +561,7 @@ impl Shard {
                         conn.inflight = false;
                         push_chunks(&self.core, conn, chunks);
                         write_some(&self.core, conn);
-                        dispatch(&self.core, conn, token);
+                        pump(&self.core, conn, token);
                         write_some(&self.core, conn);
                     }
                     self.epilogue(token);
@@ -518,6 +578,10 @@ impl Shard {
                 _ => break,
             }
             let Reverse((popped, token)) = self.timers.pop().expect("peeked entry exists");
+            if token == TOKEN_LISTENER {
+                self.resume_listener();
+                continue;
+            }
             let mut reap = false;
             {
                 let Some(conn) = self.conns.get_mut(&token) else {
@@ -710,11 +774,9 @@ fn read_and_parse(core: &ShardCore, conn: &mut Conn, scratch: &mut [u8]) {
 /// responses) and stops all further reading.
 fn parse_frames(core: &ShardCore, conn: &mut Conn) {
     let mut consumed = 0;
-    let mut partial = false;
     while !conn.read_dead && conn.pending.len() < PENDING_CAP {
         let avail = conn.buf.len() - consumed;
         if avail < HEADER_LEN {
-            partial = avail > 0;
             break;
         }
         let header: [u8; HEADER_LEN] = conn.buf[consumed..consumed + HEADER_LEN]
@@ -728,7 +790,6 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
             Ok((type_byte, declared)) => {
                 let total = HEADER_LEN + declared as usize;
                 if avail < total {
-                    partial = true;
                     break;
                 }
                 let payload = &conn.buf[consumed + HEADER_LEN..consumed + total];
@@ -759,17 +820,76 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
     }
     conn.buf.drain(..consumed);
     // The frame deadline covers exactly one reassembling frame: armed
-    // when a partial frame is waiting for its tail, reset whenever a
+    // when a partial frame is waiting for its tail — even behind complete
+    // frames the pending cap held back, which is why the tail is scanned
+    // rather than inferred from how the loop exited — reset whenever a
     // frame completed (the clock restarts per frame), cleared otherwise.
     // Complete-but-unparsed frames held back by the pending cap are the
-    // client doing nothing wrong and get no deadline.
-    conn.frame_deadline = if !partial || conn.read_dead {
+    // client doing nothing wrong and get no deadline themselves.
+    let partial = !conn.read_dead && tail_partial(&conn.buf);
+    conn.frame_deadline = if !partial {
         None
     } else if consumed > 0 || conn.frame_deadline.is_none() {
         Some(Instant::now() + core.cfg.frame_timeout)
     } else {
         conn.frame_deadline
     };
+}
+
+/// Whether the buffer ends mid-frame: walks the complete (parsed-or-not)
+/// frames at the front and reports a trailing fragment. A malformed
+/// header stops the walk — that is a protocol error surfacing on the next
+/// parse, not a frame reassembling.
+fn tail_partial(buf: &[u8]) -> bool {
+    let mut off = 0;
+    loop {
+        let avail = buf.len() - off;
+        if avail == 0 {
+            return false;
+        }
+        if avail < HEADER_LEN {
+            return true;
+        }
+        let header: [u8; HEADER_LEN] = buf[off..off + HEADER_LEN]
+            .try_into()
+            .expect("slice length is HEADER_LEN");
+        let Ok((_, declared)) = protocol::parse_header(&header) else {
+            return false;
+        };
+        let total = HEADER_LEN + declared as usize;
+        if avail < total {
+            return true;
+        }
+        off += total;
+    }
+}
+
+/// Alternates [`dispatch`] with [`parse_frames`] until the connection can
+/// make no more progress. Parsing stops at [`PENDING_CAP`], so a client
+/// that pipelines more frames than the cap in one burst leaves complete
+/// frames sitting in `conn.buf`; dispatching frees pending slots, and
+/// those frames must then be re-parsed here — no further read event will
+/// arrive to do it (the socket is already drained). The same resumption
+/// applies after a backpressure pause lifts or an in-flight answer lands.
+fn pump(core: &ShardCore, conn: &mut Conn, token: u64) {
+    loop {
+        dispatch(core, conn, token);
+        if conn.inflight
+            || conn.dead
+            || conn.read_dead
+            || conn.close_after_flush
+            || conn.buf.is_empty()
+            || conn.pending.len() >= PENDING_CAP
+            || conn.queued_bytes > core.cfg.write_queue_limit
+        {
+            return;
+        }
+        let before = (conn.pending.len(), conn.buf.len());
+        parse_frames(core, conn);
+        if (conn.pending.len(), conn.buf.len()) == before {
+            return; // only a partial frame remains
+        }
+    }
 }
 
 /// Drains the connection's request FIFO: cheap frames answer in place;

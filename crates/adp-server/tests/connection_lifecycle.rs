@@ -248,6 +248,103 @@ fn pipelined_requests_answered_in_order() {
     handle.shutdown();
 }
 
+/// Regression: a single write that pipelines more frames than the
+/// reactor's pending cap (64) must still get every reply. The socket is
+/// drained in one read, so no further read event will arrive — the
+/// stranded frames in the reassembly buffer must be re-parsed as
+/// dispatch frees pending slots.
+#[test]
+fn burst_beyond_pending_cap_gets_every_reply() {
+    let handle = serve(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let ping = encode_frame(&Frame::Ping);
+    let mut burst = Vec::new();
+    for _ in 0..200 {
+        burst.extend_from_slice(&ping);
+    }
+    stream.write_all(&burst).unwrap();
+    stream.flush().unwrap();
+    for i in 0..200 {
+        assert_eq!(read_frame(&mut stream).unwrap(), Frame::Pong, "reply {i}");
+    }
+    handle.shutdown();
+}
+
+/// Regression, worker-pool variant: a query at the head of an over-cap
+/// burst parks dispatch until its answer completes back to the shard;
+/// the completion must resume parsing the frames still buffered behind
+/// the cap.
+#[test]
+fn burst_with_query_resumes_parsing_after_completion() {
+    let handle = serve(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let mut burst = encode_frame(&Frame::QueryRequest {
+        table_id: 0,
+        query: SelectQuery::range(KeyRange::all()),
+    });
+    let ping = encode_frame(&Frame::Ping);
+    for _ in 0..100 {
+        burst.extend_from_slice(&ping);
+    }
+    stream.write_all(&burst).unwrap();
+    stream.flush().unwrap();
+
+    match read_frame(&mut stream).unwrap() {
+        Frame::QueryResponse { result, .. } => assert!(!result.is_empty()),
+        other => panic!("expected QueryResponse, got {other:?}"),
+    }
+    for i in 0..100 {
+        assert_eq!(read_frame(&mut stream).unwrap(), Frame::Pong, "reply {i}");
+    }
+    handle.shutdown();
+}
+
+/// A partial frame stalled at the tail of an over-cap burst is still
+/// slow loris: after the complete frames are answered, the dangling
+/// fragment must hit the frame deadline, not sit disarmed behind the
+/// pending cap.
+#[test]
+fn partial_tail_behind_pending_cap_hits_frame_deadline() {
+    let handle = serve(ServerConfig {
+        frame_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let ping = encode_frame(&Frame::Ping);
+    let mut burst = Vec::new();
+    for _ in 0..70 {
+        burst.extend_from_slice(&ping);
+    }
+    // Three bytes of a 71st header, then silence.
+    burst.extend_from_slice(&ping[..3]);
+    stream.write_all(&burst).unwrap();
+    stream.flush().unwrap();
+
+    for i in 0..70 {
+        assert_eq!(read_frame(&mut stream).unwrap(), Frame::Pong, "reply {i}");
+    }
+    match read_frame(&mut stream).unwrap() {
+        Frame::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadFrame);
+            assert!(message.contains("frame deadline"), "got {message:?}");
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
 /// The idle timeout reaps a connection that simply goes quiet, and the
 /// client observes a clean close (EOF), not a hang.
 #[test]
