@@ -18,16 +18,20 @@
 //!
 //! See `docs/PERFORMANCE.md` for how to read the snapshot.
 
+use adp_core::delta::{build_delta_pieces, dirty_intervals};
 use adp_core::prelude::*;
 use adp_crypto::{
     chain_extend, chain_from_value, sha256::sha256, AggregateSignature, HashDomain, Hasher,
     Keypair, MerkleTree, Signature,
 };
 use adp_relation::{Column, Record, Schema, Table, Value, ValueType};
+use adp_server::protocol::encode_frame;
+use adp_server::Frame;
 use adp_store::format::{decode_snapshot, encode_snapshot};
 use adp_store::LogRecord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Every bench key the snapshot must contain (CI asserts this set).
 pub const EXPECTED_BENCHES: &[&str] = &[
@@ -44,6 +48,8 @@ pub const EXPECTED_BENCHES: &[&str] = &[
     "store/ingest_batch",
     "store/log_replay",
     "store/snapshot_load",
+    "subscribe/fanout_p99",
+    "subscribe/delta_bytes",
 ];
 
 // Sampling and the calibrated-median estimator are shared with the
@@ -219,6 +225,98 @@ fn run_benches() -> Vec<(String, f64)> {
             "store/snapshot_load",
             measure(n, || decode_snapshot(&snapshot).unwrap().0.len()),
         );
+    }
+
+    // Subscription fan-out (PR 7): what the reactor pays per subscriber
+    // after a churn batch — build the delta pieces for the dirtied
+    // intervals ∩ the subscribed range and encode the DeltaVo frame.
+    // The fleet mirrors the CI subscription-smoke job: 50 subscribers on
+    // 5 distinct overlapping ranges over a 256-row table.
+    {
+        let mut rng = StdRng::seed_from_u64(0x5B57);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("salary", ValueType::Int),
+            ],
+            "salary",
+        );
+        let mut t = Table::new("subs", schema);
+        for i in 0..256i64 {
+            t.insert(Record::new(vec![Value::Int(i), Value::Int(1_000 + i * 40)]))
+                .unwrap();
+        }
+        let mut st = owner
+            .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![
+                    Mutation::Insert(Record::new(vec![Value::Int(500), Value::Int(2_110)])),
+                    Mutation::Insert(Record::new(vec![Value::Int(501), Value::Int(4_310)])),
+                    Mutation::Insert(Record::new(vec![Value::Int(502), Value::Int(6_510)])),
+                    Mutation::Delete {
+                        key: 3_000,
+                        replica: 0,
+                    },
+                    Mutation::Delete {
+                        key: 7_000,
+                        replica: 0,
+                    },
+                ],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        assert!(!intervals.is_empty(), "churn batch must dirty the table");
+        let subs: Vec<(i64, i64)> = (0..50i64)
+            .map(|i| {
+                let lo = 1_000 + (i % 5) * 400;
+                (lo, lo + 6_000)
+            })
+            .collect();
+
+        // fanout_p99: p99 over every (pass, subscriber) sample of the
+        // per-subscriber build+encode closure — the tail a slow delta
+        // adds to the apply_update caller, since fan-out is serial.
+        let encode_delta = |lo: i64, hi: i64| {
+            let pieces = build_delta_pieces(&st, &intervals, lo, hi)
+                .unwrap()
+                .into_iter()
+                .map(|p| adp_server::protocol::DeltaPiece {
+                    lo: p.lo,
+                    hi: p.hi,
+                    result: adp_core::wire::encode_records(&p.records),
+                    vo: adp_core::wire::encode_vo(&p.vo),
+                })
+                .collect();
+            encode_frame(&Frame::DeltaVo {
+                sub_id: 1,
+                epoch: 1,
+                pieces,
+            })
+        };
+        let mut fan_ns: Vec<f64> = Vec::with_capacity(n * subs.len());
+        for _ in 0..n {
+            for &(lo, hi) in &subs {
+                let t0 = Instant::now();
+                std::hint::black_box(encode_delta(lo, hi));
+                fan_ns.push(t0.elapsed().as_nanos() as f64);
+            }
+        }
+        fan_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        record(
+            "subscribe/fanout_p99",
+            fan_ns[(fan_ns.len() - 1) * 99 / 100],
+        );
+
+        // delta_bytes: the pushed DeltaVo's wire payload for the widest
+        // fleet range. Seed-determined and machine-independent — the
+        // snapshot schema stores it in the same numeric cell as the
+        // timings (the value is bytes, not nanoseconds).
+        let frame = encode_delta(1_000, 7_000);
+        record("subscribe/delta_bytes", (frame.len() - 8) as f64);
     }
     out
 }

@@ -55,6 +55,8 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&parse_flags(&args[1..])),
         Some("serve") => cmd_serve(&parse_flags(&args[1..])),
         Some("rquery") => cmd_rquery(&parse_flags(&args[1..])),
+        Some("follow") => cmd_follow(&parse_flags(&args[1..])),
+        Some("subscribe") => cmd_subscribe(&parse_flags(&args[1..])),
         Some("ingest") => cmd_ingest(&parse_flags(&args[1..])),
         Some("compact") => cmd_compact(&parse_flags(&args[1..])),
         Some("compare") => cmd_compare(&args[1..]),
@@ -90,6 +92,10 @@ fn print_usage() {
          \x20           [--workers N] [--cache N]\n\
          adp rquery  --addr HOST:PORT --cert FILE --range A..B [--project c1,c2]\n\
          \x20           [--table N] [--out DIR]\n\
+         adp follow  --addr HOST:PORT --cert FILE --store DIR [--table N]\n\
+         \x20           [--serve-addr HOST:PORT]\n\
+         adp subscribe --addr HOST:PORT --cert FILE --range A..B [--table N]\n\
+         \x20           [--sub N] [--deltas N]\n\
          adp ingest  --store DIR [--csv FILE] [--delete K[:R],...] [--seed N] [--bits N]\n\
          adp compact --store DIR\n\
          adp compare [--tiny] [--check] [--write-doc] [--out FILE] [--doc FILE]\n\
@@ -106,7 +112,14 @@ fn print_usage() {
          plus an append-only update log. `ingest` applies a signed batch of\n\
          inserts/deletes with O(k) re-signing (regenerate the owner keypair\n\
          with the same --seed/--bits used at publish); `compact` folds the\n\
-         log into a fresh snapshot.\n"
+         log into a fresh snapshot.\n\
+         `follow` mirrors a served table over the wire (protocol v4\n\
+         log-shipping): it bootstraps from an audited snapshot, replays the\n\
+         signed update log into its own store at DIR, verifies every record\n\
+         before applying, and serves the mirror on --serve-addr.\n\
+         `subscribe` registers a live range subscription: the initial answer\n\
+         and every pushed delta are verified against the certificate before\n\
+         being shown; --deltas N exits after N pushed deltas.\n"
     );
 }
 
@@ -743,4 +756,143 @@ fn cmd_rquery(flags: &Flags) -> Result<(), String> {
         println!("wrote verified result to {}", out.display());
     }
     Ok(())
+}
+
+// ------------------------------------------------------------ follow
+
+/// `adp follow` — run a verifying mirror (docs/PROTOCOL.md §9): bootstrap
+/// a local store from the upstream's audited snapshot (or resume an
+/// existing one from its own sequence head), replay the owner-signed
+/// update log over the wire, and serve the mirror locally. Every record
+/// is signature-verified against the certificate's owner key before it
+/// touches the store, so the upstream publisher stays untrusted.
+fn cmd_follow(flags: &Flags) -> Result<(), String> {
+    use adp_server::follow::{apply_segment, bootstrap_store};
+    use adp_server::{FollowStart, LogFollower};
+
+    let addr = need(flags, "addr")?;
+    let cert_path = PathBuf::from(need(flags, "cert")?);
+    let store_dir = PathBuf::from(need(flags, "store")?);
+    let table_id = parse_u32_flag(flags, "table", 0)?;
+    let serve_addr = flags
+        .get("serve-addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4171");
+
+    let cert_bytes = fs::read(&cert_path).map_err(|e| e.to_string())?;
+    let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
+
+    // A dir that already holds a snapshot is a mirror to resume; anything
+    // else is a fresh bootstrap.
+    let resume = store_dir.join(adp_store::SNAPSHOT_FILE).exists();
+    let (mut follower, store, backlog) = if resume {
+        let store = adp_store::Store::open(&store_dir).map_err(|e| e.to_string())?;
+        let have = store.next_seq();
+        let (follower, start) = LogFollower::connect(addr, table_id, Some(have))
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        match start {
+            FollowStart::Backlog(backlog) => (follower, store, backlog),
+            FollowStart::Snapshot(_) => {
+                return Err(format!(
+                    "upstream compacted its log past seq {have}; re-bootstrap into an \
+                     empty --store dir"
+                ))
+            }
+        }
+    } else {
+        let (follower, start) = LogFollower::connect(addr, table_id, None)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let snapshot = match start {
+            FollowStart::Snapshot(snapshot) => snapshot,
+            FollowStart::Backlog(_) => {
+                return Err("upstream sent a log segment for a fresh bootstrap".to_string())
+            }
+        };
+        let store = bootstrap_store(&store_dir, &snapshot, &cert.public_key)
+            .map_err(|e| format!("REJECTED bootstrap: {e}"))?;
+        println!(
+            "bootstrapped {} rows at seq {} into {} (snapshot key-checked and audited)",
+            store.table().len(),
+            store.next_seq(),
+            store_dir.display(),
+        );
+        (follower, store, Vec::new())
+    };
+
+    let mut server = adp_server::Server::new(adp_server::ServerConfig::default());
+    server.add_store(table_id, store);
+    let handle = server.serve(serve_addr).map_err(|e| e.to_string())?;
+    let mut head =
+        apply_segment(&handle, table_id, &backlog).map_err(|e| format!("REJECTED: {e}"))?;
+    println!(
+        "mirroring table {table_id} from {addr} on {} — caught up at seq {head} \
+         (every record verified before serving; stop with ctrl-c)",
+        handle.addr(),
+    );
+    follower.set_timeout(None).map_err(|e| e.to_string())?;
+    loop {
+        let records = follower
+            .next_segment()
+            .map_err(|e| format!("follow stream failed: {e}"))?;
+        head = apply_segment(&handle, table_id, &records).map_err(|e| format!("REJECTED: {e}"))?;
+        println!("applied verified segment — head seq {head}");
+    }
+}
+
+// --------------------------------------------------------- subscribe
+
+/// `adp subscribe` — hold a live range subscription (docs/PROTOCOL.md
+/// §10): the initial answer and every pushed delta are verified against
+/// the certificate before the local mirror is updated, so the terminal
+/// only ever shows owner-authenticated state.
+fn cmd_subscribe(flags: &Flags) -> Result<(), String> {
+    let addr = need(flags, "addr")?;
+    let cert_path = PathBuf::from(need(flags, "cert")?);
+    let (a, b) = parse_range_pair(need(flags, "range")?)?;
+    let table_id = parse_u32_flag(flags, "table", 0)?;
+    let sub_id = parse_u32_flag(flags, "sub", 1)?;
+    let max_deltas = flags
+        .get("deltas")
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().map_err(|_| format!("bad --deltas '{s}'")))
+        .transpose()?;
+
+    let cert_bytes = fs::read(&cert_path).map_err(|e| e.to_string())?;
+    let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
+    let mut sub = adp_server::RemoteSubscriber::subscribe(
+        addr,
+        cert,
+        table_id,
+        sub_id,
+        KeyRange::closed(a, b),
+    )
+    .map_err(|e| format!("REJECTED: {e}"))?;
+    println!(
+        "SUBSCRIBED: [{a}, {b}] on table {table_id} — {} verified rows at epoch {} \
+         ({} signature(s) checked)",
+        sub.rows().count(),
+        sub.epoch(),
+        sub.stats().signatures_verified,
+    );
+
+    let mut seen = 0u64;
+    loop {
+        let delta = sub
+            .poll_delta(std::time::Duration::from_secs(1))
+            .map_err(|e| format!("REJECTED: {e}"))?;
+        if let Some(epoch) = delta {
+            seen += 1;
+            println!(
+                "DELTA VERIFIED: epoch {epoch} — mirror now {} rows ({} delta(s) so far)",
+                sub.rows().count(),
+                seen,
+            );
+            if Some(seen) == max_deltas {
+                sub.unsubscribe()
+                    .map_err(|e| format!("unsubscribe failed: {e}"))?;
+                println!("UNSUBSCRIBED after {seen} delta(s)");
+                return Ok(());
+            }
+        }
+    }
 }

@@ -1,0 +1,251 @@
+//! Delta-VO construction: turning one applied update batch into the
+//! self-contained range proofs a live subscriber re-verifies.
+//!
+//! The signature-chain scheme makes incremental refresh natural: a batch
+//! re-signs only the chain neighborhoods of the positions it dirtied
+//! (Section 6.3's `O(k)` locality), so the key intervals spanned by those
+//! re-signed runs are exactly where a previously-verified range answer may
+//! have gone stale. For each such interval (intersected with the
+//! subscriber's range) the publisher answers the closed sub-range as an
+//! ordinary select — records plus `QueryVO` — and the subscriber verifies
+//! it with the unchanged [`verify_select_wire`](crate::verifier::verify_select_wire)
+//! entry point: completeness, authenticity, and precision all come from
+//! the existing machinery, and a net-delete interval degrades to an
+//! `Empty` proof that is still self-contained. Nothing outside the dirty
+//! intervals needs refetching, which is the whole point.
+
+use crate::owner::SignedTable;
+use crate::publisher::{PublishError, Publisher};
+use crate::vo::QueryVO;
+use adp_crypto::Signature;
+use adp_relation::{KeyRange, Record, SelectQuery};
+
+/// One refreshed interval of a delta: a complete `(records, vo)` answer
+/// for the closed range `[lo, hi]`, verifiable in isolation.
+#[derive(Clone, Debug)]
+pub struct DeltaPiece {
+    /// Inclusive lower key bound.
+    pub lo: i64,
+    /// Inclusive upper key bound.
+    pub hi: i64,
+    /// The rows now in `[lo, hi]` (possibly none).
+    pub records: Vec<Record>,
+    /// Proof for `SelectQuery::range(KeyRange::closed(lo, hi))`.
+    pub vo: QueryVO,
+}
+
+/// The key intervals a batch dirtied, computed from the batch's re-signed
+/// chain positions **on the post-batch table**: every mutation re-signs
+/// its own position (inserts/updates) and both chain neighbors, so each
+/// maximal run of consecutive re-signed positions `[p..q]` spans the keys
+/// `[key_at(p), key_at(q)]` — an interval that contains every inserted,
+/// updated, *and deleted* key of that run (a deleted key lies strictly
+/// between its surviving neighbors). Runs touching a delimiter clamp to
+/// the legal key bounds, and overlapping or adjacent intervals merge.
+///
+/// Returned intervals are disjoint and ascending. An empty `resigned`
+/// slice (a no-op batch) yields no intervals.
+pub fn dirty_intervals(st: &SignedTable, resigned: &[(u32, Signature)]) -> Vec<(i64, i64)> {
+    let chain_len = st.chain_len();
+    let mut positions: Vec<u32> = resigned
+        .iter()
+        .map(|(pos, _)| *pos)
+        .filter(|&p| (p as usize) < chain_len)
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+
+    let key_min = st.domain().key_min();
+    let key_max = st.domain().key_max();
+    let mut intervals: Vec<(i64, i64)> = Vec::new();
+    let mut i = 0;
+    while i < positions.len() {
+        let mut j = i;
+        while j + 1 < positions.len() && positions[j + 1] == positions[j] + 1 {
+            j += 1;
+        }
+        let lo = st.key_at(positions[i] as usize).max(key_min);
+        let hi = st.key_at(positions[j] as usize).min(key_max);
+        match intervals.last_mut() {
+            // Replicated keys can make a later run start at the previous
+            // run's last key; adjacent intervals merge too (one piece is
+            // cheaper than two abutting ones).
+            Some((_, prev_hi)) if lo <= prev_hi.saturating_add(1) => *prev_hi = (*prev_hi).max(hi),
+            _ => intervals.push((lo, hi)),
+        }
+        i = j + 1;
+    }
+    intervals
+}
+
+/// Builds the delta pieces for one subscriber: each dirty interval is
+/// intersected with the subscription bounds `[sub_lo, sub_hi]` and the
+/// surviving intersections are answered as ordinary closed-range selects
+/// on the post-batch table. An empty return means the batch did not touch
+/// the subscribed range — no delta needs pushing.
+pub fn build_delta_pieces(
+    st: &SignedTable,
+    intervals: &[(i64, i64)],
+    sub_lo: i64,
+    sub_hi: i64,
+) -> Result<Vec<DeltaPiece>, PublishError> {
+    let publisher = Publisher::new(st);
+    let mut pieces = Vec::new();
+    for &(lo, hi) in intervals {
+        let (lo, hi) = (lo.max(sub_lo), hi.min(sub_hi));
+        if lo > hi {
+            continue;
+        }
+        let query = SelectQuery::range(KeyRange::closed(lo, hi));
+        let (records, vo) = publisher.answer_select(&query)?;
+        pieces.push(DeltaPiece {
+            lo,
+            hi,
+            records,
+            vo,
+        });
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use adp_relation::{Column, Schema, Table, Value, ValueType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sign_rows(keys: &[i64]) -> (Owner, SignedTable) {
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(vec![Column::new("k", ValueType::Int)], "k");
+        let mut t = Table::new("t", schema);
+        for &k in keys {
+            t.insert(Record::new(vec![Value::Int(k)])).unwrap();
+        }
+        let st = owner
+            .sign_table(t, Domain::new(0, 10_000), SchemeConfig::default())
+            .unwrap();
+        (owner, st)
+    }
+
+    #[test]
+    fn insert_dirty_interval_covers_the_neighborhood() {
+        let (owner, mut st) = sign_rows(&[100, 200, 300, 400]);
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![Mutation::Insert(Record::new(vec![Value::Int(250)]))],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        assert_eq!(intervals.len(), 1);
+        let (lo, hi) = intervals[0];
+        // The re-signed run is {200, 250, 300}: neighbors plus the insert.
+        assert_eq!((lo, hi), (200, 300));
+    }
+
+    #[test]
+    fn delete_dirty_interval_contains_the_removed_key() {
+        let (owner, mut st) = sign_rows(&[100, 200, 300, 400]);
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![Mutation::Delete {
+                    key: 200,
+                    replica: 0,
+                }],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        assert_eq!(intervals.len(), 1);
+        let (lo, hi) = intervals[0];
+        assert!(lo <= 200 && 200 <= hi, "deleted key outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn emptying_batch_dirties_the_whole_domain_and_yields_an_empty_proof() {
+        let (owner, mut st) = sign_rows(&[100, 200]);
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![
+                    Mutation::Delete {
+                        key: 100,
+                        replica: 0,
+                    },
+                    Mutation::Delete {
+                        key: 200,
+                        replica: 0,
+                    },
+                ],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        assert_eq!(
+            intervals,
+            vec![(st.domain().key_min(), st.domain().key_max())]
+        );
+        let cert = owner.certificate(&st);
+        let pieces = build_delta_pieces(
+            &st,
+            &intervals,
+            st.domain().key_min(),
+            st.domain().key_max(),
+        )
+        .unwrap();
+        assert_eq!(pieces.len(), 1);
+        assert!(pieces[0].records.is_empty());
+        let query = SelectQuery::range(KeyRange::closed(pieces[0].lo, pieces[0].hi));
+        verify_select(&cert, &query, &pieces[0].records, &pieces[0].vo)
+            .expect("empty piece is self-contained");
+    }
+
+    #[test]
+    fn pieces_verify_and_disjoint_batches_make_disjoint_intervals() {
+        let (owner, mut st) = sign_rows(&[100, 200, 300, 2_000, 2_100, 2_200]);
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![
+                    Mutation::Insert(Record::new(vec![Value::Int(150)])),
+                    Mutation::Insert(Record::new(vec![Value::Int(2_050)])),
+                ],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        assert_eq!(
+            intervals.len(),
+            2,
+            "far-apart edits stay separate: {intervals:?}"
+        );
+        let cert = owner.certificate(&st);
+        let pieces = build_delta_pieces(&st, &intervals, i64::MIN, i64::MAX).unwrap();
+        assert_eq!(pieces.len(), 2);
+        for p in &pieces {
+            let query = SelectQuery::range(KeyRange::closed(p.lo, p.hi));
+            verify_select(&cert, &query, &p.records, &p.vo).expect("piece verifies");
+        }
+        // The first piece picked up the new key 150.
+        assert!(pieces[0]
+            .records
+            .iter()
+            .any(|r| r.key(st.table().schema()) == 150));
+    }
+
+    #[test]
+    fn subscription_bounds_filter_pieces() {
+        let (owner, mut st) = sign_rows(&[100, 200, 300, 2_000, 2_100]);
+        let report = owner
+            .apply_batch(
+                &mut st,
+                vec![Mutation::Insert(Record::new(vec![Value::Int(2_050)]))],
+            )
+            .unwrap();
+        let intervals = dirty_intervals(&st, &report.resigned);
+        // A subscriber watching [0, 500] is untouched by an edit at 2050.
+        let pieces = build_delta_pieces(&st, &intervals, 0, 500).unwrap();
+        assert!(pieces.is_empty());
+    }
+}

@@ -60,6 +60,7 @@
 pub mod client;
 pub mod costmodel;
 pub mod dagext;
+pub mod delta;
 pub mod domain;
 pub mod errors;
 pub mod gdigest;

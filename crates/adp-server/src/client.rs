@@ -8,13 +8,14 @@
 //! result, VO, even frame structure — as adversarial.
 
 use crate::protocol::{
-    read_frame, write_frame, BatchItem, ErrorCode, Frame, ProtoError, StatsSnapshot,
+    read_frame, write_frame, BatchItem, DeltaPiece, ErrorCode, Frame, ProtoError, StatsSnapshot,
 };
 use adp_core::client::{SessionStats, VerifiedResult};
 use adp_core::errors::VerifyError;
 use adp_core::owner::Certificate;
 use adp_core::verifier::verify_select_wire;
-use adp_relation::SelectQuery;
+use adp_relation::{KeyRange, Record, SelectQuery};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -283,5 +284,238 @@ impl RemoteVerifier {
             result_bytes: result_bytes.len(),
             vo_bytes: vo_bytes.len(),
         })
+    }
+}
+
+/// A verified live subscription to one key range of a served table.
+///
+/// On registration the server answers with an initial [`Frame::DeltaVo`]
+/// whose single piece proves the whole subscribed range; thereafter every
+/// update batch touching the range pushes a delta whose pieces each carry
+/// a self-contained `(result, vo)` proof for one dirtied sub-range. The
+/// subscriber verifies every piece with the unchanged `verify_select_wire`
+/// — completeness, authenticity, and precision against the owner's
+/// certificate alone — and splices the verified rows into its local
+/// mirror **without ever refetching the full range**: verification work
+/// and bytes scale with what the batch dirtied, not with the subscription
+/// size (the `O(k)` update locality of Section 6.3, carried to the wire).
+pub struct RemoteSubscriber {
+    stream: TcpStream,
+    cert: Certificate,
+    sub_id: u32,
+    /// Subscribed bounds, domain-normalized exactly as the server
+    /// normalizes them — any piece outside is a precision violation.
+    lo: i64,
+    hi: i64,
+    /// The table epoch the mirror currently reflects.
+    epoch: u64,
+    /// The verified mirror: key → the verified records at that key (>1
+    /// with duplicate-key replicas).
+    rows: BTreeMap<i64, Vec<Record>>,
+    /// Deltas verified and applied, counting the initial snapshot.
+    deltas_applied: u64,
+    stats: SessionStats,
+}
+
+impl RemoteSubscriber {
+    /// Connects, registers subscription `sub_id` for `range` on
+    /// `table_id`, and verifies the initial full-range proof. The server
+    /// is untrusted throughout: a forged initial answer fails here.
+    pub fn subscribe(
+        addr: impl ToSocketAddrs,
+        cert: Certificate,
+        table_id: u32,
+        sub_id: u32,
+        range: KeyRange,
+    ) -> Result<Self, RemoteError> {
+        cert.public_key.precompute();
+        let Some(bounds) = cert.domain.normalize(&range) else {
+            return Err(RemoteError::Server {
+                code: ErrorCode::BadQuery,
+                message: "subscribed range is empty under the table's domain".into(),
+            });
+        };
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        write_frame(
+            &mut stream,
+            &Frame::Subscribe {
+                sub_id,
+                table_id,
+                query: SelectQuery::range(range),
+            },
+        )
+        .map_err(ProtoError::Io)?;
+        let mut sub = RemoteSubscriber {
+            stream,
+            cert,
+            sub_id,
+            lo: bounds.alpha,
+            hi: bounds.beta,
+            epoch: 0,
+            rows: BTreeMap::new(),
+            deltas_applied: 0,
+            stats: SessionStats::default(),
+        };
+        match read_frame(&mut sub.stream)? {
+            frame @ Frame::DeltaVo { .. } => {
+                sub.apply_delta_frame(frame, true)?;
+                Ok(sub)
+            }
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected initial DeltaVo")),
+        }
+    }
+
+    /// The epoch the mirror currently reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Deltas verified and applied so far (the initial snapshot counts).
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+
+    /// Cumulative verification accounting (bytes, signatures, hash ops).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The verified mirror of the subscribed range, in key order.
+    pub fn rows(&self) -> impl Iterator<Item = &Record> {
+        self.rows.values().flatten()
+    }
+
+    /// Verified keys currently in the subscribed range, in order.
+    pub fn keys(&self) -> Vec<i64> {
+        self.rows.keys().copied().collect()
+    }
+
+    /// Waits up to `timeout` for a pushed delta, verifying and applying
+    /// it. Returns the new epoch, or `None` if nothing arrived in time.
+    ///
+    /// The timeout covers frame *arrival*: it must only elapse while the
+    /// connection is quiet (a server that stalls mid-frame desyncs the
+    /// stream, and the next read errors — the server is untrusted, so
+    /// that is treated like any other protocol failure).
+    pub fn poll_delta(&mut self, timeout: Duration) -> Result<Option<u64>, RemoteError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let frame = match read_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(ProtoError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match frame {
+            frame @ Frame::DeltaVo { .. } => {
+                self.apply_delta_frame(frame, false)?;
+                Ok(Some(self.epoch))
+            }
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected pushed DeltaVo")),
+        }
+    }
+
+    /// Cancels the subscription and drains the stream to the server's
+    /// empty-pieces ack, verifying and applying any deltas that were
+    /// already in flight. After the ack the server pushes nothing further
+    /// for this `sub_id`.
+    pub fn unsubscribe(mut self) -> Result<(), RemoteError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::Unsubscribe {
+                sub_id: self.sub_id,
+            },
+        )
+        .map_err(ProtoError::Io)?;
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::DeltaVo { sub_id, pieces, .. }
+                    if sub_id == self.sub_id && pieces.is_empty() =>
+                {
+                    return Ok(());
+                }
+                frame @ Frame::DeltaVo { .. } => self.apply_delta_frame(frame, false)?,
+                Frame::Error { code, message } => {
+                    return Err(RemoteError::Server { code, message })
+                }
+                _ => return Err(RemoteError::UnexpectedFrame("expected unsubscribe ack")),
+            }
+        }
+    }
+
+    /// Verifies and applies one `DeltaVo` frame. `initial` marks the
+    /// registration response, which sets the baseline epoch; pushed
+    /// deltas must carry an epoch `>=` the mirror's (equal is the benign
+    /// registration race — the same state verified twice — and re-merging
+    /// is idempotent; *lower* would be a replayed stale delta).
+    fn apply_delta_frame(&mut self, frame: Frame, initial: bool) -> Result<(), RemoteError> {
+        let Frame::DeltaVo {
+            sub_id,
+            epoch,
+            pieces,
+        } = frame
+        else {
+            return Err(RemoteError::UnexpectedFrame("expected DeltaVo"));
+        };
+        if sub_id != self.sub_id {
+            return Err(RemoteError::UnexpectedFrame(
+                "DeltaVo for a different sub_id",
+            ));
+        }
+        if !initial && epoch < self.epoch {
+            return Err(RemoteError::UnexpectedFrame("delta epoch went backwards"));
+        }
+        for piece in &pieces {
+            self.apply_piece(piece)?;
+        }
+        self.epoch = epoch;
+        self.deltas_applied += 1;
+        Ok(())
+    }
+
+    /// Verifies one piece against the certificate and splices it into the
+    /// mirror: everything previously held for `[lo, hi]` is replaced by
+    /// the verified rows — completeness of the piece's proof is exactly
+    /// what licenses deleting keys the piece no longer carries.
+    fn apply_piece(&mut self, piece: &DeltaPiece) -> Result<(), RemoteError> {
+        // Precision: a piece outside the subscribed range means the
+        // server is pushing data we never asked to see (or trying to
+        // overwrite mirror state it has no proof for).
+        if piece.lo > piece.hi || piece.lo < self.lo || piece.hi > self.hi {
+            return Err(RemoteError::UnexpectedFrame(
+                "delta piece outside the subscribed range",
+            ));
+        }
+        let query = SelectQuery::range(KeyRange::closed(piece.lo, piece.hi));
+        let ops_before = adp_crypto::hash_ops();
+        let start = Instant::now();
+        let (rows, report) = verify_select_wire(&self.cert, &query, &piece.result, &piece.vo)?;
+        self.stats.queries += 1;
+        self.stats.rows_verified += report.matched;
+        self.stats.result_bytes += piece.result.len();
+        self.stats.vo_bytes += piece.vo.len();
+        self.stats.signatures_verified += report.signatures_verified;
+        self.stats.hash_ops += adp_crypto::hash_ops().saturating_sub(ops_before);
+        self.stats.verify_time += start.elapsed();
+        let stale: Vec<i64> = self
+            .rows
+            .range(piece.lo..=piece.hi)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stale {
+            self.rows.remove(&key);
+        }
+        for row in rows {
+            let key = row.key(&self.cert.schema);
+            self.rows.entry(key).or_default().push(row);
+        }
+        Ok(())
     }
 }

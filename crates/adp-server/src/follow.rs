@@ -1,0 +1,260 @@
+//! The log-shipping follower: a second `adp-server` that mirrors an
+//! owner's publisher over the wire with **zero trust in either side**.
+//!
+//! The follower bootstraps from a [`Frame::Snapshot`] — authenticated by
+//! checking the embedded public key against the certificate it already
+//! holds and re-running the full `O(n)` signature audit — then replays
+//! the owner-signed update log shipped as [`Frame::LogSegment`]s. Every
+//! replayed record passes through [`ServerHandle::apply_update`], whose
+//! store verifies the batch's re-signed chain signatures before anything
+//! is persisted or served: a tampered record (flipped signature byte,
+//! reordered or dropped mutation) is rejected *before* the follower's
+//! epoch bumps, so its own subscribers never see the forgery. The mirror
+//! converges to the owner's exact snapshot — same chain, same signatures
+//! — and answers queries whose VOs verify against the owner's public key,
+//! exactly as the paper's multi-publisher story requires (Section 1: any
+//! number of untrusted mirrors, one signing owner).
+
+use crate::client::DEFAULT_REPLY_TIMEOUT;
+use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, ProtoError};
+use crate::server::{ServerHandle, UpdateError};
+use adp_crypto::PublicKey;
+use adp_store::format::decode_snapshot;
+use adp_store::log::decode_records;
+use adp_store::{Store, StoreError};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+/// Why following failed.
+#[derive(Debug)]
+pub enum FollowError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The upstream answered with an error frame.
+    Server {
+        /// Error code from the upstream.
+        code: ErrorCode,
+        /// Upstream-provided detail.
+        message: String,
+    },
+    /// The upstream answered with a frame of the wrong type (or for the
+    /// wrong table).
+    UnexpectedFrame(&'static str),
+    /// The bootstrap snapshot's public key is not the owner's: the
+    /// upstream is serving a different (or forged) table.
+    KeyMismatch,
+    /// The bootstrap snapshot failed the full signature audit: the
+    /// upstream shipped data it cannot prove.
+    AuditFailed,
+    /// A shipped record skipped ahead of the mirror's sequence — records
+    /// were dropped or reordered in flight. Reconnect and resume from
+    /// `expected` (the [`FollowError::Gap::expected`] value is exactly the
+    /// `have` to hand [`LogFollower::connect`]).
+    Gap {
+        /// The sequence the mirror needs next.
+        expected: u64,
+        /// The sequence that actually arrived.
+        got: u64,
+    },
+    /// The upstream re-sent a snapshot mid-stream (its log was compacted
+    /// past our position); the mirror must re-bootstrap from scratch.
+    ResyncRequired,
+    /// The local mirror store refused the data (decode failure, CRC
+    /// mismatch, or — the important case — signature verification failure
+    /// on a tampered record).
+    Store(StoreError),
+    /// The local serving handle refused the replayed batch.
+    Update(UpdateError),
+}
+
+impl fmt::Display for FollowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FollowError::Proto(e) => write!(f, "protocol error: {e}"),
+            FollowError::Server { code, message } => {
+                write!(f, "upstream error ({code}): {message}")
+            }
+            FollowError::UnexpectedFrame(detail) => write!(f, "unexpected frame: {detail}"),
+            FollowError::KeyMismatch => {
+                write!(
+                    f,
+                    "bootstrap snapshot is not signed by the expected owner key"
+                )
+            }
+            FollowError::AuditFailed => {
+                write!(f, "bootstrap snapshot failed the signature audit")
+            }
+            FollowError::Gap { expected, got } => {
+                write!(f, "log gap: expected seq {expected}, got {got}")
+            }
+            FollowError::ResyncRequired => {
+                write!(
+                    f,
+                    "upstream compacted past our position; re-bootstrap required"
+                )
+            }
+            FollowError::Store(e) => write!(f, "mirror store rejected the data: {e}"),
+            FollowError::Update(e) => write!(f, "mirror refused the replayed batch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowError {}
+
+impl From<ProtoError> for FollowError {
+    fn from(e: ProtoError) -> Self {
+        FollowError::Proto(e)
+    }
+}
+
+impl From<io::Error> for FollowError {
+    fn from(e: io::Error) -> Self {
+        FollowError::Proto(ProtoError::Io(e))
+    }
+}
+
+impl From<StoreError> for FollowError {
+    fn from(e: StoreError) -> Self {
+        FollowError::Store(e)
+    }
+}
+
+impl From<UpdateError> for FollowError {
+    fn from(e: UpdateError) -> Self {
+        FollowError::Update(e)
+    }
+}
+
+/// What the [`LogFollower::connect`] handshake produced.
+pub enum FollowStart {
+    /// The resume point was accepted: the backlog of framed log records
+    /// from `have` to the upstream's head (empty when fully caught up).
+    /// Apply it with [`apply_segment`], then stream live segments.
+    Backlog(Vec<u8>),
+    /// A full bootstrap snapshot: either `have` was `None`, or the
+    /// upstream compacted its log past `have`. Authenticate and persist
+    /// it with [`bootstrap_store`].
+    Snapshot(Vec<u8>),
+}
+
+/// One follower connection to an upstream publisher: the handshake plus a
+/// blocking stream of [`Frame::LogSegment`]s.
+pub struct LogFollower {
+    stream: TcpStream,
+    table_id: u32,
+}
+
+impl LogFollower {
+    /// Connects and performs the `FollowLog` handshake. `have` is the
+    /// lowest log sequence the mirror still needs (its store's
+    /// `next_seq`), or `None` for a fresh bootstrap.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        table_id: u32,
+        have: Option<u64>,
+    ) -> Result<(LogFollower, FollowStart), FollowError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        write_frame(&mut stream, &Frame::FollowLog { table_id, have }).map_err(ProtoError::Io)?;
+        let start = match read_frame(&mut stream)? {
+            Frame::LogSegment {
+                table_id: tid,
+                records,
+            } if tid == table_id => FollowStart::Backlog(records),
+            Frame::Snapshot {
+                table_id: tid,
+                snapshot,
+            } if tid == table_id => FollowStart::Snapshot(snapshot),
+            Frame::Error { code, message } => return Err(FollowError::Server { code, message }),
+            _ => {
+                return Err(FollowError::UnexpectedFrame(
+                    "expected LogSegment or Snapshot for the followed table",
+                ))
+            }
+        };
+        Ok((LogFollower { stream, table_id }, start))
+    }
+
+    /// Sets the patience for the next live segment (`None` waits forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Blocks for the next live [`Frame::LogSegment`], returning its
+    /// framed records. A mid-stream [`Frame::Snapshot`] means the
+    /// upstream can no longer serve our position:
+    /// [`FollowError::ResyncRequired`].
+    pub fn next_segment(&mut self) -> Result<Vec<u8>, FollowError> {
+        match read_frame(&mut self.stream)? {
+            Frame::LogSegment {
+                table_id: tid,
+                records,
+            } if tid == self.table_id => Ok(records),
+            Frame::Snapshot { .. } => Err(FollowError::ResyncRequired),
+            Frame::Error { code, message } => Err(FollowError::Server { code, message }),
+            _ => Err(FollowError::UnexpectedFrame(
+                "expected LogSegment for the followed table",
+            )),
+        }
+    }
+}
+
+/// Authenticates a bootstrap snapshot and persists it as a fresh mirror
+/// store at `dir`. The snapshot is **untrusted input**: it is accepted
+/// only if its embedded public key equals the owner key the mirror
+/// already holds *and* the full signature chain audits — the upstream
+/// cannot seed the mirror with anything the owner didn't sign.
+pub fn bootstrap_store(
+    dir: impl AsRef<Path>,
+    snapshot: &[u8],
+    expected_key: &PublicKey,
+) -> Result<Store, FollowError> {
+    let (st, base_seq) = decode_snapshot(snapshot)?;
+    if st.public_key() != expected_key {
+        return Err(FollowError::KeyMismatch);
+    }
+    if !st.audit() {
+        return Err(FollowError::AuditFailed);
+    }
+    Ok(Store::create_at(dir, st, base_seq)?)
+}
+
+/// Applies one segment's framed log records to the mirror's serving
+/// handle. Already-applied records (`seq` below the mirror's head) are
+/// skipped idempotently — resume overlap is harmless; a record skipping
+/// *ahead* is a [`FollowError::Gap`] and nothing past it is applied.
+///
+/// Every applied record goes through [`ServerHandle::apply_update`]:
+/// signatures are verified against the mirror's own chain state before
+/// the record is logged, the table swapped, or the epoch bumped, so a
+/// tampered record leaves the mirror (and its subscribers) untouched.
+/// Returns the mirror's new head sequence.
+pub fn apply_segment(
+    handle: &ServerHandle,
+    table_id: u32,
+    records: &[u8],
+) -> Result<u64, FollowError> {
+    // For store-backed tables the serving epoch *is* the store's
+    // `next_seq`: `add_store` seeds it so and both advance in lockstep.
+    let mut head = handle
+        .table_epoch(table_id)
+        .ok_or(FollowError::Update(UpdateError::UnknownTable(table_id)))?;
+    for rec in decode_records(records)? {
+        if rec.seq < head {
+            continue;
+        }
+        if rec.seq > head {
+            return Err(FollowError::Gap {
+                expected: head,
+                got: rec.seq,
+            });
+        }
+        head = handle.apply_update(table_id, &rec.ops, &rec.resigned)?;
+    }
+    Ok(head)
+}

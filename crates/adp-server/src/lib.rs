@@ -8,8 +8,11 @@
 //! owner → publisher → client trust boundary is a real socket.
 //!
 //! * [`protocol`] — the versioned frame layer (`Ping`, `QueryRequest`,
-//!   `BatchRequest`, `Stats`, `Error`), layered on the byte-exact
-//!   [`adp_core::wire`] codec. Specified in `docs/PROTOCOL.md`.
+//!   `BatchRequest`, `Stats`, `Error`, and — since version 4 — the
+//!   log-shipping pair `FollowLog`/`LogSegment` and the subscription
+//!   frames `Subscribe`/`DeltaVo`/`Unsubscribe`), layered on the
+//!   byte-exact [`adp_core::wire`] codec. Specified in
+//!   `docs/PROTOCOL.md`.
 //! * [`server`] — an event-driven core: epoll reactor shards own the
 //!   non-blocking listener and connection sockets (frame reassembly,
 //!   bounded write queues, idle timeouts), a worker pool runs the
@@ -17,10 +20,16 @@
 //!   `(table_id, canonical query)` serves hot ranges without touching
 //!   the publisher. Thread count is bounded by shards + workers, not by
 //!   connection count.
-//! * [`client`] — [`RemoteClient`] (raw frames) and [`RemoteVerifier`],
-//!   which runs the unchanged `adp-core` verifier against the socket: the
-//!   server is untrusted, so every answer is verified against the owner's
-//!   certificate before being returned.
+//! * [`client`] — [`RemoteClient`] (raw frames), [`RemoteVerifier`],
+//!   which runs the unchanged `adp-core` verifier against the socket, and
+//!   [`RemoteSubscriber`], which registers a key range and verifies every
+//!   pushed `DeltaVo` incrementally: the server is untrusted, so every
+//!   answer is verified against the owner's certificate before being
+//!   returned.
+//! * [`follow`] — the log-shipping follower: [`LogFollower`] replays an
+//!   upstream publisher's signed update log into a local mirror store,
+//!   verifying each record before the epoch bump, so a second `adp-server`
+//!   can serve the same table with zero trust in its upstream.
 //! * [`cache`] / [`pool`] / [`sys`] — the `std`-only LRU map, thread
 //!   pool, and raw epoll bindings the server is built from.
 //!
@@ -62,6 +71,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod follow;
 pub mod pool;
 pub mod protocol;
 mod reactor;
@@ -69,6 +79,7 @@ pub mod server;
 pub mod sys;
 
 pub use cache::LruCache;
-pub use client::{RemoteClient, RemoteError, RemoteVerifier};
+pub use client::{RemoteClient, RemoteError, RemoteSubscriber, RemoteVerifier};
+pub use follow::{FollowError, FollowStart, LogFollower};
 pub use protocol::{ErrorCode, Frame, ProtoError, StatsSnapshot};
 pub use server::{Server, ServerConfig, ServerHandle, TamperFn, UpdateError};

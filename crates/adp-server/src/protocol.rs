@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0xAD 0x50
-//! 2       1     protocol version (currently 0x03)
+//! 2       1     protocol version (currently 0x04)
 //! 3       1     frame type
 //! 4       4     payload length, u32 little-endian (max 64 MiB)
 //! ```
@@ -39,8 +39,13 @@ pub const MAGIC: [u8; 2] = [0xAD, 0x50];
 /// `StatsResponse` (the VO cache is no longer static — live updates bump
 /// per-table epochs and stale entries are dropped lazily); `0x03` added
 /// the connection-lifecycle gauges (`open_connections`, `queue_depth`,
-/// `idle_reaped`) that the event-driven server core exports.
-pub const VERSION: u8 = 0x03;
+/// `idle_reaped`) that the event-driven server core exports; `0x04` added
+/// verified subscriptions — the log-shipping frames (`FollowLog`,
+/// `LogSegment`, `Snapshot`) that let a follower publisher mirror a
+/// table over the wire, the client-facing `Subscribe`/`DeltaVO`/
+/// `Unsubscribe` frames that push re-verifiable VO deltas on every epoch
+/// bump, and the `subscriptions`/`deltas_pushed` stats fields.
+pub const VERSION: u8 = 0x04;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -68,6 +73,23 @@ pub mod frame_type {
     pub const STATS_RESPONSE: u8 = 0x08;
     /// Error reply.
     pub const ERROR: u8 = 0x09;
+    /// Follower handshake: start shipping a table's update log. New in
+    /// version 4.
+    pub const FOLLOW_LOG: u8 = 0x0A;
+    /// A run of signed update-log records (handshake backlog or live
+    /// push). New in version 4.
+    pub const LOG_SEGMENT: u8 = 0x0B;
+    /// A full signed-table snapshot for follower bootstrap. New in
+    /// version 4.
+    pub const SNAPSHOT: u8 = 0x0C;
+    /// Client subscription request: a table + key range to watch. New in
+    /// version 4.
+    pub const SUBSCRIBE: u8 = 0x0D;
+    /// An incremental, self-verifying VO delta pushed to a subscriber.
+    /// New in version 4.
+    pub const DELTA_VO: u8 = 0x0E;
+    /// Cancel a subscription. New in version 4.
+    pub const UNSUBSCRIBE: u8 = 0x0F;
 }
 
 /// Error codes carried by [`Frame::Error`] and batch error items.
@@ -138,6 +160,29 @@ pub struct StatsSnapshot {
     pub idle_reaped: u64,
     /// Error frames emitted.
     pub errors: u64,
+    /// Registry entries currently live — range subscriptions plus log
+    /// followers (a gauge, not a counter). New in version 4.
+    pub subscriptions: u64,
+    /// `DeltaVO` frames pushed to subscribers since start. New in
+    /// version 4.
+    pub deltas_pushed: u64,
+}
+
+/// One self-contained piece of a [`Frame::DeltaVo`]: a complete
+/// `(result, vo)` answer for the sub-range `[lo, hi]` of the subscribed
+/// key range, verifiable with `verify_select_wire` against the query
+/// `SelectQuery::range(KeyRange::closed(lo, hi))` and the owner's
+/// certificate alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaPiece {
+    /// Inclusive lower key bound of the refreshed interval.
+    pub lo: i64,
+    /// Inclusive upper key bound of the refreshed interval.
+    pub hi: i64,
+    /// `wire::encode_records` bytes for the interval.
+    pub result: Vec<u8>,
+    /// `wire::encode_vo` bytes for the interval.
+    pub vo: Vec<u8>,
 }
 
 /// One item of a [`Frame::BatchResponse`].
@@ -203,6 +248,68 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Follower handshake: ship `table_id`'s update log to this
+    /// connection. `have = None` asks for a bootstrap [`Frame::Snapshot`];
+    /// `have = Some(n)` resumes from log sequence `n` (the follower's
+    /// `next_seq`).
+    FollowLog {
+        /// Which served table to follow.
+        table_id: u32,
+        /// Resume point: the lowest log sequence the follower still
+        /// needs, or `None` for a fresh bootstrap.
+        have: Option<u64>,
+    },
+    /// A run of signed update-log records for a followed table, in the
+    /// `adp-store` framed log-record encoding (possibly empty — the
+    /// handshake ack when there is no backlog).
+    LogSegment {
+        /// The followed table.
+        table_id: u32,
+        /// Concatenated `adp_store::log::encode_record` frames.
+        records: Vec<u8>,
+    },
+    /// A full signed-table snapshot for follower bootstrap, in the
+    /// `adp-store` snapshot encoding. The follower authenticates it by
+    /// checking the embedded public key against the owner certificate it
+    /// already holds and re-running the full signature audit.
+    Snapshot {
+        /// The followed table.
+        table_id: u32,
+        /// `adp_store::format::encode_snapshot` bytes.
+        snapshot: Vec<u8>,
+    },
+    /// Register a subscription: push a [`Frame::DeltaVo`] to this
+    /// connection whenever an update batch touches `query`'s key range.
+    /// The server answers immediately with an initial `DeltaVo` carrying
+    /// one piece that covers the whole subscribed range.
+    Subscribe {
+        /// Client-chosen subscription id, echoed in every `DeltaVo`.
+        sub_id: u32,
+        /// Which served table to watch.
+        table_id: u32,
+        /// The watched range. Filters, projections, and DISTINCT are
+        /// rejected with [`ErrorCode::BadQuery`] — deltas are raw range
+        /// refreshes.
+        query: SelectQuery,
+    },
+    /// An incremental delta pushed to a subscriber: for each key interval
+    /// the update batch dirtied (intersected with the subscription
+    /// range), one self-contained `(result, vo)` proof. An empty `pieces`
+    /// list acknowledges an [`Frame::Unsubscribe`].
+    DeltaVo {
+        /// The subscription this delta belongs to.
+        sub_id: u32,
+        /// The table epoch this delta brings the subscriber to.
+        epoch: u64,
+        /// Refreshed intervals, in ascending key order.
+        pieces: Vec<DeltaPiece>,
+    },
+    /// Cancel the subscription `sub_id`; acknowledged by an empty
+    /// [`Frame::DeltaVo`]. No deltas for `sub_id` follow the ack.
+    Unsubscribe {
+        /// The subscription to cancel.
+        sub_id: u32,
+    },
 }
 
 impl Frame {
@@ -218,6 +325,12 @@ impl Frame {
             Frame::StatsRequest => frame_type::STATS_REQUEST,
             Frame::StatsResponse(_) => frame_type::STATS_RESPONSE,
             Frame::Error { .. } => frame_type::ERROR,
+            Frame::FollowLog { .. } => frame_type::FOLLOW_LOG,
+            Frame::LogSegment { .. } => frame_type::LOG_SEGMENT,
+            Frame::Snapshot { .. } => frame_type::SNAPSHOT,
+            Frame::Subscribe { .. } => frame_type::SUBSCRIBE,
+            Frame::DeltaVo { .. } => frame_type::DELTA_VO,
+            Frame::Unsubscribe { .. } => frame_type::UNSUBSCRIBE,
         }
     }
 }
@@ -326,10 +439,57 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(s.queue_depth);
             w.u64(s.idle_reaped);
             w.u64(s.errors);
+            w.u64(s.subscriptions);
+            w.u64(s.deltas_pushed);
         }
         Frame::Error { code, message } => {
             w.u8(*code as u8);
             w.bytes(message.as_bytes());
+        }
+        Frame::FollowLog { table_id, have } => {
+            w.u32(*table_id);
+            match have {
+                None => w.u8(0),
+                Some(seq) => {
+                    w.u8(1);
+                    w.u64(*seq);
+                }
+            }
+        }
+        Frame::LogSegment { table_id, records } => {
+            w.u32(*table_id);
+            w.bytes(records);
+        }
+        Frame::Snapshot { table_id, snapshot } => {
+            w.u32(*table_id);
+            w.bytes(snapshot);
+        }
+        Frame::Subscribe {
+            sub_id,
+            table_id,
+            query,
+        } => {
+            w.u32(*sub_id);
+            w.u32(*table_id);
+            w.bytes(&wire::encode_query(query));
+        }
+        Frame::DeltaVo {
+            sub_id,
+            epoch,
+            pieces,
+        } => {
+            w.u32(*sub_id);
+            w.u64(*epoch);
+            w.u32(pieces.len() as u32);
+            for p in pieces {
+                w.i64(p.lo);
+                w.i64(p.hi);
+                w.bytes(&p.result);
+                w.bytes(&p.vo);
+            }
+        }
+        Frame::Unsubscribe { sub_id } => {
+            w.u32(*sub_id);
         }
     }
     w.into_bytes()
@@ -419,6 +579,8 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
             queue_depth: r.u64()?,
             idle_reaped: r.u64()?,
             errors: r.u64()?,
+            subscriptions: r.u64()?,
+            deltas_pushed: r.u64()?,
         }),
         frame_type::ERROR => {
             let code = ErrorCode::from_byte(r.u8()?).ok_or(WireError("bad error code"))?;
@@ -426,6 +588,56 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
                 String::from_utf8(r.bytes()?.to_vec()).map_err(|_| WireError("bad utf8"))?;
             Frame::Error { code, message }
         }
+        frame_type::FOLLOW_LOG => {
+            let table_id = r.u32()?;
+            let have = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(WireError("bad resume tag").into()),
+            };
+            Frame::FollowLog { table_id, have }
+        }
+        frame_type::LOG_SEGMENT => Frame::LogSegment {
+            table_id: r.u32()?,
+            records: r.bytes()?.to_vec(),
+        },
+        frame_type::SNAPSHOT => Frame::Snapshot {
+            table_id: r.u32()?,
+            snapshot: r.bytes()?.to_vec(),
+        },
+        frame_type::SUBSCRIBE => {
+            let sub_id = r.u32()?;
+            let table_id = r.u32()?;
+            let query = wire::decode_query(r.bytes()?)?;
+            Frame::Subscribe {
+                sub_id,
+                table_id,
+                query,
+            }
+        }
+        frame_type::DELTA_VO => {
+            let sub_id = r.u32()?;
+            let epoch = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > 1 << 16 {
+                return Err(WireError("too many delta pieces").into());
+            }
+            let mut pieces = Vec::with_capacity(n);
+            for _ in 0..n {
+                pieces.push(DeltaPiece {
+                    lo: r.i64()?,
+                    hi: r.i64()?,
+                    result: r.bytes()?.to_vec(),
+                    vo: r.bytes()?.to_vec(),
+                });
+            }
+            Frame::DeltaVo {
+                sub_id,
+                epoch,
+                pieces,
+            }
+        }
+        frame_type::UNSUBSCRIBE => Frame::Unsubscribe { sub_id: r.u32()? },
         other => return Err(ProtoError::UnknownFrameType(other)),
     };
     if !r.done() {
@@ -602,11 +814,58 @@ mod tests {
                 queue_depth: 9,
                 idle_reaped: 10,
                 errors: 11,
+                subscriptions: 12,
+                deltas_pushed: 13,
             }),
             Frame::Error {
                 code: ErrorCode::BadFrame,
                 message: "nope".into(),
             },
+            Frame::FollowLog {
+                table_id: 3,
+                have: None,
+            },
+            Frame::FollowLog {
+                table_id: 3,
+                have: Some(17),
+            },
+            Frame::LogSegment {
+                table_id: 3,
+                records: vec![0xAB; 9],
+            },
+            Frame::Snapshot {
+                table_id: 3,
+                snapshot: vec![0xCD; 12],
+            },
+            Frame::Subscribe {
+                sub_id: 1,
+                table_id: 7,
+                query: SelectQuery::range(KeyRange::closed(100, 500)),
+            },
+            Frame::DeltaVo {
+                sub_id: 1,
+                epoch: 4,
+                pieces: vec![
+                    DeltaPiece {
+                        lo: 100,
+                        hi: 180,
+                        result: vec![1, 2],
+                        vo: vec![3],
+                    },
+                    DeltaPiece {
+                        lo: 400,
+                        hi: 500,
+                        result: vec![],
+                        vo: vec![4, 5, 6],
+                    },
+                ],
+            },
+            Frame::DeltaVo {
+                sub_id: 9,
+                epoch: 0,
+                pieces: vec![],
+            },
+            Frame::Unsubscribe { sub_id: 1 },
         ]
     }
 
@@ -661,8 +920,24 @@ mod tests {
     fn ping_frame_fixed_vector_matches_protocol_doc() {
         assert_eq!(
             encode_frame(&Frame::Ping),
-            vec![0xAD, 0x50, 0x03, 0x01, 0, 0, 0, 0]
+            vec![0xAD, 0x50, 0x04, 0x01, 0, 0, 0, 0]
         );
+    }
+
+    #[test]
+    fn follow_log_resume_tag_validated() {
+        let mut bytes = encode_frame(&Frame::FollowLog {
+            table_id: 1,
+            have: None,
+        });
+        // Corrupt the resume tag (last payload byte) to an unassigned
+        // value: defensive decode must refuse it.
+        let last = bytes.len() - 1;
+        bytes[last] = 2;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -678,9 +953,9 @@ mod tests {
     #[test]
     fn bad_version_rejected() {
         // Older versions are refused too: the StatsResponse layout
-        // changed in both v2 and v3, so a v3 speaker must not silently
+        // changed in v2, v3, and v4, so a v4 speaker must not silently
         // accept earlier peers.
-        for old in [0x01, 0x02] {
+        for old in [0x01, 0x02, 0x03] {
             let mut bytes = encode_frame(&Frame::Ping);
             bytes[2] = old;
             assert!(matches!(

@@ -35,8 +35,8 @@ use crate::protocol::{
     self, encode_frame, frame_type, ErrorCode, Frame, StatsSnapshot, HEADER_LEN, MAGIC, VERSION,
 };
 use crate::server::{
-    answer, encode_batch_frame, lock_recover, AnswerBlob, BatchAnswer, Inner, ServerConfig,
-    ServerStats,
+    answer, encode_batch_frame, follow_job, lock_recover, subscribe_job, AnswerBlob, BatchAnswer,
+    Inner, ServerConfig, ServerStats,
 };
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use adp_relation::SelectQuery;
@@ -75,6 +75,18 @@ pub(crate) enum Msg {
     /// Append these chunks to connection `token`'s write queue and clear
     /// its in-flight marker.
     Complete(u64, Vec<WriteChunk>),
+    /// A subscription push (fan-out from an applied update): append these
+    /// chunks to connection `token`'s write queue *without* touching its
+    /// in-flight marker — pushes are unsolicited and interleave with the
+    /// request/response stream. `sub_id` is the range subscription the
+    /// chunks belong to (`None` for follower log segments); delivery
+    /// re-checks it is still registered, so no delta can land on the wire
+    /// after its unsubscribe ack.
+    Push {
+        token: u64,
+        sub_id: Option<u32>,
+        chunks: Vec<WriteChunk>,
+    },
 }
 
 /// The cross-thread face of a shard: an injection queue plus the write
@@ -173,6 +185,18 @@ enum Req {
     },
     Batch {
         items: Vec<(u32, SelectQuery)>,
+    },
+    Subscribe {
+        sub_id: u32,
+        table_id: u32,
+        query: SelectQuery,
+    },
+    Unsubscribe {
+        sub_id: u32,
+    },
+    FollowLog {
+        table_id: u32,
+        have: Option<u64>,
     },
     /// A server→client frame type arrived: answered with an error frame,
     /// connection stays open (matches the old server).
@@ -566,6 +590,28 @@ impl Shard {
                     }
                     self.epilogue(token);
                 }
+                Msg::Push {
+                    token,
+                    sub_id,
+                    chunks,
+                } => {
+                    {
+                        let Some(conn) = self.conns.get_mut(&token) else {
+                            continue; // closed since the fan-out snapshot
+                        };
+                        // An unsubscribe may have raced the fan-out: the
+                        // ack is already (or about to be) queued, and no
+                        // delta may follow it on the wire.
+                        if let Some(sub_id) = sub_id {
+                            if !self.core.inner.sub_alive(&self.core.me, token, sub_id) {
+                                continue;
+                            }
+                        }
+                        push_chunks(&self.core, conn, chunks);
+                        write_some(&self.core, conn);
+                    }
+                    self.epilogue(token);
+                }
             }
         }
     }
@@ -676,6 +722,9 @@ impl Shard {
             stats
                 .queue_depth
                 .fetch_sub(conn.queued_bytes as u64, Ordering::Relaxed);
+            // Any subscriptions this connection held die with it (tokens
+            // are never reused, so a racing fan-out pushes to nobody).
+            self.core.inner.purge_conn_subs(&self.core.me, token);
             // Dropping the stream closes the fd, which also removes its
             // epoll registration (it was never duplicated).
         }
@@ -807,11 +856,27 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
                                 Req::Query { table_id, query }
                             }
                             Frame::BatchRequest { items } => Req::Batch { items },
+                            Frame::Subscribe {
+                                sub_id,
+                                table_id,
+                                query,
+                            } => Req::Subscribe {
+                                sub_id,
+                                table_id,
+                                query,
+                            },
+                            Frame::Unsubscribe { sub_id } => Req::Unsubscribe { sub_id },
+                            Frame::FollowLog { table_id, have } => {
+                                Req::FollowLog { table_id, have }
+                            }
                             Frame::Pong
                             | Frame::QueryResponse { .. }
                             | Frame::BatchResponse { .. }
                             | Frame::StatsResponse(_)
-                            | Frame::Error { .. } => Req::BadDirection,
+                            | Frame::Error { .. }
+                            | Frame::LogSegment { .. }
+                            | Frame::Snapshot { .. }
+                            | Frame::DeltaVo { .. } => Req::BadDirection,
                         });
                     }
                 }
@@ -892,6 +957,24 @@ fn pump(core: &ShardCore, conn: &mut Conn, token: u64) {
     }
 }
 
+/// [`answer`] with a panic guard. The pool's own `catch_unwind` keeps the
+/// worker thread alive, but a panic escaping the job still swallows the
+/// completion message — the connection's in-flight marker then never
+/// clears and its request FIFO wedges forever. Catching here turns a
+/// panicking query (a publisher bug, a poisoned-and-recovered structure in
+/// a weird state) into an ordinary per-query error that completes back to
+/// the shard like any other.
+fn answer_guarded(
+    inner: &Inner,
+    table_id: u32,
+    query: &SelectQuery,
+) -> Result<AnswerBlob, (ErrorCode, String)> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        answer(inner, table_id, query)
+    }))
+    .unwrap_or_else(|_| Err((ErrorCode::Internal, "query panicked".into())))
+}
+
 /// Drains the connection's request FIFO: cheap frames answer in place;
 /// a query or batch goes to the worker pool and marks the connection
 /// in-flight, parking the FIFO until the answer completes back.
@@ -947,7 +1030,7 @@ fn dispatch(core: &ShardCore, conn: &mut Conn, token: u64) {
                 let inner = Arc::clone(&core.inner);
                 let shard = Arc::clone(&core.me);
                 core.pool.execute(move || {
-                    let item = answer(&inner, table_id, &query);
+                    let item = answer_guarded(&inner, table_id, &query);
                     if item.is_err() {
                         ServerStats::bump(&inner.stats.errors);
                     }
@@ -962,6 +1045,54 @@ fn dispatch(core: &ShardCore, conn: &mut Conn, token: u64) {
                     };
                     shard.push(Msg::Complete(token, chunks));
                 });
+            }
+            Req::Subscribe {
+                sub_id,
+                table_id,
+                query,
+            } => {
+                conn.inflight = true;
+                let inner = Arc::clone(&core.inner);
+                let shard = Arc::clone(&core.me);
+                core.pool.execute(move || {
+                    subscribe_job(&inner, &shard, token, sub_id, table_id, &query);
+                });
+            }
+            Req::FollowLog { table_id, have } => {
+                conn.inflight = true;
+                let inner = Arc::clone(&core.inner);
+                let shard = Arc::clone(&core.me);
+                core.pool.execute(move || {
+                    follow_job(&inner, &shard, token, table_id, have);
+                });
+            }
+            Req::Unsubscribe { sub_id } => {
+                // Inline on the shard thread: removing the registry entry
+                // and queuing the ack atomically with respect to this
+                // connection's write queue guarantees no delta for
+                // `sub_id` follows the ack (fan-out pushes arriving later
+                // fail the delivery-time `sub_alive` check).
+                if core.inner.remove_range_sub(&core.me, token, sub_id) {
+                    push_chunks(
+                        core,
+                        conn,
+                        vec![WriteChunk::owned(encode_frame(&Frame::DeltaVo {
+                            sub_id,
+                            epoch: 0,
+                            pieces: Vec::new(),
+                        }))],
+                    );
+                } else {
+                    ServerStats::bump(&core.inner.stats.errors);
+                    push_chunks(
+                        core,
+                        conn,
+                        vec![WriteChunk::owned(encode_frame(&Frame::Error {
+                            code: ErrorCode::BadQuery,
+                            message: format!("no subscription with id {sub_id}"),
+                        }))],
+                    );
+                }
             }
             Req::Batch { items } => {
                 ServerStats::bump(&core.inner.stats.batches);
@@ -981,7 +1112,7 @@ fn dispatch(core: &ShardCore, conn: &mut Conn, token: u64) {
                 for (index, (table_id, query)) in items.into_iter().enumerate() {
                     let state = Arc::clone(&state);
                     core.pool.execute(move || {
-                        let item = answer(&state.inner, table_id, &query);
+                        let item = answer_guarded(&state.inner, table_id, &query);
                         if item.is_err() {
                             ServerStats::bump(&state.inner.stats.errors);
                         }

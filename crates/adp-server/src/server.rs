@@ -19,18 +19,20 @@
 //! key range is normalized against the table's domain first (so `K < 100`
 //! and `K ≤ 99` are one entry) and the cached value is the already-encoded
 //! `(result, vo)` pair — a hit bypasses the publisher *and* the codec.
-//! Hit/miss counters are exported through [`Frame::StatsRequest`](crate::protocol::Frame::StatsRequest).
+//! Hit/miss counters are exported through [`Frame::StatsRequest`].
 
 use crate::cache::LruCache;
 use crate::pool::ThreadPool;
-use crate::protocol::{ErrorCode, StatsSnapshot};
-use crate::reactor::{self, ShardHandle};
+use crate::protocol::{self, ErrorCode, Frame, StatsSnapshot};
+use crate::reactor::{self, Msg, ShardHandle, WriteChunk};
+use adp_core::delta;
 use adp_core::owner::{Mutation, SignedTable};
 use adp_core::publisher::Publisher;
 use adp_core::vo::QueryVO;
 use adp_core::wire::{self, Writer};
 use adp_crypto::Signature;
 use adp_relation::{KeyRange, Record, SelectQuery};
+use adp_store::log::{encode_record, LogRecord};
 use adp_store::{Store, StoreError};
 use std::collections::HashMap;
 use std::fmt;
@@ -98,7 +100,7 @@ impl Default for ServerConfig {
 }
 
 /// Server counters and gauges (lock-free; read via
-/// [`ServerHandle::stats`] or the wire's [`Frame::StatsRequest`](crate::protocol::Frame::StatsRequest)).
+/// [`ServerHandle::stats`] or the wire's [`Frame::StatsRequest`]).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     pub(crate) connections: AtomicU64,
@@ -113,6 +115,12 @@ pub struct ServerStats {
     pub(crate) queue_depth: AtomicU64,
     pub(crate) idle_reaped: AtomicU64,
     pub(crate) errors: AtomicU64,
+    /// Gauge: live subscription-registry entries (range subscriptions
+    /// plus log followers).
+    pub(crate) subscriptions: AtomicU64,
+    /// `DeltaVO` frames pushed to subscribers (the initial snapshot
+    /// answering a `Subscribe` counts; unsubscribe acks do not).
+    pub(crate) deltas_pushed: AtomicU64,
     /// Reactor loop iterations across all shards. Not on the wire — a
     /// diagnostic proving idle connections cost zero steady-state wakeups
     /// (exported via [`ServerHandle::reactor_wakeups`]).
@@ -137,6 +145,8 @@ impl ServerStats {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            subscriptions: self.subscriptions.load(Ordering::Relaxed),
+            deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
         }
     }
 }
@@ -203,6 +213,25 @@ impl From<StoreError> for UpdateError {
     }
 }
 
+/// What a subscription-registry entry delivers.
+pub(crate) enum SubKind {
+    /// A mirror publisher receiving every applied batch as a `LogSegment`.
+    Follower,
+    /// A client receiving `DeltaVO` pushes for the closed key range
+    /// `[lo, hi]` (normalized against the table's domain at registration).
+    Range { sub_id: u32, lo: i64, hi: i64 },
+}
+
+/// One live subscription: which connection to push to and what it wants.
+/// `(shard, token)` identifies the connection — tokens are per-shard and
+/// never reused, so a stale entry can at worst push to nobody.
+pub(crate) struct SubEntry {
+    pub(crate) table_id: u32,
+    pub(crate) shard: Arc<ShardHandle>,
+    pub(crate) token: u64,
+    pub(crate) kind: SubKind,
+}
+
 /// Everything reactor shards and pool workers share.
 pub(crate) struct Inner {
     tables: RwLock<HashMap<u32, TableSlot>>,
@@ -210,6 +239,14 @@ pub(crate) struct Inner {
     /// (absent for purely in-memory tables).
     stores: Mutex<HashMap<u32, Store>>,
     cache: Option<Mutex<LruCache<Vec<u8>, CachedAnswer>>>,
+    /// The subscription registry. Lock ordering: `stores` → `tables` →
+    /// `subs`, and `tables` is never *held* while acquiring `subs`
+    /// (registration jobs take `subs` first, then read `tables`, so the
+    /// update path must release `tables` before fanning out). Every push
+    /// to a subscriber — including the registration response itself — is
+    /// enqueued while holding `subs`, which is what makes the per-
+    /// connection wire order equal epoch order.
+    pub(crate) subs: Mutex<Vec<SubEntry>>,
     pub(crate) stats: ServerStats,
     tamper: Option<Box<TamperFn>>,
 }
@@ -221,6 +258,53 @@ impl Inner {
             .as_ref()
             .map_or(0, |c| lock_recover(c).len() as u64);
         self.stats.snapshot(cache_entries)
+    }
+
+    /// Whether the range subscription `sub_id` on `(shard, token)` is
+    /// still registered — checked at push *delivery* so no delta lands on
+    /// the wire after an unsubscribe ack.
+    pub(crate) fn sub_alive(&self, shard: &Arc<ShardHandle>, token: u64, sub_id: u32) -> bool {
+        lock_recover(&self.subs).iter().any(|e| {
+            e.token == token
+                && Arc::ptr_eq(&e.shard, shard)
+                && matches!(e.kind, SubKind::Range { sub_id: s, .. } if s == sub_id)
+        })
+    }
+
+    /// Removes one range subscription (the `Unsubscribe` path). Returns
+    /// whether an entry was actually removed.
+    pub(crate) fn remove_range_sub(
+        &self,
+        shard: &Arc<ShardHandle>,
+        token: u64,
+        sub_id: u32,
+    ) -> bool {
+        let mut subs = lock_recover(&self.subs);
+        let before = subs.len();
+        subs.retain(|e| {
+            !(e.token == token
+                && Arc::ptr_eq(&e.shard, shard)
+                && matches!(e.kind, SubKind::Range { sub_id: s, .. } if s == sub_id))
+        });
+        let removed = before != subs.len();
+        if removed {
+            self.stats.subscriptions.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drops every registry entry belonging to `(shard, token)` — called
+    /// when the connection closes (drained, reaped, or broken).
+    pub(crate) fn purge_conn_subs(&self, shard: &Arc<ShardHandle>, token: u64) {
+        let mut subs = lock_recover(&self.subs);
+        let before = subs.len();
+        subs.retain(|e| !(e.token == token && Arc::ptr_eq(&e.shard, shard)));
+        let removed = (before - subs.len()) as u64;
+        if removed > 0 {
+            self.stats
+                .subscriptions
+                .fetch_sub(removed, Ordering::Relaxed);
+        }
     }
 }
 
@@ -435,6 +519,7 @@ impl Server {
             stores: Mutex::new(self.stores),
             cache: (self.config.cache_capacity > 0)
                 .then(|| Mutex::new(LruCache::new(self.config.cache_capacity))),
+            subs: Mutex::new(Vec::new()),
             stats: ServerStats::default(),
             tamper: self.tamper,
         });
@@ -506,6 +591,313 @@ pub(crate) fn encode_batch_frame(inner: &Inner, answers: &[BatchAnswer]) -> Vec<
     out
 }
 
+/// Encodes a [`Frame::Error`] into one write chunk.
+fn error_chunks(inner: &Inner, code: ErrorCode, message: String) -> Vec<WriteChunk> {
+    ServerStats::bump(&inner.stats.errors);
+    vec![WriteChunk::owned(protocol::encode_frame(&Frame::Error {
+        code,
+        message,
+    }))]
+}
+
+/// Pool job for a [`Frame::Subscribe`]: validates the query (pure key
+/// range only), registers the subscription, and completes the request
+/// with an initial [`Frame::DeltaVo`] whose single piece proves the whole
+/// subscribed range at the current epoch.
+///
+/// Registration and the initial response happen under the `subs` lock, so
+/// relative to the update path's fan-out (which also pushes under `subs`)
+/// the subscriber's wire sees the initial snapshot strictly before any
+/// delta with a later epoch, and never misses an epoch in between.
+pub(crate) fn subscribe_job(
+    inner: &Inner,
+    shard: &Arc<ShardHandle>,
+    token: u64,
+    sub_id: u32,
+    table_id: u32,
+    query: &SelectQuery,
+) {
+    let complete = |chunks| shard.push(Msg::Complete(token, chunks));
+    if !query.filters.is_empty()
+        || query.projection != adp_relation::Projection::All
+        || query.distinct
+    {
+        return complete(error_chunks(
+            inner,
+            ErrorCode::BadQuery,
+            "subscriptions take a pure key-range query (no filters, projection, or DISTINCT)"
+                .into(),
+        ));
+    }
+    let mut subs = lock_recover(&inner.subs);
+    if subs.iter().any(|e| {
+        e.token == token
+            && Arc::ptr_eq(&e.shard, shard)
+            && matches!(e.kind, SubKind::Range { sub_id: s, .. } if s == sub_id)
+    }) {
+        drop(subs);
+        return complete(error_chunks(
+            inner,
+            ErrorCode::BadQuery,
+            format!("subscription id {sub_id} is already registered on this connection"),
+        ));
+    }
+    let (st, epoch) = {
+        let tables = read_recover(&inner.tables);
+        match tables.get(&table_id) {
+            Some(slot) => (Arc::clone(&slot.st), slot.epoch),
+            None => {
+                drop(tables);
+                drop(subs);
+                return complete(error_chunks(
+                    inner,
+                    ErrorCode::UnknownTable,
+                    format!("no table with id {table_id}"),
+                ));
+            }
+        }
+    };
+    let Some(bounds) = st.domain().normalize(&query.range) else {
+        drop(subs);
+        return complete(error_chunks(
+            inner,
+            ErrorCode::BadQuery,
+            "subscribed range is empty under the table's domain".into(),
+        ));
+    };
+    let (lo, hi) = (bounds.alpha, bounds.beta);
+    // The registration response: one self-contained piece proving the
+    // whole subscribed range right now. Deltas only refresh what later
+    // batches dirty, so this is the subscriber's baseline.
+    let piece = match delta::build_delta_pieces(&st, &[(lo, hi)], lo, hi) {
+        Ok(pieces) => pieces,
+        Err(e) => {
+            drop(subs);
+            return complete(error_chunks(inner, ErrorCode::Internal, e.to_string()));
+        }
+    };
+    let pieces = piece
+        .into_iter()
+        .map(|p| protocol::DeltaPiece {
+            lo: p.lo,
+            hi: p.hi,
+            result: wire::encode_records(&p.records),
+            vo: wire::encode_vo(&p.vo),
+        })
+        .collect();
+    let mut buf = Vec::new();
+    if let Err(e) = protocol::write_frame(
+        &mut buf,
+        &Frame::DeltaVo {
+            sub_id,
+            epoch,
+            pieces,
+        },
+    ) {
+        drop(subs);
+        return complete(error_chunks(inner, ErrorCode::Internal, e.to_string()));
+    }
+    subs.push(SubEntry {
+        table_id,
+        shard: Arc::clone(shard),
+        token,
+        kind: SubKind::Range { sub_id, lo, hi },
+    });
+    inner.stats.subscriptions.fetch_add(1, Ordering::Relaxed);
+    ServerStats::bump(&inner.stats.deltas_pushed);
+    complete(vec![WriteChunk::owned(buf)]);
+}
+
+/// Pool job for a [`Frame::FollowLog`]: answers the handshake with either
+/// the backlog of signed log records (resume) or a bootstrap snapshot,
+/// and registers the connection as a [`SubKind::Follower`] so every batch
+/// applied from here on is shipped to it as a `LogSegment`.
+///
+/// The `stores` lock is held across reading the backlog *and* registering
+/// the entry: [`ServerHandle::apply_update`] holds `stores` for the whole
+/// apply-plus-fan-out, so no batch can land between the backlog we send
+/// and the first live segment the follower receives.
+pub(crate) fn follow_job(
+    inner: &Inner,
+    shard: &Arc<ShardHandle>,
+    token: u64,
+    table_id: u32,
+    have: Option<u64>,
+) {
+    let complete = |chunks| shard.push(Msg::Complete(token, chunks));
+    let stores = lock_recover(&inner.stores);
+    let Some(store) = stores.get(&table_id) else {
+        drop(stores);
+        let known = read_recover(&inner.tables).contains_key(&table_id);
+        let (code, msg) = if known {
+            (
+                ErrorCode::BadQuery,
+                format!("table {table_id} is not store-backed; nothing to follow"),
+            )
+        } else {
+            (
+                ErrorCode::UnknownTable,
+                format!("no table with id {table_id}"),
+            )
+        };
+        return complete(error_chunks(inner, code, msg));
+    };
+    let response = match have {
+        None => Frame::Snapshot {
+            table_id,
+            snapshot: store.snapshot_bytes(),
+        },
+        Some(h) if h > store.next_seq() => {
+            let msg = format!(
+                "resume point {h} is ahead of the log (next_seq {})",
+                store.next_seq()
+            );
+            drop(stores);
+            return complete(error_chunks(inner, ErrorCode::BadQuery, msg));
+        }
+        Some(h) => match store.log_records_from(h) {
+            // Backlog available from `h` (possibly empty: fully caught up).
+            Ok(Some(records)) => Frame::LogSegment { table_id, records },
+            // `h` predates the compaction horizon: re-bootstrap.
+            Ok(None) => Frame::Snapshot {
+                table_id,
+                snapshot: store.snapshot_bytes(),
+            },
+            Err(e) => {
+                drop(stores);
+                return complete(error_chunks(inner, ErrorCode::Internal, e.to_string()));
+            }
+        },
+    };
+    let mut buf = Vec::new();
+    if let Err(e) = protocol::write_frame(&mut buf, &response) {
+        drop(stores);
+        return complete(error_chunks(inner, ErrorCode::Internal, e.to_string()));
+    }
+    {
+        let mut subs = lock_recover(&inner.subs);
+        subs.push(SubEntry {
+            table_id,
+            shard: Arc::clone(shard),
+            token,
+            kind: SubKind::Follower,
+        });
+        inner.stats.subscriptions.fetch_add(1, Ordering::Relaxed);
+        complete(vec![WriteChunk::owned(buf)]);
+    }
+    drop(stores);
+}
+
+/// Pushes one applied batch to every subscription of `table_id`:
+/// followers get the signed log record as a `LogSegment`; range
+/// subscribers get a [`Frame::DeltaVo`] with one self-contained proof per
+/// dirty interval intersecting their range (none → no push). Called from
+/// [`ServerHandle::apply_update`] with `stores` held and `tables`
+/// released; takes `subs` itself.
+pub(crate) fn fan_out(
+    inner: &Inner,
+    table_id: u32,
+    seq: u64,
+    epoch: u64,
+    fresh: &SignedTable,
+    ops: &[Mutation],
+    resigned: &[(u32, Signature)],
+) {
+    let subs = lock_recover(&inner.subs);
+    let has_follower = subs
+        .iter()
+        .any(|e| e.table_id == table_id && matches!(e.kind, SubKind::Follower));
+    let has_range = subs
+        .iter()
+        .any(|e| e.table_id == table_id && matches!(e.kind, SubKind::Range { .. }));
+    if !has_follower && !has_range {
+        return;
+    }
+    // One encoded LogSegment serves every follower.
+    let segment = has_follower
+        .then(|| {
+            let records = encode_record(&LogRecord {
+                seq,
+                ops: ops.to_vec(),
+                resigned: resigned.to_vec(),
+            });
+            let mut buf = Vec::new();
+            protocol::write_frame(&mut buf, &Frame::LogSegment { table_id, records })
+                .map(|()| buf)
+                .map_err(|_| ServerStats::bump(&inner.stats.errors))
+                .ok()
+        })
+        .flatten();
+    let intervals = if has_range {
+        delta::dirty_intervals(fresh, resigned)
+    } else {
+        Vec::new()
+    };
+    for entry in subs.iter() {
+        if entry.table_id != table_id {
+            continue;
+        }
+        match entry.kind {
+            SubKind::Follower => {
+                if let Some(frame) = &segment {
+                    entry.shard.push(Msg::Push {
+                        token: entry.token,
+                        sub_id: None,
+                        chunks: vec![WriteChunk::owned(frame.clone())],
+                    });
+                }
+            }
+            SubKind::Range { sub_id, lo, hi } => {
+                let pieces = match delta::build_delta_pieces(fresh, &intervals, lo, hi) {
+                    Ok(pieces) => pieces,
+                    Err(_) => {
+                        ServerStats::bump(&inner.stats.errors);
+                        continue;
+                    }
+                };
+                if pieces.is_empty() {
+                    continue;
+                }
+                let pieces = pieces
+                    .into_iter()
+                    .map(|p| protocol::DeltaPiece {
+                        lo: p.lo,
+                        hi: p.hi,
+                        result: wire::encode_records(&p.records),
+                        vo: wire::encode_vo(&p.vo),
+                    })
+                    .collect();
+                let mut buf = Vec::new();
+                match protocol::write_frame(
+                    &mut buf,
+                    &Frame::DeltaVo {
+                        sub_id,
+                        epoch,
+                        pieces,
+                    },
+                ) {
+                    Ok(()) => {
+                        ServerStats::bump(&inner.stats.deltas_pushed);
+                        entry.shard.push(Msg::Push {
+                            token: entry.token,
+                            sub_id: Some(sub_id),
+                            chunks: vec![WriteChunk::owned(buf)],
+                        });
+                    }
+                    // A delta too large for one frame is skipped, not
+                    // split. The client cannot distinguish this from a
+                    // batch that didn't touch its range (neither pushes
+                    // a frame), so the drop is observable only in the
+                    // server's error counter; a subscriber that needs
+                    // gap-freedom at this scale should follow the log
+                    // instead.
+                    Err(_) => ServerStats::bump(&inner.stats.errors),
+                }
+            }
+        }
+    }
+}
+
 /// A running server. Dropping the handle (or calling
 /// [`ServerHandle::shutdown`]) wakes every reactor shard, which closes
 /// its connections and exits; the worker pool then drains on drop.
@@ -557,6 +949,13 @@ impl ServerHandle {
     /// in-flight queries keep the old snapshot, later ones see the new
     /// one, and stale VO-cache entries are dropped lazily on lookup.
     ///
+    /// After the swap the batch **fans out** to the subscription registry:
+    /// every follower of the table receives the signed log record as a
+    /// `LogSegment`, and every range subscriber whose range intersects the
+    /// batch's dirty intervals receives an incremental `DeltaVO` at the
+    /// new epoch. The `stores` lock serializes updates, so subscribers see
+    /// epochs in order.
+    ///
     /// Returns the table's new epoch. On error nothing changes.
     pub fn apply_update(
         &self,
@@ -572,14 +971,22 @@ impl ServerHandle {
             UpdateError::UnknownTable(table_id)
         })?;
         store.apply_replayed(ops, resigned)?;
+        let seq = store.next_seq() - 1;
         let fresh = store.table_arc();
-        let mut tables = write_recover(&self.inner.tables);
-        let slot = tables
-            .get_mut(&table_id)
-            .expect("store-backed table is registered");
-        slot.st = fresh;
-        slot.epoch += 1;
-        Ok(slot.epoch)
+        // Scoped so the tables write-lock is released before fan-out takes
+        // `subs` (registration jobs acquire `subs` before reading
+        // `tables`; holding both here would deadlock against them).
+        let epoch = {
+            let mut tables = write_recover(&self.inner.tables);
+            let slot = tables
+                .get_mut(&table_id)
+                .expect("store-backed table is registered");
+            slot.st = Arc::clone(&fresh);
+            slot.epoch += 1;
+            slot.epoch
+        };
+        fan_out(&self.inner, table_id, seq, epoch, &fresh, ops, resigned);
+        Ok(epoch)
     }
 
     /// Stops accepting, joins every thread, and returns once the server is
@@ -641,6 +1048,7 @@ mod tests {
             tables: RwLock::new(tables),
             stores: Mutex::new(HashMap::new()),
             cache: Some(Mutex::new(LruCache::new(8))),
+            subs: Mutex::new(Vec::new()),
             stats: ServerStats::default(),
             tamper: None,
         }

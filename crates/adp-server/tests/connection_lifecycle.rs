@@ -372,6 +372,59 @@ fn idle_timeout_reaps_quiet_connection() {
     handle.shutdown();
 }
 
+/// Regression: a query that panics inside the answer path (here via the
+/// tamper hook, standing in for any publisher bug) must not wedge the
+/// connection. The worker's completion must still fire, the client gets
+/// a typed Internal error, and the same connection keeps answering.
+#[test]
+fn panicking_query_answers_error_and_connection_survives() {
+    let mut server = Server::new(ServerConfig::default());
+    server.add_table(0, signed_table(10, 8));
+    // Panic on the marker range; answer honestly otherwise.
+    server.set_tamper(|_publisher, query, result, vo| {
+        if query.range == KeyRange::closed(666, 777) {
+            panic!("synthetic publisher bug");
+        }
+        (result, vo)
+    });
+    let handle = server.serve("127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    stream
+        .write_all(&encode_frame(&Frame::QueryRequest {
+            table_id: 0,
+            query: SelectQuery::range(KeyRange::closed(666, 777)),
+        }))
+        .unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Frame::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains("panic"), "got {message:?}");
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+
+    // The connection is not wedged: the very next query on the same
+    // socket answers, and so does a ping.
+    stream
+        .write_all(&encode_frame(&Frame::QueryRequest {
+            table_id: 0,
+            query: SelectQuery::range(KeyRange::all()),
+        }))
+        .unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Frame::QueryResponse { result, .. } => assert!(!result.is_empty()),
+        other => panic!("expected QueryResponse, got {other:?}"),
+    }
+    stream.write_all(&encode_frame(&Frame::Ping)).unwrap();
+    assert_eq!(read_frame(&mut stream).unwrap(), Frame::Pong);
+    assert!(wait_for(&handle, |s| s.errors >= 1));
+    handle.shutdown();
+}
+
 /// The whole point of the reactor: thread count is a function of shards
 /// and workers, not of connection count.
 #[test]

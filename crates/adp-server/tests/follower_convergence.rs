@@ -1,0 +1,289 @@
+//! Property: a follower replaying the owner-signed log **converges to
+//! the owner's exact signed state no matter how delivery mangles the
+//! segmentation** — arbitrary record-aligned slicing, overlaps
+//! (re-delivery), mid-segment drops, and out-of-order slices. Overlap is
+//! absorbed idempotently, a skip is a typed [`FollowError::Gap`] that
+//! never half-applies, and resuming from the gap's `expected` sequence
+//! (exactly what a reconnect with `have` does) always completes the
+//! replay. Convergence is asserted digest-identically: the mirror's
+//! full-range answer and VO are byte-equal to the owner's, i.e. the same
+//! signature chain. Case counts are bounded and further capped by
+//! `PROPTEST_CASES` in CI.
+
+use adp_core::prelude::*;
+use adp_core::publisher::Publisher;
+use adp_core::wire;
+use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
+use adp_server::follow::apply_segment;
+use adp_server::{FollowError, FollowStart, LogFollower, RemoteVerifier, Server, ServerConfig};
+use adp_store::log::encode_record;
+use adp_store::{LogRecord, Store};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+const BATCHES: usize = 5;
+
+struct Fixture {
+    /// The table as signed before any batch (the mirror's bootstrap).
+    base_st: SignedTable,
+    cert: Certificate,
+    /// One encoded log record per owner batch, seqs `0..BATCHES`.
+    records: Vec<Vec<u8>>,
+    /// The owner's final full-range `(result, vo)` wire bytes: the
+    /// digest the mirror must land on exactly.
+    expected_result: Vec<u8>,
+    expected_vo: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xF0110);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(
+            vec![
+                Column::new("k", ValueType::Int),
+                Column::new("v", ValueType::Text),
+            ],
+            "k",
+        );
+        let mut t = Table::new("mirror", schema);
+        for i in 0..8i64 {
+            t.insert(Record::new(vec![
+                Value::Int(100 + i * 50),
+                Value::from(format!("r{i}")),
+            ]))
+            .unwrap();
+        }
+        let base_st = owner
+            .sign_table(t, Domain::new(0, 10_000), SchemeConfig::default())
+            .unwrap();
+        let cert = owner.certificate(&base_st);
+        let mut st = base_st.clone();
+        let batches = [
+            vec![Mutation::Insert(Record::new(vec![
+                Value::Int(125),
+                Value::from("a"),
+            ]))],
+            vec![Mutation::Delete {
+                key: 300,
+                replica: 0,
+            }],
+            vec![
+                Mutation::Insert(Record::new(vec![Value::Int(475), Value::from("b")])),
+                Mutation::Insert(Record::new(vec![Value::Int(476), Value::from("c")])),
+            ],
+            vec![Mutation::Delete {
+                key: 100,
+                replica: 0,
+            }],
+            vec![Mutation::Insert(Record::new(vec![
+                Value::Int(9_000),
+                Value::from("d"),
+            ]))],
+        ];
+        let records = batches
+            .into_iter()
+            .enumerate()
+            .map(|(seq, ops)| {
+                let report = owner.apply_batch(&mut st, ops).unwrap();
+                encode_record(&LogRecord {
+                    seq: seq as u64,
+                    ops: report.ops,
+                    resigned: report.resigned,
+                })
+            })
+            .collect();
+        let (rows, vo) = Publisher::new(&st)
+            .answer_select(&SelectQuery::range(KeyRange::all()))
+            .unwrap();
+        Fixture {
+            base_st,
+            cert,
+            records,
+            expected_result: wire::encode_records(&rows),
+            expected_vo: wire::encode_vo(&vo),
+        }
+    })
+}
+
+fn fresh_dir() -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "adp-follow-conv-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Starts a mirror server bootstrapped from the fixture's base table.
+fn mirror_server() -> (adp_server::ServerHandle, PathBuf) {
+    let fx = fixture();
+    let dir = fresh_dir();
+    let store = Store::create_at(&dir, fx.base_st.clone(), 0).unwrap();
+    let mut server = Server::new(ServerConfig::default());
+    server.add_store(0, store);
+    (server.serve("127.0.0.1:0").unwrap(), dir)
+}
+
+/// The mirror's full-range answer must be byte-identical to the owner's.
+fn assert_digest_identical(handle: &adp_server::ServerHandle) -> Result<(), TestCaseError> {
+    let fx = fixture();
+    let mut user = RemoteVerifier::connect(handle.addr(), fx.cert.clone(), 0).unwrap();
+    let (_, result, vo) = user
+        .select_with_bytes(&SelectQuery::range(KeyRange::all()))
+        .expect("converged mirror must verify");
+    prop_assert_eq!(&result, &fx.expected_result);
+    prop_assert_eq!(&vo, &fx.expected_vo);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary record-aligned delivery: each event ships `len` records
+    /// starting at `start` — overlapping already-applied records
+    /// (re-delivery after a resume), stopping short (mid-segment drop),
+    /// or skipping ahead (lost segment). After every gap, resume from
+    /// the mirror's own head, as a reconnect with `have` would. The
+    /// mirror always converges to the owner's exact digest.
+    #[test]
+    fn any_delivery_interleaving_converges(
+        events in prop::collection::vec((0usize..BATCHES, 1usize..=BATCHES), 0..6),
+    ) {
+        let fx = fixture();
+        let (handle, dir) = mirror_server();
+        for (start, len) in events {
+            let end = (start + len).min(BATCHES);
+            let mut seg = Vec::new();
+            for r in &fx.records[start..end] {
+                seg.extend_from_slice(r);
+            }
+            let head = handle.table_epoch(0).unwrap();
+            match apply_segment(&handle, 0, &seg) {
+                Ok(new_head) => {
+                    // Applied through the slice's end, or skipped it
+                    // entirely if it was all stale.
+                    prop_assert_eq!(new_head, (end as u64).max(head));
+                }
+                Err(FollowError::Gap { expected, got }) => {
+                    prop_assert_eq!(expected, head);
+                    prop_assert!(got > expected);
+                    // Reconnect-with-resume: ship everything from the
+                    // mirror's head.
+                    let mut resume = Vec::new();
+                    for r in &fx.records[head as usize..] {
+                        resume.extend_from_slice(r);
+                    }
+                    prop_assert_eq!(
+                        apply_segment(&handle, 0, &resume).unwrap(),
+                        BATCHES as u64
+                    );
+                }
+                Err(other) => return Err(TestCaseError::fail(format!(
+                    "honest records may only fail as Gap, got {other:?}"
+                ))),
+            }
+        }
+        // Final catch-up (a last resume) completes the replay.
+        let head = handle.table_epoch(0).unwrap() as usize;
+        let mut rest = Vec::new();
+        for r in &fx.records[head..] {
+            rest.extend_from_slice(r);
+        }
+        prop_assert_eq!(apply_segment(&handle, 0, &rest).unwrap(), BATCHES as u64);
+        assert_digest_identical(&handle)?;
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A mid-segment connection drop at any byte boundary either fails
+    /// typed (torn record: CRC/truncation) or applies a record-aligned
+    /// prefix — never a torn state — and the resume converges.
+    #[test]
+    fn mid_segment_drop_then_resume_converges(cut in 0usize..1 << 16) {
+        let fx = fixture();
+        let full: Vec<u8> = fx.records.iter().flatten().copied().collect();
+        let cut = cut % full.len();
+        let (handle, dir) = mirror_server();
+        match apply_segment(&handle, 0, &full[..cut]) {
+            Ok(head) => {
+                // A record-aligned prefix: exactly `head` whole records.
+                let aligned: usize = fx.records[..head as usize].iter().map(Vec::len).sum();
+                prop_assert_eq!(aligned, cut);
+            }
+            Err(FollowError::Store(_)) => {} // torn record, typed
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "torn segment must fail as a store error, got {other:?}"
+            ))),
+        }
+        // The epoch equals the number of whole records applied — resume
+        // from there, exactly as a reconnect with `have` would.
+        let head = handle.table_epoch(0).unwrap() as usize;
+        let mut rest = Vec::new();
+        for r in &fx.records[head..] {
+            rest.extend_from_slice(r);
+        }
+        prop_assert_eq!(apply_segment(&handle, 0, &rest).unwrap(), BATCHES as u64);
+        assert_digest_identical(&handle)?;
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The resume path over a real socket: a mirror that followed part of
+/// the log reconnects with `have = head` and receives exactly the
+/// missing backlog — converging to the same digest as a fresh bootstrap.
+#[test]
+fn reconnect_with_resume_over_the_wire() {
+    let fx = fixture();
+
+    // Upstream: owner's store with all five batches in its log.
+    let up_dir = fresh_dir();
+    Store::create_at(&up_dir, fx.base_st.clone(), 0).unwrap();
+    let mut upstream = Server::new(ServerConfig::default());
+    upstream.open_store(0, &up_dir).unwrap();
+    let up_handle = upstream.serve("127.0.0.1:0").unwrap();
+    for rec in &fx.records {
+        for r in adp_store::log::decode_records(rec).unwrap() {
+            up_handle.apply_update(0, &r.ops, &r.resigned).unwrap();
+        }
+    }
+
+    // Mirror that got through two records before "disconnecting".
+    let (handle, dir) = mirror_server();
+    let mut partial = fx.records[0].clone();
+    partial.extend_from_slice(&fx.records[1]);
+    assert_eq!(apply_segment(&handle, 0, &partial).unwrap(), 2);
+
+    // Reconnect with have=2: the backlog is records 2..5, nothing more.
+    let (_conn, start) = LogFollower::connect(up_handle.addr(), 0, Some(2)).unwrap();
+    let backlog = match start {
+        FollowStart::Backlog(b) => b,
+        FollowStart::Snapshot(_) => panic!("resume within the log must not re-bootstrap"),
+    };
+    let seqs: Vec<u64> = adp_store::log::decode_records(&backlog)
+        .unwrap()
+        .iter()
+        .map(|r| r.seq)
+        .collect();
+    assert_eq!(seqs, vec![2, 3, 4]);
+    assert_eq!(apply_segment(&handle, 0, &backlog).unwrap(), BATCHES as u64);
+    assert_digest_identical(&handle).unwrap();
+
+    // A resume from the head gets an empty, caught-up backlog.
+    let (_conn, start) = LogFollower::connect(up_handle.addr(), 0, Some(BATCHES as u64)).unwrap();
+    match start {
+        FollowStart::Backlog(b) => assert!(adp_store::log::decode_records(&b).unwrap().is_empty()),
+        FollowStart::Snapshot(_) => panic!("caught-up resume must ack with an empty backlog"),
+    }
+
+    handle.shutdown();
+    up_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&up_dir);
+}

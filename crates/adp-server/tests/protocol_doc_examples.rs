@@ -5,21 +5,21 @@
 
 use adp_core::wire;
 use adp_relation::{KeyRange, SelectQuery, Value};
-use adp_server::protocol::{decode_frame, encode_frame, Frame};
+use adp_server::protocol::{decode_frame, encode_frame, DeltaPiece, Frame};
 use adp_server::ErrorCode;
 
 /// PROTOCOL.md §2 "Frame header" — the smallest possible frame.
 #[test]
 fn ping_frame_example() {
     let bytes = encode_frame(&Frame::Ping);
-    assert_eq!(bytes, [0xAD, 0x50, 0x03, 0x01, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §2 — pong differs only in the frame-type byte.
 #[test]
 fn pong_frame_example() {
     let bytes = encode_frame(&Frame::Pong);
-    assert_eq!(bytes, [0xAD, 0x50, 0x03, 0x02, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x04, 0x02, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
@@ -47,7 +47,7 @@ fn query_request_frame_example() {
     let expected: &[u8] = &[
         // header
         0xAD, 0x50,             // magic
-        0x03,                   // version
+        0x04,                   // version
         0x03,                   // frame type: QueryRequest
         0x20, 0x00, 0x00, 0x00, // payload length = 32
         // payload
@@ -76,7 +76,7 @@ fn query_response_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x03, 0x04, // magic, version, QueryResponse
+        0xAD, 0x50, 0x04, 0x04, // magic, version, QueryResponse
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x04, 0x00, 0x00, 0x00, // result blob length = 4
@@ -99,7 +99,7 @@ fn error_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x03, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x04, 0x09, // magic, version, Error
         0x17, 0x00, 0x00, 0x00, // payload length = 23
         // payload
         0x02,                   // code: UnknownTable
@@ -123,7 +123,7 @@ fn frame_deadline_error_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x03, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x04, 0x09, // magic, version, Error
         0x1C, 0x00, 0x00, 0x00, // payload length = 28
         // payload
         0x01,                   // code: BadFrame
@@ -136,14 +136,15 @@ fn frame_deadline_error_example() {
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
 
-/// PROTOCOL.md §7 "Stats" — request is empty; the response is eleven
+/// PROTOCOL.md §7 "Stats" — request is empty; the response is thirteen
 /// little-endian `u64` counters (version 2 appended `invalidations`;
-/// version 3 appended `open_connections`, `queue_depth`, `idle_reaped`).
+/// version 3 appended `open_connections`, `queue_depth`, `idle_reaped`;
+/// version 4 appended `subscriptions`, `deltas_pushed`).
 #[test]
 fn stats_frames_example() {
     assert_eq!(
         encode_frame(&Frame::StatsRequest),
-        [0xAD, 0x50, 0x03, 0x07, 0x00, 0x00, 0x00, 0x00]
+        [0xAD, 0x50, 0x04, 0x07, 0x00, 0x00, 0x00, 0x00]
     );
     let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
         connections: 1,
@@ -157,12 +158,180 @@ fn stats_frames_example() {
         queue_depth: 0,
         idle_reaped: 0,
         errors: 0,
+        subscriptions: 1,
+        deltas_pushed: 1,
     });
     let bytes = encode_frame(&frame);
-    assert_eq!(bytes.len(), 8 + 11 * 8);
-    assert_eq!(bytes[..8], [0xAD, 0x50, 0x03, 0x08, 0x58, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes.len(), 8 + 13 * 8);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x04, 0x08, 0x68, 0x00, 0x00, 0x00]);
     // The §7 worked example's first counters: connections = 1, queries = 2.
     assert_eq!(bytes[8..16], 1u64.to_le_bytes());
     assert_eq!(bytes[16..24], 2u64.to_le_bytes());
+    // ... and the two version-4 counters at the tail.
+    assert_eq!(bytes[96..104], 1u64.to_le_bytes());
+    assert_eq!(bytes[104..112], 1u64.to_le_bytes());
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §9 "FollowLog" — both handshakes: a fresh follower asking
+/// for a bootstrap snapshot, and one resuming from log sequence 3.
+#[test]
+fn follow_log_frame_examples() {
+    let fresh = Frame::FollowLog {
+        table_id: 7,
+        have: None,
+    };
+    let bytes = encode_frame(&fresh);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0A, // magic, version, FollowLog
+        0x05, 0x00, 0x00, 0x00, // payload length = 5
+        // payload
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x00,                   // have: absent (bootstrap)
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), fresh);
+
+    let resume = Frame::FollowLog {
+        table_id: 7,
+        have: Some(3),
+    };
+    let bytes = encode_frame(&resume);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0A, // magic, version, FollowLog
+        0x0D, 0x00, 0x00, 0x00, // payload length = 13
+        // payload
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x01,                   // have: present
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // have = 3
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), resume);
+}
+
+/// PROTOCOL.md §9 "LogSegment" — the caught-up handshake ack: a segment
+/// carrying zero log-record frames.
+#[test]
+fn log_segment_frame_example() {
+    let frame = Frame::LogSegment {
+        table_id: 7,
+        records: Vec::new(),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0B, // magic, version, LogSegment
+        0x08, 0x00, 0x00, 0x00, // payload length = 8
+        // payload
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x00, 0x00, 0x00, 0x00, // records blob length = 0
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §10 "Subscribe" — subscription 1 on table 7 watching
+/// `2000 ≤ K ≤ 9000` (the same query blob as the §5 example).
+#[test]
+fn subscribe_frame_example() {
+    let frame = Frame::Subscribe {
+        sub_id: 1,
+        table_id: 7,
+        query: SelectQuery::range(KeyRange::closed(2_000, 9_000)),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0D, // magic, version, Subscribe
+        0x24, 0x00, 0x00, 0x00, // payload length = 36
+        // payload
+        0x01, 0x00, 0x00, 0x00, // sub_id = 1
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x18, 0x00, 0x00, 0x00, // query blob length = 24
+        0x01, 0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lo: Included(2000)
+        0x01, 0x28, 0x23, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // hi: Included(9000)
+        0x00, 0x00, 0x00, 0x00, // 0 filters
+        0x00,                   // projection: All
+        0x00,                   // distinct: false
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §10 "DeltaVo" — a delta at epoch 2 with one piece proving
+/// `[2000, 9000]` empty, and the empty-pieces unsubscribe ack.
+#[test]
+fn delta_vo_frame_examples() {
+    let frame = Frame::DeltaVo {
+        sub_id: 1,
+        epoch: 2,
+        pieces: vec![DeltaPiece {
+            lo: 2_000,
+            hi: 9_000,
+            result: wire::encode_records(&[]),
+            vo: wire::encode_vo(&adp_core::vo::QueryVO::TriviallyEmpty),
+        }],
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0E, // magic, version, DeltaVo
+        0x2D, 0x00, 0x00, 0x00, // payload length = 45
+        // payload
+        0x01, 0x00, 0x00, 0x00, // sub_id = 1
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 2
+        0x01, 0x00, 0x00, 0x00, // 1 piece
+        // piece 0
+        0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lo = 2000
+        0x28, 0x23, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // hi = 9000
+        0x04, 0x00, 0x00, 0x00, // result blob length = 4
+        0x00, 0x00, 0x00, 0x00, //   encode_records([]): 0 records
+        0x01, 0x00, 0x00, 0x00, // vo blob length = 1
+        0x00,                   //   encode_vo(TriviallyEmpty): tag 0
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+
+    let ack = Frame::DeltaVo {
+        sub_id: 1,
+        epoch: 0,
+        pieces: Vec::new(),
+    };
+    let bytes = encode_frame(&ack);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0E, // magic, version, DeltaVo
+        0x10, 0x00, 0x00, 0x00, // payload length = 16
+        // payload
+        0x01, 0x00, 0x00, 0x00, // sub_id = 1
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 0
+        0x00, 0x00, 0x00, 0x00, // 0 pieces: the unsubscribe ack
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), ack);
+}
+
+/// PROTOCOL.md §10 "Unsubscribe" — cancel subscription 1.
+#[test]
+fn unsubscribe_frame_example() {
+    let frame = Frame::Unsubscribe { sub_id: 1 };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x04, 0x0F, // magic, version, Unsubscribe
+        0x04, 0x00, 0x00, 0x00, // payload length = 4
+        // payload
+        0x01, 0x00, 0x00, 0x00, // sub_id = 1
+    ];
+    assert_eq!(bytes, expected);
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }

@@ -171,3 +171,208 @@ remote_attacks! {
     remote_mislabel_filtered   => MislabelFiltered;
     remote_fake_duplicate      => FakeDuplicate;
 }
+
+// --------------------------------------------------------------------------
+// Forged replication: the follower as the verifier (protocol v4, §9).
+//
+// A mirror replays the owner-signed log shipped by an *untrusted*
+// upstream. `apply_segment` is fed raw segment bytes exactly as
+// `LogFollower::next_segment` returns them off the socket, so forging
+// the bytes here is byte-for-byte equivalent to a malicious upstream
+// shipping them — and every forgery must be rejected *before* the
+// follower's epoch bumps, so its own subscribers never see a bad delta.
+
+mod forged_replication {
+    use super::*;
+    use adp_core::owner::OwnerError;
+    use adp_crypto::Signature;
+    use adp_relation::Value;
+    use adp_server::follow::{apply_segment, bootstrap_store};
+    use adp_server::{FollowError, FollowStart, LogFollower, RemoteSubscriber, UpdateError};
+    use adp_store::log::encode_record;
+    use adp_store::{LogRecord, Store, StoreError};
+    use std::fs;
+    use std::time::Duration;
+
+    fn rec(id: i64, salary: i64) -> Record {
+        Record::new(vec![
+            Value::Int(id),
+            Value::from(format!("emp{id}")),
+            Value::Int(salary),
+            Value::Int(id % 3),
+        ])
+    }
+
+    fn workdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("adp-forged-repl-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn flip_signature_byte(resigned: &[(u32, Signature)]) -> Vec<(u32, Signature)> {
+        let mut forged = resigned.to_vec();
+        let mut bytes = forged[0].1.to_bytes();
+        bytes[3] ^= 0x10;
+        forged[0].1 = Signature::from_bytes(&bytes);
+        forged
+    }
+
+    /// Every way an upstream can tamper with the shipped log — flipped
+    /// signature byte, reordered records, dropped record, stale-seq
+    /// replay, flipped payload bit — is rejected by the follower before
+    /// its epoch bumps, and the follower's own subscriber only ever sees
+    /// deltas for the honestly-replicated batches.
+    #[test]
+    fn tampered_segments_rejected_before_epoch_bump() {
+        // Owner + upstream publisher, served from a store.
+        let mut rng = StdRng::seed_from_u64(0xF06D);
+        let owner = Owner::new(512, &mut rng);
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+                Column::new("salary", ValueType::Int),
+                Column::new("dept", ValueType::Int),
+            ],
+            "salary",
+        );
+        let mut t = Table::new("staff", schema);
+        for i in 0..12i64 {
+            t.insert(rec(i, 1_000 + i * 500)).unwrap();
+        }
+        let signed = owner
+            .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+            .unwrap();
+        let cert = owner.certificate(&signed);
+        let mut owner_st = signed.clone();
+        let owner_dir = workdir("owner");
+        Store::create(&owner_dir, signed).unwrap();
+        let mut upstream = Server::new(ServerConfig::default());
+        upstream.open_store(0, &owner_dir).unwrap();
+        let up_handle = upstream.serve("127.0.0.1:0").unwrap();
+
+        // Follower: bootstrap over the wire, then serve the mirror.
+        let (_conn, start) = LogFollower::connect(up_handle.addr(), 0, None).unwrap();
+        let snapshot = match start {
+            FollowStart::Snapshot(s) => s,
+            FollowStart::Backlog(_) => panic!("fresh bootstrap must get a snapshot"),
+        };
+        let mirror_dir = workdir("mirror");
+        let mirror = bootstrap_store(&mirror_dir, &snapshot, &cert.public_key).unwrap();
+        let mut follower = Server::new(ServerConfig::default());
+        follower.add_store(0, mirror);
+        let f_handle = follower.serve("127.0.0.1:0").unwrap();
+        let epoch0 = f_handle.table_epoch(0).unwrap();
+
+        // A live subscriber on the *follower*: it must see exactly the
+        // honest deltas and none of the forged attempts.
+        let mut sub = RemoteSubscriber::subscribe(
+            f_handle.addr(),
+            cert.clone(),
+            0,
+            1,
+            KeyRange::closed(1_000, 9_000),
+        )
+        .unwrap();
+
+        // Two honest sequential batches from the owner.
+        let r0 = owner
+            .apply_batch(&mut owner_st, vec![Mutation::Insert(rec(100, 2_250))])
+            .unwrap();
+        let r1 = owner
+            .apply_batch(
+                &mut owner_st,
+                vec![Mutation::Delete {
+                    key: 3_000,
+                    replica: 0,
+                }],
+            )
+            .unwrap();
+        let seg = |seq: u64, ops: &[Mutation], resigned: &[(u32, Signature)]| {
+            encode_record(&LogRecord {
+                seq,
+                ops: ops.to_vec(),
+                resigned: resigned.to_vec(),
+            })
+        };
+        let seg0 = seg(0, &r0.ops, &r0.resigned);
+        let seg1 = seg(1, &r1.ops, &r1.resigned);
+
+        // Attack: flipped signature byte inside an otherwise well-formed
+        // record (CRC recomputed by re-encoding). The chain verification
+        // must reject it.
+        let forged = seg(0, &r0.ops, &flip_signature_byte(&r0.resigned));
+        match apply_segment(&f_handle, 0, &forged) {
+            Err(FollowError::Update(UpdateError::Store(StoreError::Owner(
+                OwnerError::ResignatureInvalid { .. },
+            )))) => {}
+            other => panic!("forged signature must be rejected, got {other:?}"),
+        }
+        assert_eq!(f_handle.table_epoch(0), Some(epoch0), "no epoch bump");
+
+        // Attack: reordered records — the later batch first.
+        let mut reordered = seg1.clone();
+        reordered.extend_from_slice(&seg0);
+        match apply_segment(&f_handle, 0, &reordered) {
+            Err(FollowError::Gap {
+                expected: 0,
+                got: 1,
+            }) => {}
+            other => panic!("reordered records must be a gap, got {other:?}"),
+        }
+        assert_eq!(f_handle.table_epoch(0), Some(epoch0), "no epoch bump");
+
+        // Attack: dropped record — ship batch 1 without batch 0.
+        match apply_segment(&f_handle, 0, &seg1) {
+            Err(FollowError::Gap {
+                expected: 0,
+                got: 1,
+            }) => {}
+            other => panic!("dropped record must be a gap, got {other:?}"),
+        }
+        assert_eq!(f_handle.table_epoch(0), Some(epoch0), "no epoch bump");
+
+        // Attack: flipped payload bit (ops, not signature) — caught by
+        // the record CRC before anything is verified or applied.
+        let mut bitflip = seg0.clone();
+        let mid = bitflip.len() / 2;
+        bitflip[mid] ^= 0x04;
+        match apply_segment(&f_handle, 0, &bitflip) {
+            Err(FollowError::Store(_)) => {}
+            other => panic!("bit-flipped segment must fail decode, got {other:?}"),
+        }
+        assert_eq!(f_handle.table_epoch(0), Some(epoch0), "no epoch bump");
+
+        // No forged attempt leaked a delta to the follower's subscriber.
+        assert_eq!(sub.poll_delta(Duration::from_millis(300)).unwrap(), None);
+
+        // The honest segments apply, and the subscriber now sees exactly
+        // the two honest deltas — each verified against the owner's key.
+        let mut both = seg0.clone();
+        both.extend_from_slice(&seg1);
+        assert_eq!(apply_segment(&f_handle, 0, &both).unwrap(), 2);
+        assert_eq!(f_handle.table_epoch(0), Some(2));
+        let mut got = 0;
+        while got < 2 {
+            match sub.poll_delta(Duration::from_secs(5)).unwrap() {
+                Some(_) => got += 1,
+                None => panic!("honest deltas must reach the follower's subscriber"),
+            }
+        }
+        assert!(sub.keys().contains(&2_250));
+        assert!(!sub.keys().contains(&3_000));
+
+        // Attack: stale-seq replay of batch 0 — skipped idempotently, no
+        // epoch bump, no delta.
+        assert_eq!(apply_segment(&f_handle, 0, &seg0).unwrap(), 2);
+        assert_eq!(f_handle.table_epoch(0), Some(2));
+        assert_eq!(sub.poll_delta(Duration::from_millis(300)).unwrap(), None);
+
+        sub.unsubscribe().unwrap();
+        f_handle.shutdown();
+        up_handle.shutdown();
+        let _ = fs::remove_dir_all(&owner_dir);
+        let _ = fs::remove_dir_all(&mirror_dir);
+    }
+}

@@ -1,0 +1,370 @@
+//! Lifecycle of a verified subscription (protocol v4, docs/PROTOCOL.md
+//! §10): register → baseline verifies → owner batch lands → an
+//! incremental `DeltaVo` arrives and verifies without refetching →
+//! unsubscribe acks and the registry entry dies. Plus the unhappy paths:
+//! malformed registrations are typed errors, a slow subscriber is
+//! backpressured (delivered late, in order) rather than dropped, and a
+//! quiet subscriber is reaped by the idle timeout with its registry
+//! entry cleaned up — all observable through `StatsSnapshot`.
+
+use adp_core::prelude::*;
+use adp_relation::{
+    Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
+};
+use adp_server::protocol::{encode_frame, read_frame, ErrorCode, Frame};
+use adp_server::{RemoteSubscriber, Server, ServerConfig, ServerHandle};
+use adp_store::Store;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adp-sub-life-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Text),
+            Column::new("salary", ValueType::Int),
+        ],
+        "salary",
+    )
+}
+
+fn rec(id: i64, salary: i64) -> Record {
+    Record::new(vec![
+        Value::Int(id),
+        Value::from(format!("e{id}")),
+        Value::Int(salary),
+    ])
+}
+
+/// Owner + store-backed server: 20 rows, salaries 1000..=10_500 step 500.
+struct Fixture {
+    owner: Owner,
+    owner_st: SignedTable,
+    cert: Certificate,
+    handle: ServerHandle,
+    dir: PathBuf,
+}
+
+fn fixture(name: &str, config: ServerConfig) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(0x5BB5);
+    let owner = Owner::new(512, &mut rng);
+    let mut t = Table::new("emp", schema());
+    for i in 0..20i64 {
+        t.insert(rec(i, 1_000 + i * 500)).unwrap();
+    }
+    let signed = owner
+        .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+        .unwrap();
+    let cert = owner.certificate(&signed);
+    let owner_st = signed.clone();
+    let dir = workdir(name);
+    Store::create(&dir, signed).unwrap();
+    let mut server = Server::new(config);
+    server.open_store(0, &dir).unwrap();
+    let handle = server.serve("127.0.0.1:0").unwrap();
+    Fixture {
+        owner,
+        owner_st,
+        cert,
+        handle,
+        dir,
+    }
+}
+
+impl Fixture {
+    /// Signs and ships one owner batch through the live server.
+    fn update(&mut self, ops: Vec<Mutation>) -> u64 {
+        let report = self.owner.apply_batch(&mut self.owner_st, ops).unwrap();
+        self.handle
+            .apply_update(0, &report.ops, &report.resigned)
+            .expect("owner batch applies")
+    }
+}
+
+fn wait_for(handle: &ServerHandle, pred: impl Fn(&adp_server::StatsSnapshot) -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if pred(&handle.stats()) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// The happy path: baseline verifies at registration, an in-range batch
+/// pushes exactly one incremental delta (verified, no refetch), an
+/// out-of-range batch pushes nothing, and unsubscribing acks, drops the
+/// registry entry, and stops all pushes.
+#[test]
+fn subscribe_ingest_delta_unsubscribe() {
+    let mut fx = fixture("happy", ServerConfig::default());
+    let mut sub = RemoteSubscriber::subscribe(
+        fx.handle.addr(),
+        fx.cert.clone(),
+        0,
+        7,
+        KeyRange::closed(1_000, 5_000),
+    )
+    .unwrap();
+    // Baseline: salaries 1000, 1500, ..., 5000.
+    assert_eq!(sub.rows().count(), 9);
+    assert_eq!(sub.deltas_applied(), 1);
+    let baseline_epoch = sub.epoch();
+    let baseline_sigs = sub.stats().signatures_verified;
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 1));
+    assert_eq!(fx.handle.stats().deltas_pushed, 1);
+
+    // An in-range batch: one pushed delta, applied incrementally.
+    fx.update(vec![
+        Mutation::Insert(rec(100, 2_250)),
+        Mutation::Delete {
+            key: 3_000,
+            replica: 0,
+        },
+    ]);
+    let epoch = sub
+        .poll_delta(Duration::from_secs(5))
+        .unwrap()
+        .expect("in-range batch must push a delta");
+    assert!(epoch > baseline_epoch);
+    assert_eq!(sub.rows().count(), 9); // +1 insert, -1 delete
+    assert!(sub.keys().contains(&2_250));
+    assert!(!sub.keys().contains(&3_000));
+    assert_eq!(sub.deltas_applied(), 2);
+    // The delta was verified (more signatures checked), and it was
+    // incremental: far fewer signatures than re-verifying the whole
+    // 9-row baseline again.
+    let delta_sigs = sub.stats().signatures_verified - baseline_sigs;
+    assert!(delta_sigs > 0);
+    assert!(
+        delta_sigs < baseline_sigs,
+        "delta re-verified {delta_sigs} sigs vs {baseline_sigs} for the baseline — not incremental"
+    );
+
+    // A batch entirely outside the subscribed range pushes nothing.
+    fx.update(vec![Mutation::Insert(rec(101, 50_000))]);
+    assert_eq!(sub.poll_delta(Duration::from_millis(400)).unwrap(), None);
+    assert_eq!(sub.deltas_applied(), 2);
+
+    // Unsubscribe acks, the registry entry dies, and later in-range
+    // batches push nothing.
+    sub.unsubscribe().unwrap();
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 0));
+    let pushed_before = fx.handle.stats().deltas_pushed;
+    fx.update(vec![Mutation::Insert(rec(102, 1_250))]);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        fx.handle.stats().deltas_pushed,
+        pushed_before,
+        "no deltas may be pushed after unsubscribe"
+    );
+
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+/// Malformed registrations are typed protocol errors, not hangs: a
+/// non-pure-range query, an unknown table, a duplicate sub id on the
+/// same connection, and an unsubscribe for an id that was never
+/// registered.
+#[test]
+fn malformed_subscriptions_rejected() {
+    let fx = fixture("malformed", ServerConfig::default());
+    let mut stream = TcpStream::connect(fx.handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let expect_error =
+        |stream: &mut TcpStream, want: ErrorCode, why: &str| match read_frame(stream).unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, want, "{why}"),
+            other => panic!("{why}: expected Error frame, got {other:?}"),
+        };
+    use std::io::Write;
+
+    // Filters make the subscription non-incremental; refused up front.
+    let filtered = SelectQuery::range(KeyRange::closed(1_000, 5_000)).filter(Predicate::new(
+        "id",
+        CompareOp::Eq,
+        1i64,
+    ));
+    stream
+        .write_all(&encode_frame(&Frame::Subscribe {
+            sub_id: 1,
+            table_id: 0,
+            query: filtered,
+        }))
+        .unwrap();
+    expect_error(&mut stream, ErrorCode::BadQuery, "filtered subscription");
+
+    // Unknown table.
+    stream
+        .write_all(&encode_frame(&Frame::Subscribe {
+            sub_id: 1,
+            table_id: 9,
+            query: SelectQuery::range(KeyRange::closed(1_000, 5_000)),
+        }))
+        .unwrap();
+    expect_error(&mut stream, ErrorCode::UnknownTable, "unknown table");
+
+    // A good registration answers with the baseline delta...
+    stream
+        .write_all(&encode_frame(&Frame::Subscribe {
+            sub_id: 1,
+            table_id: 0,
+            query: SelectQuery::range(KeyRange::closed(1_000, 5_000)),
+        }))
+        .unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Frame::DeltaVo { sub_id, pieces, .. } => {
+            assert_eq!(sub_id, 1);
+            assert_eq!(pieces.len(), 1);
+        }
+        other => panic!("expected baseline DeltaVo, got {other:?}"),
+    }
+    // ... and re-registering the same id on the same connection is
+    // refused without disturbing the live subscription.
+    stream
+        .write_all(&encode_frame(&Frame::Subscribe {
+            sub_id: 1,
+            table_id: 0,
+            query: SelectQuery::range(KeyRange::closed(1_000, 2_000)),
+        }))
+        .unwrap();
+    expect_error(&mut stream, ErrorCode::BadQuery, "duplicate sub id");
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 1));
+
+    // Unsubscribing an id that was never registered is a typed error.
+    stream
+        .write_all(&encode_frame(&Frame::Unsubscribe { sub_id: 42 }))
+        .unwrap();
+    expect_error(&mut stream, ErrorCode::BadQuery, "unknown unsubscribe");
+
+    // The real one still acks with an empty DeltaVo.
+    stream
+        .write_all(&encode_frame(&Frame::Unsubscribe { sub_id: 1 }))
+        .unwrap();
+    match read_frame(&mut stream).unwrap() {
+        Frame::DeltaVo { sub_id, pieces, .. } => {
+            assert_eq!(sub_id, 1);
+            assert!(pieces.is_empty(), "ack must carry no pieces");
+        }
+        other => panic!("expected unsubscribe ack, got {other:?}"),
+    }
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 0));
+
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+/// Backpressure, not loss: a subscriber that isn't reading while five
+/// batches land still receives all five deltas — late, in epoch order,
+/// each verifying incrementally.
+#[test]
+fn slow_subscriber_backpressured_not_dropped() {
+    let mut fx = fixture(
+        "slow",
+        ServerConfig {
+            // Small queue: pushed deltas pile into the bounded write
+            // queue and the socket, and must survive the wait.
+            write_queue_limit: 4 * 1024,
+            ..ServerConfig::default()
+        },
+    );
+    let mut sub = RemoteSubscriber::subscribe(
+        fx.handle.addr(),
+        fx.cert.clone(),
+        0,
+        3,
+        KeyRange::closed(1_000, 5_000),
+    )
+    .unwrap();
+
+    let mut want = Vec::new();
+    for i in 0..5i64 {
+        let salary = 2_010 + i * 7;
+        want.push(salary);
+        fx.update(vec![Mutation::Insert(rec(200 + i, salary))]);
+    }
+    // Simulate a stalled reader: the deltas are already in flight.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut epochs = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while epochs.len() < 5 && Instant::now() < deadline {
+        if let Some(epoch) = sub.poll_delta(Duration::from_millis(500)).unwrap() {
+            epochs.push(epoch);
+        }
+    }
+    assert_eq!(epochs.len(), 5, "every delta must be delivered");
+    assert!(
+        epochs.windows(2).all(|w| w[0] < w[1]),
+        "deltas must arrive in epoch order, got {epochs:?}"
+    );
+    for salary in want {
+        assert!(sub.keys().contains(&salary));
+    }
+    assert!(
+        wait_for(&fx.handle, |s| s.open_connections >= 1
+            && s.subscriptions == 1),
+        "slow subscriber must still be registered, not dropped"
+    );
+
+    sub.unsubscribe().unwrap();
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+/// A subscriber that goes completely quiet is reaped by the idle timeout
+/// like any other connection, and the reap cleans its registry entry: the
+/// `subscriptions` gauge returns to zero and later batches push nothing.
+#[test]
+fn quiet_subscriber_reaped_and_registry_cleaned() {
+    let mut fx = fixture(
+        "reap",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..ServerConfig::default()
+        },
+    );
+    let sub = RemoteSubscriber::subscribe(
+        fx.handle.addr(),
+        fx.cert.clone(),
+        0,
+        9,
+        KeyRange::closed(1_000, 5_000),
+    )
+    .unwrap();
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 1));
+
+    // Go quiet: no polls, no traffic. The idle timeout must reap the
+    // connection and purge its subscription.
+    assert!(
+        wait_for(&fx.handle, |s| s.idle_reaped >= 1 && s.subscriptions == 0),
+        "quiet subscriber must be idle-reaped and deregistered"
+    );
+
+    let pushed_before = fx.handle.stats().deltas_pushed;
+    fx.update(vec![Mutation::Insert(rec(300, 1_750))]);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        fx.handle.stats().deltas_pushed,
+        pushed_before,
+        "a reaped subscription must not receive pushes"
+    );
+
+    drop(sub);
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}

@@ -1,0 +1,166 @@
+//! The CI `subscription-smoke` scenario: an owner-fed publisher, a
+//! log-shipping follower mirroring it over the wire, and 50 live
+//! subscribers (mixed between the owner's publisher and the follower).
+//! One churn batch lands; every subscriber receives a pushed `DeltaVo`
+//! and verifies it incrementally against the owner's certificate, and
+//! the follower's full-range answer stays byte-identical to the
+//! upstream's.
+
+use adp_core::prelude::*;
+use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
+use adp_server::follow::{apply_segment, bootstrap_store};
+use adp_server::{
+    FollowStart, LogFollower, RemoteSubscriber, RemoteVerifier, Server, ServerConfig,
+};
+use adp_store::Store;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::time::Duration;
+
+const SUBSCRIBERS: usize = 50;
+
+#[test]
+fn fifty_subscribers_one_churn_batch_all_deltas_verify() {
+    // ---- owner + upstream publisher --------------------------------------
+    let mut rng = StdRng::seed_from_u64(0x50B5);
+    let owner = Owner::new(512, &mut rng);
+    let schema = Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("salary", ValueType::Int),
+        ],
+        "salary",
+    );
+    let mut t = Table::new("emp", schema);
+    for i in 0..40i64 {
+        t.insert(Record::new(vec![
+            Value::Int(i),
+            Value::Int(1_000 + i * 200),
+        ]))
+        .unwrap();
+    }
+    let signed = owner
+        .sign_table(t, Domain::new(0, 100_000), SchemeConfig::default())
+        .unwrap();
+    let cert = owner.certificate(&signed);
+    let mut owner_st = signed.clone();
+    let owner_dir =
+        std::env::temp_dir().join(format!("adp-sub-smoke-owner-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&owner_dir);
+    Store::create(&owner_dir, signed).unwrap();
+    let mut upstream = Server::new(ServerConfig::default());
+    upstream.open_store(0, &owner_dir).unwrap();
+    let up_handle = upstream.serve("127.0.0.1:0").unwrap();
+
+    // ---- follower: bootstrap over the wire, serve the mirror -------------
+    let (mut conn, start) = LogFollower::connect(up_handle.addr(), 0, None).unwrap();
+    let snapshot = match start {
+        FollowStart::Snapshot(s) => s,
+        FollowStart::Backlog(_) => panic!("fresh bootstrap must get a snapshot"),
+    };
+    let mirror_dir =
+        std::env::temp_dir().join(format!("adp-sub-smoke-mirror-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&mirror_dir);
+    let mirror = bootstrap_store(&mirror_dir, &snapshot, &cert.public_key).unwrap();
+    let mut follower = Server::new(ServerConfig::default());
+    follower.add_store(0, mirror);
+    let f_handle = follower.serve("127.0.0.1:0").unwrap();
+
+    // ---- 50 subscribers, split across publisher and mirror ---------------
+    // Overlapping ranges so the churn batch touches every subscription.
+    let mut subs: Vec<RemoteSubscriber> = (0..SUBSCRIBERS)
+        .map(|i| {
+            let addr = if i % 2 == 0 {
+                up_handle.addr()
+            } else {
+                f_handle.addr()
+            };
+            let lo = 1_000 + (i as i64 % 5) * 400;
+            RemoteSubscriber::subscribe(
+                addr,
+                cert.clone(),
+                0,
+                i as u32 + 1,
+                KeyRange::closed(lo, lo + 6_000),
+            )
+            .unwrap_or_else(|e| panic!("subscriber {i} failed to register: {e}"))
+        })
+        .collect();
+    for (i, sub) in subs.iter().enumerate() {
+        assert!(
+            sub.rows().count() > 0,
+            "subscriber {i} got an empty baseline"
+        );
+    }
+
+    // ---- one churn batch --------------------------------------------------
+    // Mutations spread across the table so every subscribed range is
+    // dirtied: inserts and deletes inside [1_000, 9_600].
+    let report = owner
+        .apply_batch(
+            &mut owner_st,
+            vec![
+                Mutation::Insert(Record::new(vec![Value::Int(100), Value::Int(2_100)])),
+                Mutation::Insert(Record::new(vec![Value::Int(101), Value::Int(4_300)])),
+                Mutation::Insert(Record::new(vec![Value::Int(102), Value::Int(6_500)])),
+                Mutation::Delete {
+                    key: 3_000,
+                    replica: 0,
+                },
+                Mutation::Delete {
+                    key: 7_000,
+                    replica: 0,
+                },
+            ],
+        )
+        .unwrap();
+    up_handle
+        .apply_update(0, &report.ops, &report.resigned)
+        .unwrap();
+
+    // The follower receives the pushed segment and applies it — its own
+    // subscribers then get their deltas from the mirror.
+    conn.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let records = conn.next_segment().unwrap();
+    apply_segment(&f_handle, 0, &records).unwrap();
+
+    // ---- every subscriber verifies its pushed delta -----------------------
+    for (i, sub) in subs.iter_mut().enumerate() {
+        let epoch = sub
+            .poll_delta(Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("subscriber {i} delta rejected: {e}"))
+            .unwrap_or_else(|| panic!("subscriber {i} never got its delta"));
+        assert!(epoch > 0, "subscriber {i}");
+        assert_eq!(sub.deltas_applied(), 2, "subscriber {i}");
+        // The churn landed: at least one inserted key, no deleted key.
+        let keys = sub.keys();
+        assert!(
+            !keys.contains(&3_000) && !keys.contains(&7_000),
+            "subscriber {i}"
+        );
+    }
+    let pushed = up_handle.stats().deltas_pushed + f_handle.stats().deltas_pushed;
+    assert_eq!(
+        pushed,
+        2 * SUBSCRIBERS as u64,
+        "one baseline + one delta per subscriber"
+    );
+
+    // ---- follower is digest-identical to the upstream ---------------------
+    let full = SelectQuery::range(KeyRange::all());
+    let mut up_user = RemoteVerifier::connect(up_handle.addr(), cert.clone(), 0).unwrap();
+    let mut f_user = RemoteVerifier::connect(f_handle.addr(), cert.clone(), 0).unwrap();
+    let (_, up_result, up_vo) = up_user.select_with_bytes(&full).unwrap();
+    let (_, f_result, f_vo) = f_user.select_with_bytes(&full).unwrap();
+    assert_eq!(up_result, f_result, "mirror result bytes diverged");
+    assert_eq!(up_vo, f_vo, "mirror VO bytes diverged");
+
+    for sub in subs {
+        sub.unsubscribe().unwrap();
+    }
+    f_handle.shutdown();
+    up_handle.shutdown();
+    let _ = fs::remove_dir_all(&owner_dir);
+    let _ = fs::remove_dir_all(&mirror_dir);
+}

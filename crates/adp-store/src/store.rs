@@ -120,6 +120,37 @@ impl Store {
         })
     }
 
+    /// Like [`Store::create`], but the snapshot starts at `base_seq`
+    /// instead of 0 — the follower bootstrap path: a mirror seeded from
+    /// an owner snapshot taken after `base_seq` batches must log its
+    /// first replayed record as `base_seq`, or a later `Store::open`
+    /// would mis-sequence the stream.
+    pub fn create_at(
+        dir: impl AsRef<Path>,
+        st: SignedTable,
+        base_seq: u64,
+    ) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already exists", snap_path.display()),
+            )));
+        }
+        write_atomically(&snap_path, &encode_snapshot(&st, base_seq))?;
+        write_atomically(&dir.join(LOG_FILE), &log_header())?;
+        Ok(Store {
+            dir,
+            table: Arc::new(st),
+            base_seq,
+            next_seq: base_seq,
+            _lock: lock,
+        })
+    }
+
     /// Opens an existing store: loads the snapshot, then replays the
     /// update log, verifying every replayed record's signatures against
     /// link digests recomputed from local state. *Corruption* anywhere in
@@ -204,6 +235,34 @@ impl Store {
     /// (`docs/EVALUATION.md` §"Update churn").
     pub fn log_bytes(&self) -> Result<u64, StoreError> {
         Ok(fs::metadata(self.dir.join(LOG_FILE))?.len())
+    }
+
+    /// The framed bytes of every log record with `seq >= from_seq`, in
+    /// sequence order — the log-shipping backlog a follower resuming from
+    /// `from_seq` needs (`LogSegment` payloads concatenate these frames).
+    /// Returns `None` when `from_seq` predates the snapshot's `base_seq`:
+    /// those records were compacted away and the follower must
+    /// re-bootstrap from a snapshot instead.
+    pub fn log_records_from(&self, from_seq: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        if from_seq < self.base_seq {
+            return Ok(None);
+        }
+        let log_bytes = fs::read(self.dir.join(LOG_FILE))?;
+        let records = decode_records(check_log_header(&log_bytes)?)?;
+        let mut out = Vec::new();
+        for rec in &records {
+            if rec.seq >= from_seq {
+                out.extend_from_slice(&encode_record(rec));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// The current table encoded as a bootstrap snapshot (base sequence =
+    /// [`Store::next_seq`]): what a fresh follower downloads before
+    /// switching to the log stream.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_snapshot(&self.table, self.next_seq)
     }
 
     /// Owner-side ingest: signs a batch into the table with
