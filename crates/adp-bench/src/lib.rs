@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
+pub mod chaos;
 pub mod compare;
 pub mod load;
 

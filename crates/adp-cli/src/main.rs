@@ -47,34 +47,76 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// CLI failure classes, each with a distinct exit code so supervisors
+/// and scripts can tell "restarting might help" from "don't bother":
+///
+/// * exit 1 — bad invocation, local I/O, or setup failure;
+/// * exit 2 — **fatal**: a peer answered and the answer is wrong
+///   (failed verification, a server-reported error) — retrying re-asks a
+///   peer that already gave its final answer;
+/// * exit 3 — **retryable, budget exhausted**: the transport kept
+///   failing past `--retry` attempts — a supervisor may restart the
+///   command, or rerun with a larger budget.
+enum CliError {
+    Other(String),
+    Fatal(String),
+    Exhausted(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Other(message)
+    }
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Other(m) | CliError::Fatal(m) | CliError::Exhausted(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Fatal(_) => 2,
+            CliError::Exhausted(_) => 3,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("publish") => cmd_publish(&parse_flags(&args[1..])),
-        Some("query") => cmd_query(&parse_flags(&args[1..])),
-        Some("verify") => cmd_verify(&parse_flags(&args[1..])),
-        Some("serve") => cmd_serve(&parse_flags(&args[1..])),
-        Some("rquery") => cmd_rquery(&parse_flags(&args[1..])),
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("publish") => cmd_publish(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("query") => cmd_query(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("verify") => cmd_verify(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("rquery") => cmd_rquery(&parse_flags(&args[1..])).map_err(CliError::from),
         Some("follow") => cmd_follow(&parse_flags(&args[1..])),
         Some("subscribe") => cmd_subscribe(&parse_flags(&args[1..])),
-        Some("ingest") => cmd_ingest(&parse_flags(&args[1..])),
-        Some("compact") => cmd_compact(&parse_flags(&args[1..])),
-        Some("compare") => cmd_compare(&args[1..]),
-        Some("load") => cmd_load(&parse_flags(&args[1..])),
+        Some("ingest") => cmd_ingest(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("compact") => cmd_compact(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("compare") => cmd_compare(&args[1..]).map_err(CliError::from),
+        Some("load") => cmd_load(&parse_flags(&args[1..])).map_err(CliError::from),
         // Hidden helper mode `adp load` re-execs itself in when the fd
         // limit cannot hold both ends of every idle connection at once.
-        Some("--flood") => adp_bench::load::flood_main(&args[1..]).map_err(|e| e.to_string()),
+        Some("--flood") => {
+            adp_bench::load::flood_main(&args[1..]).map_err(|e| CliError::Other(e.to_string()))
+        }
         Some("help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand '{other}' (try 'adp help')")),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown subcommand '{other}' (try 'adp help')"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -89,13 +131,13 @@ fn print_usage() {
          adp query   (--dir DIR | --store DIR) --range A..B [--project c1,c2] --out DIR\n\
          adp verify  --cert FILE --range A..B [--project c1,c2] --answer DIR\n\
          adp serve   (--dir DIR | --store DIR) [--addr HOST:PORT] [--table N]\n\
-         \x20           [--workers N] [--cache N]\n\
+         \x20           [--workers N] [--cache N] [--drain-secs N]\n\
          adp rquery  --addr HOST:PORT --cert FILE --range A..B [--project c1,c2]\n\
          \x20           [--table N] [--out DIR]\n\
          adp follow  --addr HOST:PORT --cert FILE --store DIR [--table N]\n\
-         \x20           [--serve-addr HOST:PORT]\n\
+         \x20           [--serve-addr HOST:PORT] [--retry N] [--max-backoff SECS]\n\
          adp subscribe --addr HOST:PORT --cert FILE --range A..B [--table N]\n\
-         \x20           [--sub N] [--deltas N]\n\
+         \x20           [--sub N] [--deltas N] [--retry N] [--max-backoff SECS]\n\
          adp ingest  --store DIR [--csv FILE] [--delete K[:R],...] [--seed N] [--bits N]\n\
          adp compact --store DIR\n\
          adp compare [--tiny] [--check] [--write-doc] [--out FILE] [--doc FILE]\n\
@@ -113,13 +155,19 @@ fn print_usage() {
          inserts/deletes with O(k) re-signing (regenerate the owner keypair\n\
          with the same --seed/--bits used at publish); `compact` folds the\n\
          log into a fresh snapshot.\n\
-         `follow` mirrors a served table over the wire (protocol v4\n\
+         `follow` mirrors a served table over the wire (protocol v5\n\
          log-shipping): it bootstraps from an audited snapshot, replays the\n\
          signed update log into its own store at DIR, verifies every record\n\
          before applying, and serves the mirror on --serve-addr.\n\
          `subscribe` registers a live range subscription: the initial answer\n\
          and every pushed delta are verified against the certificate before\n\
-         being shown; --deltas N exits after N pushed deltas.\n"
+         being shown; --deltas N exits after N pushed deltas.\n\
+         `--retry N` makes follow/subscribe self-heal transport failures with\n\
+         capped exponential backoff (ceiling --max-backoff seconds); fatal\n\
+         errors never retry. Exit codes: 1 usage/IO, 2 fatal (verification or\n\
+         server error), 3 retry budget exhausted. `serve` drains on ctrl-c or\n\
+         SIGTERM: it refuses new connections, flushes open ones for up to\n\
+         --drain-secs, and prints a final stats line.\n"
     );
 }
 
@@ -454,6 +502,43 @@ fn parse_u32_flag(flags: &Flags, key: &str, default: u32) -> Result<u32, String>
     })
 }
 
+/// `--retry N` / `--max-backoff SECS` → a [`adp_server::RetryPolicy`].
+/// The default is `--retry 0`: fail fast, exactly the pre-robustness
+/// behavior. With a budget, transport failures reconnect with capped
+/// exponential backoff; fatal errors (failed verification, server-side
+/// errors) never retry regardless of the budget.
+fn parse_retry_policy(flags: &Flags) -> Result<adp_server::RetryPolicy, String> {
+    let retries = parse_u32_flag(flags, "retry", 0)?;
+    let mut policy = if retries == 0 {
+        adp_server::RetryPolicy::none()
+    } else {
+        adp_server::RetryPolicy {
+            max_retries: retries,
+            ..adp_server::RetryPolicy::default()
+        }
+    };
+    if let Some(secs) = flags.get("max-backoff").filter(|s| !s.is_empty()) {
+        let secs = secs
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0 && s.is_finite())
+            .ok_or_else(|| "bad --max-backoff (want seconds > 0)".to_string())?;
+        policy.max_backoff = std::time::Duration::from_secs_f64(secs);
+    }
+    Ok(policy)
+}
+
+/// Classifies a client error into the exit-code scheme: a retryable
+/// transport error that survived the whole `--retry` budget exits 3, a
+/// fatal (verification / server-reported) error exits 2.
+fn classify_remote(e: adp_server::RemoteError, context: &str) -> CliError {
+    if e.is_retryable() {
+        CliError::Exhausted(format!("{context}: retries exhausted: {e}"))
+    } else {
+        CliError::Fatal(format!("REJECTED: {e}"))
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let addr = flags
         .get("addr")
@@ -462,6 +547,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let table_id = parse_u32_flag(flags, "table", 0)?;
     let workers = parse_u32_flag(flags, "workers", 4)? as usize;
     let cache = parse_u32_flag(flags, "cache", 1024)? as usize;
+    let drain_secs = parse_u32_flag(flags, "drain-secs", 5)?;
+
+    // Route SIGINT / SIGTERM to a signalfd *before* the server spawns its
+    // threads: the signal mask is inherited, so the signal is only ever
+    // delivered here, never to a reactor shard mid-write.
+    let signals =
+        adp_server::sys::SignalFd::new(&[adp_server::sys::SIGINT, adp_server::sys::SIGTERM])
+            .map_err(|e| format!("installing signal handler: {e}"))?;
 
     let mut server = adp_server::Server::new(adp_server::ServerConfig {
         workers,
@@ -486,15 +579,41 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let handle = server.serve(addr).map_err(|e| e.to_string())?;
     println!(
         "serving table {table_id} ({rows} rows, from {source}) on {} — {} workers, \
-         VO cache {} entries (protocol: docs/PROTOCOL.md; stop with ctrl-c)",
+         VO cache {} entries (protocol: docs/PROTOCOL.md; ctrl-c or SIGTERM drains \
+         for up to {drain_secs}s)",
         handle.addr(),
         workers.max(1),
         cache,
     );
-    // Serve until killed.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
-    }
+    // Serve until signalled, then drain: refuse new connections, let
+    // every open connection answer what it already sent and flush, then
+    // shut down and report the final counters.
+    let sig = signals
+        .wait()
+        .map_err(|e| format!("waiting for signal: {e}"))?;
+    let name = if sig == adp_server::sys::SIGTERM {
+        "SIGTERM"
+    } else {
+        "SIGINT"
+    };
+    println!("{name} received — draining (refusing new connections, flushing replies)");
+    let (flushed, stats) = handle.drain(std::time::Duration::from_secs(u64::from(drain_secs)));
+    println!(
+        "drained {}: {} connection(s) closed in drain, {} total served, {} queries, \
+         {} errors, {} subscription resync(s){}",
+        if flushed { "cleanly" } else { "with timeout" },
+        stats.drains,
+        stats.connections,
+        stats.queries,
+        stats.errors,
+        stats.resyncs,
+        if flushed {
+            ""
+        } else {
+            " — some connections were cut before flushing"
+        },
+    );
+    Ok(())
 }
 
 // -------------------------------------------------------------- load
@@ -766,9 +885,14 @@ fn cmd_rquery(flags: &Flags) -> Result<(), String> {
 /// update log over the wire, and serve the mirror locally. Every record
 /// is signature-verified against the certificate's owner key before it
 /// touches the store, so the upstream publisher stays untrusted.
-fn cmd_follow(flags: &Flags) -> Result<(), String> {
+///
+/// With `--retry N` the mirror self-heals: a dropped upstream connection
+/// reconnects with capped exponential backoff, resuming from the
+/// mirror's own sequence cursor — reconnection re-fetches bytes, never
+/// relaxes verification.
+fn cmd_follow(flags: &Flags) -> Result<(), CliError> {
     use adp_server::follow::{apply_segment, bootstrap_store};
-    use adp_server::{FollowStart, LogFollower};
+    use adp_server::{FollowError, FollowEvent, ResilientFollower};
 
     let addr = need(flags, "addr")?;
     let cert_path = PathBuf::from(need(flags, "cert")?);
@@ -778,64 +902,92 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
         .get("serve-addr")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:4171");
+    let retry = parse_retry_policy(flags)?;
+    let budget = retry.max_retries;
 
     let cert_bytes = fs::read(&cert_path).map_err(|e| e.to_string())?;
     let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
 
+    let classify = |e: FollowError| -> CliError {
+        if e.is_retryable() {
+            CliError::Exhausted(format!("follow stream failed, retries exhausted: {e}"))
+        } else {
+            CliError::Fatal(format!("REJECTED: {e}"))
+        }
+    };
+
+    let mut follower = ResilientFollower::new(addr, table_id, retry)
+        .map_err(|e| format!("resolving {addr}: {e}"))?;
+    // Live segments can legitimately be hours apart: block until one
+    // arrives (damage still surfaces as a connection error → reconnect).
+    follower.set_segment_timeout(None);
+
     // A dir that already holds a snapshot is a mirror to resume; anything
     // else is a fresh bootstrap.
     let resume = store_dir.join(adp_store::SNAPSHOT_FILE).exists();
-    let (mut follower, store, backlog) = if resume {
+    let (store, backlog) = if resume {
         let store = adp_store::Store::open(&store_dir).map_err(|e| e.to_string())?;
         let have = store.next_seq();
-        let (follower, start) = LogFollower::connect(addr, table_id, Some(have))
-            .map_err(|e| format!("connecting to {addr}: {e}"))?;
-        match start {
-            FollowStart::Backlog(backlog) => (follower, store, backlog),
-            FollowStart::Snapshot(_) => {
-                return Err(format!(
+        match follower.next_event(Some(have)) {
+            Ok(FollowEvent::Backlog(backlog)) => (store, backlog),
+            Ok(_) => {
+                return Err(CliError::Fatal(format!(
                     "upstream compacted its log past seq {have}; re-bootstrap into an \
                      empty --store dir"
-                ))
+                )))
             }
+            Err(e) => return Err(classify(e)),
         }
     } else {
-        let (follower, start) = LogFollower::connect(addr, table_id, None)
-            .map_err(|e| format!("connecting to {addr}: {e}"))?;
-        let snapshot = match start {
-            FollowStart::Snapshot(snapshot) => snapshot,
-            FollowStart::Backlog(_) => {
-                return Err("upstream sent a log segment for a fresh bootstrap".to_string())
+        let snapshot = match follower.next_event(None) {
+            Ok(FollowEvent::Snapshot(snapshot)) => snapshot,
+            Ok(_) => {
+                return Err(CliError::Fatal(
+                    "upstream sent a log segment for a fresh bootstrap".into(),
+                ))
             }
+            Err(e) => return Err(classify(e)),
         };
         let store = bootstrap_store(&store_dir, &snapshot, &cert.public_key)
-            .map_err(|e| format!("REJECTED bootstrap: {e}"))?;
+            .map_err(|e| CliError::Fatal(format!("REJECTED bootstrap: {e}")))?;
         println!(
             "bootstrapped {} rows at seq {} into {} (snapshot key-checked and audited)",
             store.table().len(),
             store.next_seq(),
             store_dir.display(),
         );
-        (follower, store, Vec::new())
+        (store, Vec::new())
     };
 
     let mut server = adp_server::Server::new(adp_server::ServerConfig::default());
     server.add_store(table_id, store);
     let handle = server.serve(serve_addr).map_err(|e| e.to_string())?;
-    let mut head =
-        apply_segment(&handle, table_id, &backlog).map_err(|e| format!("REJECTED: {e}"))?;
+    let mut head = apply_segment(&handle, table_id, &backlog)
+        .map_err(|e| CliError::Fatal(format!("REJECTED: {e}")))?;
     println!(
         "mirroring table {table_id} from {addr} on {} — caught up at seq {head} \
-         (every record verified before serving; stop with ctrl-c)",
+         (every record verified before serving; retry budget {budget}; stop with ctrl-c)",
         handle.addr(),
     );
-    follower.set_timeout(None).map_err(|e| e.to_string())?;
     loop {
-        let records = follower
-            .next_segment()
-            .map_err(|e| format!("follow stream failed: {e}"))?;
-        head = apply_segment(&handle, table_id, &records).map_err(|e| format!("REJECTED: {e}"))?;
-        println!("applied verified segment — head seq {head}");
+        let records = match follower.next_event(Some(head)) {
+            // A live segment, or a reconnect's resumed backlog: both are
+            // framed records that go through the same verification.
+            Ok(FollowEvent::Segment(records)) | Ok(FollowEvent::Backlog(records)) => records,
+            Ok(FollowEvent::Snapshot(_)) => {
+                return Err(CliError::Fatal(format!(
+                    "upstream compacted its log past seq {head}; re-bootstrap into an \
+                     empty --store dir"
+                )))
+            }
+            Err(e) => return Err(classify(e)),
+        };
+        head = apply_segment(&handle, table_id, &records)
+            .map_err(|e| CliError::Fatal(format!("REJECTED: {e}")))?;
+        println!(
+            "applied verified segment — head seq {head} ({} reconnect(s))",
+            follower.reconnects(),
+        );
     }
 }
 
@@ -845,12 +997,19 @@ fn cmd_follow(flags: &Flags) -> Result<(), String> {
 /// §10): the initial answer and every pushed delta are verified against
 /// the certificate before the local mirror is updated, so the terminal
 /// only ever shows owner-authenticated state.
-fn cmd_subscribe(flags: &Flags) -> Result<(), String> {
+///
+/// With `--retry N` the subscription self-heals: a dropped connection or
+/// a server `ResyncRequired` push (§11 — a delta outgrew the frame
+/// limit) reconnects and re-subscribes, and the fresh baseline is
+/// verified against the certificate and refused if it is older than
+/// what the mirror already verified.
+fn cmd_subscribe(flags: &Flags) -> Result<(), CliError> {
     let addr = need(flags, "addr")?;
     let cert_path = PathBuf::from(need(flags, "cert")?);
     let (a, b) = parse_range_pair(need(flags, "range")?)?;
     let table_id = parse_u32_flag(flags, "table", 0)?;
     let sub_id = parse_u32_flag(flags, "sub", 1)?;
+    let retry = parse_retry_policy(flags)?;
     let max_deltas = flags
         .get("deltas")
         .filter(|s| !s.is_empty())
@@ -859,14 +1018,15 @@ fn cmd_subscribe(flags: &Flags) -> Result<(), String> {
 
     let cert_bytes = fs::read(&cert_path).map_err(|e| e.to_string())?;
     let cert = wire::decode_certificate(&cert_bytes).map_err(|e| e.to_string())?;
-    let mut sub = adp_server::RemoteSubscriber::subscribe(
+    let mut sub = adp_server::RemoteSubscriber::subscribe_with_retry(
         addr,
         cert,
         table_id,
         sub_id,
         KeyRange::closed(a, b),
+        retry,
     )
-    .map_err(|e| format!("REJECTED: {e}"))?;
+    .map_err(|e| classify_remote(e, "subscribe"))?;
     println!(
         "SUBSCRIBED: [{a}, {b}] on table {table_id} — {} verified rows at epoch {} \
          ({} signature(s) checked)",
@@ -879,18 +1039,25 @@ fn cmd_subscribe(flags: &Flags) -> Result<(), String> {
     loop {
         let delta = sub
             .poll_delta(std::time::Duration::from_secs(1))
-            .map_err(|e| format!("REJECTED: {e}"))?;
+            .map_err(|e| classify_remote(e, "subscription"))?;
         if let Some(epoch) = delta {
             seen += 1;
             println!(
-                "DELTA VERIFIED: epoch {epoch} — mirror now {} rows ({} delta(s) so far)",
+                "DELTA VERIFIED: epoch {epoch} — mirror now {} rows ({} delta(s), \
+                 {} reconnect(s), {} resync(s))",
                 sub.rows().count(),
                 seen,
+                sub.reconnects(),
+                sub.resyncs(),
             );
             if Some(seen) == max_deltas {
+                let (reconnects, resyncs) = (sub.reconnects(), sub.resyncs());
                 sub.unsubscribe()
                     .map_err(|e| format!("unsubscribe failed: {e}"))?;
-                println!("UNSUBSCRIBED after {seen} delta(s)");
+                println!(
+                    "UNSUBSCRIBED after {seen} delta(s) ({reconnects} reconnect(s), \
+                     {resyncs} resync(s))"
+                );
                 return Ok(());
             }
         }

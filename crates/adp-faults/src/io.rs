@@ -1,0 +1,299 @@
+//! The injectable filesystem: every durability-relevant write in
+//! `adp-store` goes through a [`StoreIo`], so tests can interpose
+//! [`FaultyIo`] and make exactly the `fsync` the invariant depends on
+//! fail — or kill the process halfway through it.
+
+use crate::plan::{DiskFault, FaultPlan};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The filesystem operations a store needs, in path-level form. The
+/// production implementation is [`RealIo`]; tests swap in [`FaultyIo`].
+///
+/// Only *write-class* operations (`write_sync`, `append_sync`, `rename`,
+/// `truncate`, `sync_dir`) are fault-injection points — reads are left
+/// honest so a test that corrupts state via writes observes the damage
+/// the same way production would.
+pub trait StoreIo: fmt::Debug + Send + Sync {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// The file's current length in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Creates/truncates `path`, writes all of `bytes`, then `fsync`s.
+    fn write_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` to `path`, then `fsync`s. Rollback of a failed
+    /// append is the *caller's* job (truncate back to the pre-append
+    /// length) — a crash can interrupt any rollback, so recovery code
+    /// must tolerate a torn tail regardless.
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Renames `from` over `to` (atomic within a filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Truncates `path` to `len` bytes and `fsync`s.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// `fsync`s a directory, making preceding renames/creates in it
+    /// durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`StoreIo`]: plain `std::fs`, no faults.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn write_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_data()
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::File::open(dir)?.sync_all()
+    }
+}
+
+/// A [`StoreIo`] that consults a [`FaultPlan`] before every write-class
+/// operation. Operations are numbered 0, 1, 2, … across the instance
+/// (shared by clones), so a plan can pin a fault to "the 3rd write this
+/// store ever does" and a torture child crashes at the same instruction
+/// every run.
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+    ops: Arc<AtomicU64>,
+    faults: Arc<AtomicU64>,
+}
+
+impl FaultyIo {
+    /// Wraps the real filesystem with `plan`'s disk faults.
+    pub fn new(plan: FaultPlan) -> FaultyIo {
+        FaultyIo {
+            plan,
+            ops: Arc::new(AtomicU64::new(0)),
+            faults: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Write-class operations attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Draws the fault (if any) for the next write-class op.
+    fn next_fault(&self) -> Option<DiskFault> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.disk_fault(op);
+        if fault.is_some() {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// Applies `fault` to a buffered write of `bytes` going through `f`.
+    /// Returns the error the store sees; `CrashHere` never returns.
+    fn faulted_write(fault: DiskFault, f: &mut fs::File, bytes: &[u8]) -> io::Error {
+        match fault {
+            DiskFault::FailFsync => {
+                // The data is written but the barrier fails: the caller
+                // must treat the operation as not-committed.
+                let _ = f.write_all(bytes);
+                io::Error::other("injected: fsync failed (EIO)")
+            }
+            DiskFault::ShortWrite { keep } => {
+                let keep = (keep as usize).min(bytes.len());
+                let _ = f.write_all(&bytes[..keep]);
+                let _ = f.sync_data();
+                io::Error::other("injected: short write (EIO)")
+            }
+            DiskFault::Enospc => io::Error::new(io::ErrorKind::StorageFull, "injected: ENOSPC"),
+            DiskFault::CrashHere { keep } => {
+                let keep = (keep as usize).min(bytes.len());
+                let _ = f.write_all(&bytes[..keep]);
+                let _ = f.sync_data();
+                eprintln!("adp-faults: FaultyIo crash-here; aborting mid-write");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        // Reads stay honest (see trait docs) — but go through a handle so
+        // behavior matches RealIo byte for byte.
+        let mut buf = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        RealIo.file_len(path)
+    }
+
+    fn write_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault() {
+            None => RealIo.write_sync(path, bytes),
+            Some(DiskFault::Enospc) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected: ENOSPC",
+            )),
+            Some(fault) => {
+                let mut f = fs::File::create(path)?;
+                Err(Self::faulted_write(fault, &mut f, bytes))
+            }
+        }
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault() {
+            None => RealIo.append_sync(path, bytes),
+            Some(DiskFault::Enospc) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected: ENOSPC",
+            )),
+            Some(fault) => {
+                let mut f = fs::OpenOptions::new().append(true).open(path)?;
+                Err(Self::faulted_write(fault, &mut f, bytes))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_fault() {
+            None => RealIo.rename(from, to),
+            Some(DiskFault::CrashHere { .. }) => {
+                eprintln!("adp-faults: FaultyIo crash-here; aborting before rename");
+                std::process::abort();
+            }
+            Some(_) => Err(io::Error::other("injected: rename failed (EIO)")),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.next_fault() {
+            None => RealIo.truncate(path, len),
+            Some(DiskFault::CrashHere { .. }) => {
+                eprintln!("adp-faults: FaultyIo crash-here; aborting before truncate");
+                std::process::abort();
+            }
+            Some(_) => Err(io::Error::other("injected: truncate failed (EIO)")),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.next_fault() {
+            None => RealIo.sync_dir(dir),
+            Some(DiskFault::CrashHere { .. }) => {
+                eprintln!("adp-faults: FaultyIo crash-here; aborting before dir sync");
+                std::process::abort();
+            }
+            Some(_) => Err(io::Error::other("injected: directory fsync failed (EIO)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("adp-faults-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_io_round_trips() {
+        let dir = tmpdir("real");
+        let path = dir.join("f");
+        RealIo.write_sync(&path, b"hello").unwrap();
+        RealIo.append_sync(&path, b" world").unwrap();
+        assert_eq!(RealIo.read(&path).unwrap(), b"hello world");
+        assert_eq!(RealIo.file_len(&path).unwrap(), 11);
+        RealIo.truncate(&path, 5).unwrap();
+        assert_eq!(RealIo.read(&path).unwrap(), b"hello");
+        let dest = dir.join("g");
+        RealIo.rename(&path, &dest).unwrap();
+        assert_eq!(RealIo.read(&dest).unwrap(), b"hello");
+        RealIo.sync_dir(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_leaves_nothing_behind() {
+        let dir = tmpdir("enospc");
+        let path = dir.join("f");
+        RealIo.write_sync(&path, b"committed").unwrap();
+        let io = FaultyIo::new(FaultPlan::clean().force_disk(0, DiskFault::Enospc));
+        let err = io.append_sync(&path, b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(RealIo.read(&path).unwrap(), b"committed");
+        assert_eq!(io.faults(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_a_prefix() {
+        let dir = tmpdir("short");
+        let path = dir.join("f");
+        RealIo.write_sync(&path, b"base").unwrap();
+        let io = FaultyIo::new(FaultPlan::clean().force_disk(0, DiskFault::ShortWrite { keep: 2 }));
+        io.append_sync(&path, b"XYZW").unwrap_err();
+        assert_eq!(RealIo.read(&path).unwrap(), b"baseXY");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faults_only_fire_on_their_op() {
+        let dir = tmpdir("nth");
+        let path = dir.join("f");
+        RealIo.write_sync(&path, b"").unwrap();
+        let io = FaultyIo::new(FaultPlan::clean().force_disk(1, DiskFault::Enospc));
+        io.append_sync(&path, b"a").unwrap();
+        io.append_sync(&path, b"b").unwrap_err();
+        io.append_sync(&path, b"c").unwrap();
+        assert_eq!(RealIo.read(&path).unwrap(), b"ac");
+        assert_eq!(io.ops(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

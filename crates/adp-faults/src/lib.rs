@@ -1,0 +1,165 @@
+//! # adp-faults
+//!
+//! Deterministic fault injection for the replication chain. The paper's
+//! guarantee (Pang et al., SIGMOD 2005) is that a verifier *detects* any
+//! tampered or incomplete answer; this crate exists so the repo can also
+//! prove the system *survives* the mundane failures that deliver those
+//! answers — dropped connections, torn writes, full disks, and processes
+//! dying mid-fsync. Everything here is seed-deterministic: the same
+//! [`FaultPlan`] seed produces the same fault schedule on every run and
+//! every machine, so a chaos failure in CI is a `cargo test` away from a
+//! local repro.
+//!
+//! Three consumers:
+//!
+//! * [`StoreIo`] — the injectable filesystem used by `adp-store`.
+//!   [`RealIo`] is the production implementation (plain `std::fs`);
+//!   [`FaultyIo`] wraps it and injects [`DiskFault`]s (short writes,
+//!   failed fsyncs, `ENOSPC`, crash-here) at plan-chosen write operations.
+//! * [`FaultProxy`] — a TCP proxy that sits between any client and the
+//!   server and perturbs the byte stream per plan ([`WireFault`]s: drop,
+//!   delay, duplicate, mid-frame close).
+//! * [`crash_point`] — named process death. A supervised child run with
+//!   `ADP_CRASH_POINT=<name>` aborts (no cleanup, no buffer flush —
+//!   indistinguishable from `kill -9` for on-disk state) the moment
+//!   execution reaches that point; the parent then asserts the store
+//!   still opens and audits.
+
+mod io;
+mod plan;
+mod proxy;
+
+pub use io::{FaultyIo, RealIo, StoreIo};
+pub use plan::{DiskFault, FaultPlan, WireFault, WireSchedule};
+pub use proxy::{FaultProxy, ProxyStats};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable naming the armed crash point (see [`crash_point`]).
+pub const CRASH_ENV: &str = "ADP_CRASH_POINT";
+
+/// `(name, nth hit to die on)` parsed from `ADP_CRASH_POINT`, where the
+/// value is `name` (first hit) or `name@k` (0-based k-th hit).
+fn armed_crash_point() -> Option<(&'static str, u64)> {
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            let raw = std::env::var(CRASH_ENV).ok().filter(|s| !s.is_empty())?;
+            match raw.rsplit_once('@') {
+                Some((name, nth)) => {
+                    let nth = nth.parse().ok()?;
+                    Some((name.to_string(), nth))
+                }
+                None => Some((raw, 0)),
+            }
+        })
+        .as_ref()
+        .map(|(name, nth)| (name.as_str(), *nth))
+}
+
+/// Dies on the spot — via `abort`, so no destructors run and no buffered
+/// writes are flushed, leaving the same on-disk state a `kill -9` at this
+/// instruction would — if and only if the process was started with
+/// `ADP_CRASH_POINT=<name>` (or `<name>@k` to die on the 0-based k-th
+/// time execution reaches the point). When the variable is unset
+/// (production and ordinary tests) this is a single cached-`Option`
+/// compare.
+///
+/// The names in use form the crash-point map documented in
+/// `docs/ROBUSTNESS.md`.
+pub fn crash_point(name: &str) {
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    if let Some((armed, nth)) = armed_crash_point() {
+        if armed == name && HITS.fetch_add(1, Ordering::SeqCst) == nth {
+            eprintln!("adp-faults: crash point {name:?} hit {nth}; aborting");
+            std::process::abort();
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64). Not cryptographic — it only
+/// schedules faults — but stable across platforms and Rust versions,
+/// which is what committed CI seeds require.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero). The modulo bias is
+    /// irrelevant at fault-scheduling scale.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `per_mille`/1000.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        self.below(1000) < u64::from(per_mille)
+    }
+}
+
+/// Derives an independent stream seed from a base seed, a domain tag, and
+/// an index — the glue that lets one committed seed drive many unrelated
+/// schedules (per-connection, per-op) without correlation.
+pub fn substream(seed: u64, tag: &str, index: u64) -> u64 {
+    let mut h = Rng64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut acc = h.next_u64();
+    for &b in tag.as_bytes() {
+        acc = Rng64::new(acc ^ u64::from(b)).next_u64();
+    }
+    Rng64::new(acc ^ index.wrapping_mul(0x2545_F491_4F6C_DD1D)).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng64::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn substreams_differ_by_tag_and_index() {
+        let s = substream(7, "disk", 0);
+        assert_ne!(s, substream(7, "disk", 1));
+        assert_ne!(s, substream(7, "wire", 0));
+        assert_eq!(s, substream(7, "disk", 0));
+    }
+
+    #[test]
+    fn crash_point_is_inert_when_unarmed() {
+        // The test process does not set ADP_CRASH_POINT, so this must
+        // return normally.
+        crash_point("test.nowhere");
+    }
+}

@@ -10,6 +10,7 @@
 use crate::protocol::{
     read_frame, write_frame, BatchItem, DeltaPiece, ErrorCode, Frame, ProtoError, StatsSnapshot,
 };
+use crate::retry::RetryPolicy;
 use adp_core::client::{SessionStats, VerifiedResult};
 use adp_core::errors::VerifyError;
 use adp_core::owner::Certificate;
@@ -18,7 +19,7 @@ use adp_relation::{KeyRange, Record, SelectQuery};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Why a remote call failed.
@@ -55,6 +56,32 @@ impl fmt::Display for RemoteError {
     }
 }
 
+impl RemoteError {
+    /// Whether retrying the operation (after reconnecting) could succeed.
+    ///
+    /// Transport failures and framing desyncs are retryable: they say
+    /// nothing about the answer, only about its delivery. A server error
+    /// frame or a verification failure is **fatal** — the peer answered,
+    /// and the answer was a refusal or a forgery; asking again cannot
+    /// make it true. The one exception is a server-reported
+    /// [`ErrorCode::BadFrame`]: it means the server could not even parse
+    /// what arrived, which is transport damage seen from the other side —
+    /// a fresh connection re-sends the bytes intact. The self-healing
+    /// clients retry only on this predicate, and only for operations that
+    /// are idempotent to repeat.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RemoteError::Proto(_)
+                | RemoteError::UnexpectedFrame(_)
+                | RemoteError::Server {
+                    code: ErrorCode::BadFrame,
+                    ..
+                }
+        )
+    }
+}
+
 impl std::error::Error for RemoteError {}
 
 impl From<ProtoError> for RemoteError {
@@ -81,31 +108,103 @@ impl From<VerifyError> for RemoteError {
 pub const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A raw frame-level client: one TCP connection, synchronous round-trips.
+///
+/// With a [`RetryPolicy`] mounted ([`RemoteClient::set_retry_policy`]),
+/// every **idempotent** call — `ping`, `stats`, `query_raw`,
+/// `query_batch_raw` — transparently reconnects and retries on
+/// [retryable](RemoteError::is_retryable) failures, with the policy's
+/// capped, jittered backoff between attempts. A retried query may execute
+/// twice on the server, which is why only reads get the loop; fatal
+/// errors (server refusals, verification failures upstack) never retry.
 pub struct RemoteClient {
     stream: TcpStream,
+    /// Resolved peer addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl RemoteClient {
     /// Connects to a publisher server. Reads and writes time out after
     /// [`DEFAULT_REPLY_TIMEOUT`]; adjust with [`RemoteClient::set_timeout`].
+    /// No retries until a policy is mounted.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
         stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
-        Ok(RemoteClient { stream })
+        Ok(RemoteClient {
+            stream,
+            addrs,
+            timeout: Some(DEFAULT_REPLY_TIMEOUT),
+            retry: RetryPolicy::none(),
+            retries: 0,
+            reconnects: 0,
+        })
     }
 
     /// Sets the per-operation socket timeout (`None` waits forever).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
         self.stream.set_read_timeout(timeout)?;
         self.stream.set_write_timeout(timeout)
     }
 
-    /// One request/response round-trip.
-    fn call(&mut self, request: &Frame) -> Result<Frame, RemoteError> {
+    /// Mounts a retry policy for the idempotent calls.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Retries performed so far (each is one extra request attempt).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Successful reconnections performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Replaces the broken stream with a fresh connection.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        self.stream = stream;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// One request/response round-trip on the current stream.
+    fn call_once(&mut self, request: &Frame) -> Result<Frame, RemoteError> {
         write_frame(&mut self.stream, request).map_err(ProtoError::Io)?;
         Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// A round-trip for an idempotent request: on a retryable failure,
+    /// sleeps the policy's backoff, reconnects, and tries again until the
+    /// budget runs out (the last error is returned). The request must be
+    /// safe to execute more than once server-side.
+    fn call(&mut self, request: &Frame) -> Result<Frame, RemoteError> {
+        let mut attempt = 0;
+        loop {
+            match self.call_once(request) {
+                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                    self.retries += 1;
+                    // A failed reconnect leaves the old broken stream in
+                    // place; the next attempt fails fast and burns budget.
+                    let _ = self.reconnect();
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Liveness probe.
@@ -302,7 +401,11 @@ impl RemoteVerifier {
 pub struct RemoteSubscriber {
     stream: TcpStream,
     cert: Certificate,
+    /// Resolved server addresses, kept for re-subscribes.
+    addrs: Vec<SocketAddr>,
+    table_id: u32,
     sub_id: u32,
+    retry: RetryPolicy,
     /// Subscribed bounds, domain-normalized exactly as the server
     /// normalizes them — any piece outside is a precision violation.
     lo: i64,
@@ -314,6 +417,10 @@ pub struct RemoteSubscriber {
     rows: BTreeMap<i64, Vec<Record>>,
     /// Deltas verified and applied, counting the initial snapshot.
     deltas_applied: u64,
+    /// Re-subscribes performed (after drops or `ResyncRequired`).
+    reconnects: u64,
+    /// `ResyncRequired` frames honored.
+    resyncs: u64,
     stats: SessionStats,
 }
 
@@ -321,12 +428,32 @@ impl RemoteSubscriber {
     /// Connects, registers subscription `sub_id` for `range` on
     /// `table_id`, and verifies the initial full-range proof. The server
     /// is untrusted throughout: a forged initial answer fails here.
+    /// No self-healing until a policy is mounted
+    /// ([`RemoteSubscriber::subscribe_with_retry`]).
     pub fn subscribe(
         addr: impl ToSocketAddrs,
         cert: Certificate,
         table_id: u32,
         sub_id: u32,
         range: KeyRange,
+    ) -> Result<Self, RemoteError> {
+        Self::subscribe_with_retry(addr, cert, table_id, sub_id, range, RetryPolicy::none())
+    }
+
+    /// [`RemoteSubscriber::subscribe`] with a [`RetryPolicy`]: the initial
+    /// registration retries on retryable failures, and thereafter
+    /// [`RemoteSubscriber::poll_delta`] self-heals — a dropped connection
+    /// or a server [`Frame::ResyncRequired`] push triggers an automatic
+    /// reconnect and re-subscribe, whose fresh baseline is verified
+    /// against the certificate and must not be older than what the mirror
+    /// already verified (a stale baseline is a replay and fails).
+    pub fn subscribe_with_retry(
+        addr: impl ToSocketAddrs,
+        cert: Certificate,
+        table_id: u32,
+        sub_id: u32,
+        range: KeyRange,
+        retry: RetryPolicy,
     ) -> Result<Self, RemoteError> {
         cert.public_key.precompute();
         let Some(bounds) = cert.domain.normalize(&range) else {
@@ -335,37 +462,102 @@ impl RemoteSubscriber {
                 message: "subscribed range is empty under the table's domain".into(),
             });
         };
-        let mut stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
-        stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
-        write_frame(
-            &mut stream,
-            &Frame::Subscribe {
-                sub_id,
-                table_id,
-                query: SelectQuery::range(range),
-            },
-        )
-        .map_err(ProtoError::Io)?;
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| RemoteError::Proto(ProtoError::Io(e)))?
+            .collect();
         let mut sub = RemoteSubscriber {
-            stream,
+            stream: Self::connect_stream(&addrs)?,
             cert,
+            addrs,
+            table_id,
             sub_id,
+            retry,
             lo: bounds.alpha,
             hi: bounds.beta,
             epoch: 0,
             rows: BTreeMap::new(),
             deltas_applied: 0,
+            reconnects: 0,
+            resyncs: 0,
             stats: SessionStats::default(),
         };
-        match read_frame(&mut sub.stream)? {
-            frame @ Frame::DeltaVo { .. } => {
-                sub.apply_delta_frame(frame, true)?;
+        match sub.handshake(0) {
+            Ok(()) => Ok(sub),
+            Err(e) if e.is_retryable() && sub.retry.max_retries > 0 => {
+                sub.resubscribe(0)?;
                 Ok(sub)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn connect_stream(addrs: &[SocketAddr]) -> Result<TcpStream, RemoteError> {
+        let stream =
+            TcpStream::connect(addrs).map_err(|e| RemoteError::Proto(ProtoError::Io(e)))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))
+            .and_then(|()| stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT)))
+            .map_err(|e| RemoteError::Proto(ProtoError::Io(e)))?;
+        Ok(stream)
+    }
+
+    /// Sends `Subscribe` on the current stream and verifies the initial
+    /// full-range baseline, which must carry an epoch `>= min_epoch`.
+    fn handshake(&mut self, min_epoch: u64) -> Result<(), RemoteError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::Subscribe {
+                sub_id: self.sub_id,
+                table_id: self.table_id,
+                query: SelectQuery::range(KeyRange::closed(self.lo, self.hi)),
+            },
+        )
+        .map_err(ProtoError::Io)?;
+        match read_frame(&mut self.stream)? {
+            frame @ Frame::DeltaVo { .. } => {
+                // Epoch floor checked *before* applying: a stale baseline
+                // (however well it verifies — it is a replay of a table
+                // state older than one the mirror already verified) must
+                // not touch the mirror at all.
+                if let Frame::DeltaVo { epoch, .. } = &frame {
+                    if *epoch < min_epoch {
+                        return Err(RemoteError::UnexpectedFrame(
+                            "re-subscribe baseline is older than the verified mirror",
+                        ));
+                    }
+                }
+                self.apply_delta_frame(frame, true)?;
+                Ok(())
             }
             Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
             _ => Err(RemoteError::UnexpectedFrame("expected initial DeltaVo")),
+        }
+    }
+
+    /// Reconnects and re-subscribes under the retry budget: each attempt
+    /// opens a fresh connection and re-verifies a fresh whole-range
+    /// baseline no older than `min_epoch` (nor than the mirror's epoch).
+    fn resubscribe(&mut self, min_epoch: u64) -> Result<(), RemoteError> {
+        let floor = min_epoch.max(self.epoch);
+        let mut attempt = 0;
+        loop {
+            std::thread::sleep(self.retry.backoff(attempt));
+            let result = Self::connect_stream(&self.addrs).and_then(|stream| {
+                self.stream = stream;
+                self.handshake(floor)
+            });
+            match result {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() && attempt + 1 < self.retry.max_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -377,6 +569,16 @@ impl RemoteSubscriber {
     /// Deltas verified and applied so far (the initial snapshot counts).
     pub fn deltas_applied(&self) -> u64 {
         self.deltas_applied
+    }
+
+    /// Re-subscribes performed (after drops or `ResyncRequired` pushes).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Server `ResyncRequired` pushes honored with a fresh baseline.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// Cumulative verification accounting (bytes, signatures, hash ops).
@@ -401,7 +603,30 @@ impl RemoteSubscriber {
     /// connection is quiet (a server that stalls mid-frame desyncs the
     /// stream, and the next read errors — the server is untrusted, so
     /// that is treated like any other protocol failure).
+    ///
+    /// With a retry policy mounted, two failures self-heal instead of
+    /// surfacing:
+    ///
+    /// * a **retryable** transport failure reconnects and re-subscribes
+    ///   (the fresh verified baseline reflects every delta the drop may
+    ///   have swallowed — no gap is possible);
+    /// * a server [`Frame::ResyncRequired`] push (the delta for some
+    ///   epoch could not be shipped) re-subscribes the same way, and the
+    ///   fresh baseline must be at least that epoch.
+    ///
+    /// Both return `Ok(Some(epoch))` for the re-verified baseline. Fatal
+    /// errors (server refusals, verification failures) still surface.
     pub fn poll_delta(&mut self, timeout: Duration) -> Result<Option<u64>, RemoteError> {
+        match self.poll_delta_once(timeout) {
+            Err(e) if e.is_retryable() && self.retry.max_retries > 0 => {
+                self.resubscribe(self.epoch)?;
+                Ok(Some(self.epoch))
+            }
+            other => other,
+        }
+    }
+
+    fn poll_delta_once(&mut self, timeout: Duration) -> Result<Option<u64>, RemoteError> {
         self.stream.set_read_timeout(Some(timeout))?;
         let frame = match read_frame(&mut self.stream) {
             Ok(frame) => frame,
@@ -415,6 +640,20 @@ impl RemoteSubscriber {
         match frame {
             frame @ Frame::DeltaVo { .. } => {
                 self.apply_delta_frame(frame, false)?;
+                Ok(Some(self.epoch))
+            }
+            Frame::ResyncRequired { sub_id, epoch } if sub_id == self.sub_id => {
+                // The server terminated the subscription without shipping
+                // the delta for `epoch`. With no retry policy this is as
+                // far as a dumb client gets; a self-healing one re-
+                // subscribes for a baseline at least that fresh.
+                if self.retry.max_retries == 0 {
+                    return Err(RemoteError::UnexpectedFrame(
+                        "server requires re-subscription (delta could not be shipped)",
+                    ));
+                }
+                self.resyncs += 1;
+                self.resubscribe(epoch)?;
                 Ok(Some(self.epoch))
             }
             Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
@@ -442,6 +681,11 @@ impl RemoteSubscriber {
                     return Ok(());
                 }
                 frame @ Frame::DeltaVo { .. } => self.apply_delta_frame(frame, false)?,
+                Frame::ResyncRequired { sub_id, .. } if sub_id == self.sub_id => {
+                    // The server already terminated the subscription on
+                    // its own; the goal of unsubscribing is achieved.
+                    return Ok(());
+                }
                 Frame::Error { code, message } => {
                     return Err(RemoteError::Server { code, message })
                 }

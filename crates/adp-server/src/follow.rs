@@ -17,6 +17,7 @@
 
 use crate::client::DEFAULT_REPLY_TIMEOUT;
 use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, ProtoError};
+use crate::retry::RetryPolicy;
 use crate::server::{ServerHandle, UpdateError};
 use adp_crypto::PublicKey;
 use adp_store::format::decode_snapshot;
@@ -24,7 +25,7 @@ use adp_store::log::decode_records;
 use adp_store::{Store, StoreError};
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::time::Duration;
 
@@ -102,6 +103,30 @@ impl fmt::Display for FollowError {
     }
 }
 
+impl FollowError {
+    /// Whether reconnecting (and resuming from the mirror's own cursor)
+    /// could fix this. Transport failures, framing desyncs, gaps,
+    /// compaction resyncs, and an upstream-reported `BadFrame` (the
+    /// upstream could not parse what arrived — transport damage seen
+    /// from the other side) are all cured by a fresh `FollowLog`
+    /// handshake; a key mismatch, failed audit, or store rejection is
+    /// **fatal** — the data itself is wrong, and fetching it again
+    /// cannot help.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FollowError::Proto(_)
+                | FollowError::UnexpectedFrame(_)
+                | FollowError::Gap { .. }
+                | FollowError::ResyncRequired
+                | FollowError::Server {
+                    code: ErrorCode::BadFrame,
+                    ..
+                }
+        )
+    }
+}
+
 impl std::error::Error for FollowError {}
 
 impl From<ProtoError> for FollowError {
@@ -156,10 +181,24 @@ impl LogFollower {
         table_id: u32,
         have: Option<u64>,
     ) -> Result<(LogFollower, FollowStart), FollowError> {
+        Self::connect_with_timeout(addr, table_id, have, DEFAULT_REPLY_TIMEOUT)
+    }
+
+    /// [`LogFollower::connect`] with an explicit handshake patience: how
+    /// long to wait for the `LogSegment`/`Snapshot` reply before giving
+    /// up on this connection. Self-healing loops want this much shorter
+    /// than the default so a swallowed reply costs one backoff step, not
+    /// thirty seconds.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        table_id: u32,
+        have: Option<u64>,
+        reply_timeout: Duration,
+    ) -> Result<(LogFollower, FollowStart), FollowError> {
         let mut stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        stream.set_write_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
-        stream.set_read_timeout(Some(DEFAULT_REPLY_TIMEOUT))?;
+        stream.set_write_timeout(Some(reply_timeout))?;
+        stream.set_read_timeout(Some(reply_timeout))?;
         write_frame(&mut stream, &Frame::FollowLog { table_id, have }).map_err(ProtoError::Io)?;
         let start = match read_frame(&mut stream)? {
             Frame::LogSegment {
@@ -202,6 +241,161 @@ impl LogFollower {
             )),
         }
     }
+}
+
+/// What [`ResilientFollower::next_event`] produced.
+pub enum FollowEvent {
+    /// A fresh (re)connect's handshake answered with backlog from the
+    /// `have` cursor: framed records to apply with [`apply_segment`].
+    Backlog(Vec<u8>),
+    /// A fresh (re)connect's handshake answered with a bootstrap snapshot
+    /// (no cursor, or the upstream compacted past it): authenticate with
+    /// [`bootstrap_store`].
+    Snapshot(Vec<u8>),
+    /// A live [`Frame::LogSegment`] on the established stream.
+    Segment(Vec<u8>),
+}
+
+/// A self-healing [`LogFollower`]: owns the upstream address and a
+/// [`RetryPolicy`], and transparently reconnects — resuming from the
+/// caller's `have` cursor — whenever the connection drops, the stream
+/// desyncs, records gap, or the upstream compacts past the cursor.
+///
+/// The caller drives a simple loop: every call to
+/// [`ResilientFollower::next_event`] yields the next thing to apply, and
+/// the caller reports back its new cursor on the next call. Security is
+/// unchanged from [`LogFollower`]: reconnection re-fetches data, and
+/// every byte still passes the same signature verification before the
+/// mirror applies it — a flaky network can delay convergence, never
+/// corrupt it.
+pub struct ResilientFollower {
+    addrs: Vec<SocketAddr>,
+    table_id: u32,
+    retry: RetryPolicy,
+    conn: Option<LogFollower>,
+    segment_timeout: Option<Duration>,
+    handshake_timeout: Duration,
+    /// A handshake has succeeded at least once (later ones are
+    /// reconnects).
+    connected_once: bool,
+    reconnects: u64,
+}
+
+impl ResilientFollower {
+    /// Creates the follower (no connection yet; the first
+    /// [`ResilientFollower::next_event`] connects).
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        table_id: u32,
+        retry: RetryPolicy,
+    ) -> io::Result<ResilientFollower> {
+        Ok(ResilientFollower {
+            addrs: addr.to_socket_addrs()?.collect(),
+            table_id,
+            retry,
+            conn: None,
+            segment_timeout: Some(DEFAULT_REPLY_TIMEOUT),
+            handshake_timeout: DEFAULT_REPLY_TIMEOUT,
+            connected_once: false,
+            reconnects: 0,
+        })
+    }
+
+    /// Patience for each live segment before `next_event` returns a
+    /// timeout error (`None` waits forever).
+    pub fn set_segment_timeout(&mut self, timeout: Option<Duration>) {
+        self.segment_timeout = timeout;
+    }
+
+    /// Patience for the reconnect handshake's reply. Keep this bounded
+    /// (unlike the segment timeout, which may be `None`): a swallowed
+    /// handshake reply should cost one backoff step, not the default
+    /// thirty seconds.
+    pub fn set_handshake_timeout(&mut self, timeout: Duration) {
+        self.handshake_timeout = timeout;
+    }
+
+    /// Reconnections performed so far (the first connect is not one).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Drops the current connection; the next
+    /// [`ResilientFollower::next_event`] performs a fresh handshake. Call
+    /// after an error the *caller* detected (e.g. [`apply_segment`]
+    /// returned a [`FollowError::Gap`]).
+    pub fn reset(&mut self) {
+        self.conn = None;
+    }
+
+    /// Produces the next event to apply, healing the connection as
+    /// needed. `have` is the mirror's current cursor (its store's
+    /// `next_seq`), or `None` before any bootstrap. Each call gets a
+    /// fresh retry budget from the policy; exhausting it returns the last
+    /// error, and a later call starts over.
+    ///
+    /// A read timeout (no segment arrived in the window) is returned as a
+    /// [`FollowError::Proto`] I/O error with kind
+    /// `WouldBlock`/`TimedOut`; callers polling a quiet upstream should
+    /// treat that as "no news", not as damage (the connection is kept).
+    pub fn next_event(&mut self, have: Option<u64>) -> Result<FollowEvent, FollowError> {
+        let mut attempt = 0;
+        loop {
+            let had_conn = self.conn.is_some();
+            let result = self.step(have);
+            match result {
+                // A quiet live-segment window on an established stream is
+                // "no news", not damage: the connection is kept. A
+                // *handshake* timing out is damage (the reply should be
+                // prompt) and falls through to the retry arm below.
+                Err(e) if had_conn && is_timeout(&e) => return Err(e),
+                Ok(event) => return Ok(event),
+                Err(e) if e.is_retryable() && attempt < self.retry.max_retries => {
+                    self.conn = None;
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt: handshake if disconnected (yielding the handshake's
+    /// backlog/snapshot), else read one live segment.
+    fn step(&mut self, have: Option<u64>) -> Result<FollowEvent, FollowError> {
+        match &mut self.conn {
+            None => {
+                let (mut follower, start) = LogFollower::connect_with_timeout(
+                    &self.addrs[..],
+                    self.table_id,
+                    have,
+                    self.handshake_timeout,
+                )?;
+                follower.set_timeout(self.segment_timeout)?;
+                if self.connected_once {
+                    self.reconnects += 1;
+                }
+                self.connected_once = true;
+                self.conn = Some(follower);
+                Ok(match start {
+                    FollowStart::Backlog(records) => FollowEvent::Backlog(records),
+                    FollowStart::Snapshot(snapshot) => FollowEvent::Snapshot(snapshot),
+                })
+            }
+            Some(follower) => match follower.next_segment() {
+                Ok(records) => Ok(FollowEvent::Segment(records)),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Whether this error is a quiet read window elapsing rather than damage.
+fn is_timeout(e: &FollowError) -> bool {
+    matches!(e, FollowError::Proto(ProtoError::Io(io)) if io.kind() == io::ErrorKind::WouldBlock || io.kind() == io::ErrorKind::TimedOut)
 }
 
 /// Authenticates a bootstrap snapshot and persists it as a fresh mirror

@@ -75,11 +75,13 @@ pub mod follow;
 pub mod pool;
 pub mod protocol;
 mod reactor;
+pub mod retry;
 pub mod server;
 pub mod sys;
 
 pub use cache::LruCache;
 pub use client::{RemoteClient, RemoteError, RemoteSubscriber, RemoteVerifier};
-pub use follow::{FollowError, FollowStart, LogFollower};
+pub use follow::{FollowError, FollowEvent, FollowStart, LogFollower, ResilientFollower};
 pub use protocol::{ErrorCode, Frame, ProtoError, StatsSnapshot};
+pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig, ServerHandle, TamperFn, UpdateError};

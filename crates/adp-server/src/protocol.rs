@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0xAD 0x50
-//! 2       1     protocol version (currently 0x04)
+//! 2       1     protocol version (currently 0x05)
 //! 3       1     frame type
 //! 4       4     payload length, u32 little-endian (max 64 MiB)
 //! ```
@@ -44,8 +44,13 @@ pub const MAGIC: [u8; 2] = [0xAD, 0x50];
 /// `LogSegment`, `Snapshot`) that let a follower publisher mirror a
 /// table over the wire, the client-facing `Subscribe`/`DeltaVO`/
 /// `Unsubscribe` frames that push re-verifiable VO deltas on every epoch
-/// bump, and the `subscriptions`/`deltas_pushed` stats fields.
-pub const VERSION: u8 = 0x04;
+/// bump, and the `subscriptions`/`deltas_pushed` stats fields; `0x05`
+/// added the robustness layer — the `ResyncRequired` push (a subscriber
+/// whose delta could not be shipped must re-subscribe for a fresh
+/// baseline instead of silently stalling) and the
+/// `reconnects`/`resyncs`/`drains` stats fields backing the self-healing
+/// clients and graceful drain.
+pub const VERSION: u8 = 0x05;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -90,6 +95,11 @@ pub mod frame_type {
     pub const DELTA_VO: u8 = 0x0E;
     /// Cancel a subscription. New in version 4.
     pub const UNSUBSCRIBE: u8 = 0x0F;
+    /// Server → subscriber: the subscription was terminated because a
+    /// delta could not be shipped (e.g. it would exceed the frame cap);
+    /// the client must re-subscribe for a fresh verified baseline. New
+    /// in version 5.
+    pub const RESYNC_REQUIRED: u8 = 0x10;
 }
 
 /// Error codes carried by [`Frame::Error`] and batch error items.
@@ -166,6 +176,16 @@ pub struct StatsSnapshot {
     /// `DeltaVO` frames pushed to subscribers since start. New in
     /// version 4.
     pub deltas_pushed: u64,
+    /// Reconnections observed: follower handshakes that resumed from a
+    /// `have` cursor plus subscriber re-registrations of a `sub_id` this
+    /// server already saw on an earlier connection. New in version 5.
+    pub reconnects: u64,
+    /// `ResyncRequired` frames pushed (a subscription terminated because
+    /// its delta could not be shipped). New in version 5.
+    pub resyncs: u64,
+    /// Connections closed by graceful drain: accepted no new work, had
+    /// their write queues flushed, then closed. New in version 5.
+    pub drains: u64,
 }
 
 /// One self-contained piece of a [`Frame::DeltaVo`]: a complete
@@ -310,6 +330,19 @@ pub enum Frame {
         /// The subscription to cancel.
         sub_id: u32,
     },
+    /// Pushed by the server when it had to terminate subscription
+    /// `sub_id` without shipping a delta — today, when the delta for one
+    /// epoch bump would exceed the frame cap. The subscription is gone
+    /// the moment this frame is sent; the client's recovery is to
+    /// re-subscribe, which re-verifies a fresh whole-range baseline at
+    /// an epoch `>= epoch`. No `DeltaVo` for `sub_id` follows.
+    ResyncRequired {
+        /// The terminated subscription.
+        sub_id: u32,
+        /// The epoch whose delta could not be shipped (the subscriber's
+        /// verified state is strictly older than this).
+        epoch: u64,
+    },
 }
 
 impl Frame {
@@ -331,6 +364,7 @@ impl Frame {
             Frame::Subscribe { .. } => frame_type::SUBSCRIBE,
             Frame::DeltaVo { .. } => frame_type::DELTA_VO,
             Frame::Unsubscribe { .. } => frame_type::UNSUBSCRIBE,
+            Frame::ResyncRequired { .. } => frame_type::RESYNC_REQUIRED,
         }
     }
 }
@@ -441,6 +475,9 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u64(s.errors);
             w.u64(s.subscriptions);
             w.u64(s.deltas_pushed);
+            w.u64(s.reconnects);
+            w.u64(s.resyncs);
+            w.u64(s.drains);
         }
         Frame::Error { code, message } => {
             w.u8(*code as u8);
@@ -490,6 +527,10 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
         }
         Frame::Unsubscribe { sub_id } => {
             w.u32(*sub_id);
+        }
+        Frame::ResyncRequired { sub_id, epoch } => {
+            w.u32(*sub_id);
+            w.u64(*epoch);
         }
     }
     w.into_bytes()
@@ -581,6 +622,9 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
             errors: r.u64()?,
             subscriptions: r.u64()?,
             deltas_pushed: r.u64()?,
+            reconnects: r.u64()?,
+            resyncs: r.u64()?,
+            drains: r.u64()?,
         }),
         frame_type::ERROR => {
             let code = ErrorCode::from_byte(r.u8()?).ok_or(WireError("bad error code"))?;
@@ -638,6 +682,10 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
             }
         }
         frame_type::UNSUBSCRIBE => Frame::Unsubscribe { sub_id: r.u32()? },
+        frame_type::RESYNC_REQUIRED => Frame::ResyncRequired {
+            sub_id: r.u32()?,
+            epoch: r.u64()?,
+        },
         other => return Err(ProtoError::UnknownFrameType(other)),
     };
     if !r.done() {
@@ -816,6 +864,9 @@ mod tests {
                 errors: 11,
                 subscriptions: 12,
                 deltas_pushed: 13,
+                reconnects: 14,
+                resyncs: 15,
+                drains: 16,
             }),
             Frame::Error {
                 code: ErrorCode::BadFrame,
@@ -866,6 +917,10 @@ mod tests {
                 pieces: vec![],
             },
             Frame::Unsubscribe { sub_id: 1 },
+            Frame::ResyncRequired {
+                sub_id: 1,
+                epoch: 3,
+            },
         ]
     }
 
@@ -920,7 +975,7 @@ mod tests {
     fn ping_frame_fixed_vector_matches_protocol_doc() {
         assert_eq!(
             encode_frame(&Frame::Ping),
-            vec![0xAD, 0x50, 0x04, 0x01, 0, 0, 0, 0]
+            vec![0xAD, 0x50, 0x05, 0x01, 0, 0, 0, 0]
         );
     }
 
@@ -953,9 +1008,9 @@ mod tests {
     #[test]
     fn bad_version_rejected() {
         // Older versions are refused too: the StatsResponse layout
-        // changed in v2, v3, and v4, so a v4 speaker must not silently
-        // accept earlier peers.
-        for old in [0x01, 0x02, 0x03] {
+        // changed in v2, v3, v4, and v5, so a v5 speaker must not
+        // silently accept earlier peers.
+        for old in [0x01, 0x02, 0x03, 0x04] {
             let mut bytes = encode_frame(&Frame::Ping);
             bytes[2] = old;
             assert!(matches!(

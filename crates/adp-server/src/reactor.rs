@@ -279,10 +279,16 @@ struct ShardCore {
     peers: Vec<Arc<ShardHandle>>,
     cfg: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain flag ([`crate::ServerHandle::drain`]): once set, the
+    /// shard stops accepting, treats every connection as read-closed
+    /// (finish what arrived, flush, close), and counts closes as drains.
+    drain: Arc<AtomicBool>,
 }
 
 pub(crate) struct Shard {
     core: ShardCore,
+    /// The drain flag has been observed and acted on by this shard.
+    draining: bool,
     conns: HashMap<u64, Conn>,
     /// Min-heap of `(deadline, token)` with lazy deletion.
     timers: BinaryHeap<Reverse<(Instant, u64)>>,
@@ -308,6 +314,7 @@ pub(crate) fn spawn_shards(
     inner: Arc<Inner>,
     pool: Arc<ThreadPool>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     cfg: ServerConfig,
 ) -> io::Result<SpawnedShards> {
     let nshards = nshards.max(1);
@@ -341,7 +348,9 @@ pub(crate) fn spawn_shards(
                 peers: handles.clone(),
                 cfg: cfg.clone(),
                 shutdown: Arc::clone(&shutdown),
+                drain: Arc::clone(&drain),
             },
+            draining: false,
             conns: HashMap::new(),
             timers: BinaryHeap::new(),
             next_token: FIRST_CONN_TOKEN,
@@ -378,6 +387,9 @@ impl Shard {
             ServerStats::bump(&self.core.inner.stats.wakeups);
             if self.core.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            if !self.draining && self.core.drain.load(Ordering::SeqCst) {
+                self.begin_drain();
             }
             for ev in &events[..n] {
                 match ev.token() {
@@ -503,7 +515,35 @@ impl Shard {
         }
     }
 
+    /// Enters drain mode: the listener leaves epoll and closes (new
+    /// connects are refused from here on), and every connection is
+    /// treated as if its peer half-closed — already-received requests
+    /// still answer, write queues still flush, and the close lands once
+    /// both are empty. [`Shard::close_conn`] counts closes as drains
+    /// while this mode is active.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.core.epoll.delete(listener.as_raw_fd());
+            // Dropping the listener closes it.
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_closed = true;
+                pump(&self.core, conn, token);
+                write_some(&self.core, conn);
+            }
+            self.epilogue(token);
+        }
+    }
+
     fn register_conn(&mut self, stream: TcpStream) {
+        if self.draining {
+            // Raced in from the accepting shard after drain began:
+            // dropping the stream closes it.
+            return;
+        }
         if stream.set_nonblocking(true).is_err() {
             ServerStats::bump(&self.core.inner.stats.errors);
             return;
@@ -718,6 +758,9 @@ impl Shard {
     fn close_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let stats = &self.core.inner.stats;
+            if self.draining {
+                ServerStats::bump(&stats.drains);
+            }
             stats.open_connections.fetch_sub(1, Ordering::Relaxed);
             stats
                 .queue_depth
@@ -876,7 +919,8 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
                             | Frame::Error { .. }
                             | Frame::LogSegment { .. }
                             | Frame::Snapshot { .. }
-                            | Frame::DeltaVo { .. } => Req::BadDirection,
+                            | Frame::DeltaVo { .. }
+                            | Frame::ResyncRequired { .. } => Req::BadDirection,
                         });
                     }
                 }

@@ -1,0 +1,112 @@
+//! Typed retry policy for the self-healing clients: capped exponential
+//! backoff with deterministic jitter.
+//!
+//! The policy is deliberately *typed into* each client rather than being a
+//! blanket wrapper: only operations that are safe to repeat get a retry
+//! loop. Idempotent reads ([`RemoteClient`](crate::RemoteClient) pings,
+//! stats, queries, batches) retry transparently; handshakes that create
+//! server-side state (`Subscribe`, `FollowLog`) are re-driven by their
+//! owning client ([`RemoteSubscriber`](crate::RemoteSubscriber),
+//! [`ResilientFollower`](crate::ResilientFollower)), which knows how to
+//! re-establish that state from its own cursor; and nothing ever retries
+//! on a *fatal* error — a server-reported error, or an answer that failed
+//! verification, means retrying would re-ask a peer that already gave its
+//! (wrong) answer. [`RemoteError::is_retryable`](crate::RemoteError)
+//! draws that line.
+//!
+//! Jitter is deterministic (seeded [`Rng64`]) so chaos tests replay
+//! byte-identically from a committed seed, yet still decorrelates real
+//! fleets: give each client a distinct seed.
+
+use adp_faults::{substream, Rng64};
+use std::time::Duration;
+
+/// Retry budget and backoff shape for one client.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries allowed per logical operation (0 = fail fast; the first
+    /// attempt is not a retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base: Duration,
+    /// Ceiling the exponential never exceeds.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            seed: 0x5EED_F00D,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transport error is final (the pre-robustness
+    /// behavior, and the default for the plain constructors).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): an exponential
+    /// `base * 2^attempt` capped at `max_backoff`, then jittered into
+    /// `[d/2, d)` so synchronized clients desynchronize. Deterministic in
+    /// `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_backoff);
+        let nanos = capped.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos < 2 {
+            return capped;
+        }
+        let mut rng = Rng64::new(substream(self.seed, "backoff", u64::from(attempt)));
+        Duration::from_nanos(nanos / 2 + rng.below(nanos / 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            seed: 1,
+        };
+        // Jitter keeps each delay in [cap/2, cap); the cap itself grows
+        // exponentially until max_backoff.
+        for attempt in 0..10 {
+            let d = p.backoff(attempt);
+            let cap = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(20))
+                .min(Duration::from_millis(100));
+            assert!(d >= cap / 2 && d < cap, "attempt {attempt}: {d:?}");
+        }
+        // High attempts stay at the ceiling's band.
+        assert!(p.backoff(30) >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(3), p.backoff(3));
+        let q = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(p.backoff(3), q.backoff(3));
+    }
+}

@@ -84,6 +84,13 @@ pub struct ServerConfig {
     /// drains responses; a client that never drains falls to the idle
     /// timeout instead of buffering unboundedly.
     pub write_queue_limit: usize,
+    /// Largest delta push (encoded frame, in bytes) the server will ship
+    /// to a range subscriber. A delta exceeding the effective bound —
+    /// `min(max_push_bytes, MAX_PAYLOAD)` — terminates the subscription
+    /// with a `ResyncRequired` push instead of being sent. Defaults to
+    /// the protocol frame limit; tests lower it to exercise the resync
+    /// path with small data.
+    pub max_push_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             frame_timeout: Duration::from_secs(30),
             idle_timeout: Some(Duration::from_secs(60)),
             write_queue_limit: 8 << 20,
+            max_push_bytes: crate::protocol::MAX_PAYLOAD as usize,
         }
     }
 }
@@ -121,6 +129,16 @@ pub struct ServerStats {
     /// `DeltaVO` frames pushed to subscribers (the initial snapshot
     /// answering a `Subscribe` counts; unsubscribe acks do not).
     pub(crate) deltas_pushed: AtomicU64,
+    /// Reconnections observed: `FollowLog` handshakes resuming from a
+    /// `have` cursor, plus `Subscribe` registrations re-using a
+    /// `(table_id, sub_id)` this server already saw (a self-healing
+    /// subscriber re-subscribing after a drop or a resync).
+    pub(crate) reconnects: AtomicU64,
+    /// `ResyncRequired` frames pushed (subscriptions terminated because
+    /// their delta could not be shipped).
+    pub(crate) resyncs: AtomicU64,
+    /// Connections closed by graceful drain.
+    pub(crate) drains: AtomicU64,
     /// Reactor loop iterations across all shards. Not on the wire — a
     /// diagnostic proving idle connections cost zero steady-state wakeups
     /// (exported via [`ServerHandle::reactor_wakeups`]).
@@ -147,6 +165,9 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             subscriptions: self.subscriptions.load(Ordering::Relaxed),
             deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
         }
     }
 }
@@ -247,8 +268,14 @@ pub(crate) struct Inner {
     /// enqueued while holding `subs`, which is what makes the per-
     /// connection wire order equal epoch order.
     pub(crate) subs: Mutex<Vec<SubEntry>>,
+    /// Every `(table_id, sub_id)` ever registered, kept after the entry
+    /// dies so a re-registration is recognizable as a reconnect (the
+    /// `reconnects` stat). Grows with distinct ids, not connections.
+    seen_subs: Mutex<std::collections::HashSet<(u32, u32)>>,
     pub(crate) stats: ServerStats,
     tamper: Option<Box<TamperFn>>,
+    /// [`ServerConfig::max_push_bytes`], checked on the fan-out path.
+    max_push_bytes: usize,
 }
 
 impl Inner {
@@ -520,11 +547,14 @@ impl Server {
             cache: (self.config.cache_capacity > 0)
                 .then(|| Mutex::new(LruCache::new(self.config.cache_capacity))),
             subs: Mutex::new(Vec::new()),
+            seen_subs: Mutex::new(std::collections::HashSet::new()),
             stats: ServerStats::default(),
             tamper: self.tamper,
+            max_push_bytes: self.config.max_push_bytes,
         });
         let pool = Arc::new(ThreadPool::new(self.config.workers));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
         let nshards = if self.config.shards == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -536,12 +566,14 @@ impl Server {
             Arc::clone(&inner),
             Arc::clone(&pool),
             Arc::clone(&shutdown),
+            Arc::clone(&drain),
             self.config.clone(),
         )?;
         Ok(ServerHandle {
             addr,
             inner,
             shutdown,
+            drain,
             shards,
             shard_threads,
             _pool: pool,
@@ -703,6 +735,9 @@ pub(crate) fn subscribe_job(
         token,
         kind: SubKind::Range { sub_id, lo, hi },
     });
+    if !lock_recover(&inner.seen_subs).insert((table_id, sub_id)) {
+        ServerStats::bump(&inner.stats.reconnects);
+    }
     inner.stats.subscriptions.fetch_add(1, Ordering::Relaxed);
     ServerStats::bump(&inner.stats.deltas_pushed);
     complete(vec![WriteChunk::owned(buf)]);
@@ -725,6 +760,11 @@ pub(crate) fn follow_job(
     have: Option<u64>,
 ) {
     let complete = |chunks| shard.push(Msg::Complete(token, chunks));
+    if have.is_some() {
+        // A resume cursor means this follower held (part of) the log
+        // before: it is reconnecting, not bootstrapping.
+        ServerStats::bump(&inner.stats.reconnects);
+    }
     let stores = lock_recover(&inner.stores);
     let Some(store) = stores.get(&table_id) else {
         drop(stores);
@@ -803,7 +843,7 @@ pub(crate) fn fan_out(
     ops: &[Mutation],
     resigned: &[(u32, Signature)],
 ) {
-    let subs = lock_recover(&inner.subs);
+    let mut subs = lock_recover(&inner.subs);
     let has_follower = subs
         .iter()
         .any(|e| e.table_id == table_id && matches!(e.kind, SubKind::Follower));
@@ -833,6 +873,9 @@ pub(crate) fn fan_out(
     } else {
         Vec::new()
     };
+    // Subscriptions terminated this fan-out (their delta could not be
+    // shipped): removed from the registry after the loop.
+    let mut resynced: Vec<(Arc<ShardHandle>, u64, u32)> = Vec::new();
     for entry in subs.iter() {
         if entry.table_id != table_id {
             continue;
@@ -868,33 +911,63 @@ pub(crate) fn fan_out(
                     })
                     .collect();
                 let mut buf = Vec::new();
-                match protocol::write_frame(
+                let shipped = protocol::write_frame(
                     &mut buf,
                     &Frame::DeltaVo {
                         sub_id,
                         epoch,
                         pieces,
                     },
-                ) {
-                    Ok(()) => {
-                        ServerStats::bump(&inner.stats.deltas_pushed);
+                )
+                .is_ok()
+                    && buf.len() <= inner.max_push_bytes;
+                if shipped {
+                    ServerStats::bump(&inner.stats.deltas_pushed);
+                    entry.shard.push(Msg::Push {
+                        token: entry.token,
+                        sub_id: Some(sub_id),
+                        chunks: vec![WriteChunk::owned(buf)],
+                    });
+                } else {
+                    // A delta too large for one frame (or past the
+                    // configured push bound) cannot be shipped — it is
+                    // not split. Silently skipping it would leave the
+                    // subscriber's mirror stale with no signal, so the
+                    // subscription dies loudly instead: the client gets
+                    // a `ResyncRequired` push and must re-subscribe for
+                    // a fresh verified baseline.
+                    ServerStats::bump(&inner.stats.errors);
+                    ServerStats::bump(&inner.stats.resyncs);
+                    let mut buf = Vec::new();
+                    if protocol::write_frame(&mut buf, &Frame::ResyncRequired { sub_id, epoch })
+                        .is_ok()
+                    {
+                        // `sub_id: None`: the entry is being removed,
+                        // so the delivery-time liveness check for
+                        // range pushes would drop this frame.
                         entry.shard.push(Msg::Push {
                             token: entry.token,
-                            sub_id: Some(sub_id),
+                            sub_id: None,
                             chunks: vec![WriteChunk::owned(buf)],
                         });
                     }
-                    // A delta too large for one frame is skipped, not
-                    // split. The client cannot distinguish this from a
-                    // batch that didn't touch its range (neither pushes
-                    // a frame), so the drop is observable only in the
-                    // server's error counter; a subscriber that needs
-                    // gap-freedom at this scale should follow the log
-                    // instead.
-                    Err(_) => ServerStats::bump(&inner.stats.errors),
+                    resynced.push((Arc::clone(&entry.shard), entry.token, sub_id));
                 }
             }
         }
+    }
+    if !resynced.is_empty() {
+        subs.retain(|e| {
+            !resynced.iter().any(|(shard, token, sid)| {
+                e.token == *token
+                    && Arc::ptr_eq(&e.shard, shard)
+                    && matches!(e.kind, SubKind::Range { sub_id: s, .. } if s == *sid)
+            })
+        });
+        inner
+            .stats
+            .subscriptions
+            .fetch_sub(resynced.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -905,6 +978,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     shards: Vec<Arc<ShardHandle>>,
     shard_threads: Vec<JoinHandle<()>>,
     /// Kept so the pool outlives the shards: in-flight worker jobs may
@@ -995,6 +1069,34 @@ impl ServerHandle {
         self.shutdown_inner();
     }
 
+    /// Graceful shutdown: stops accepting immediately (the listener
+    /// closes), lets every connection finish the requests it already sent
+    /// and flush its write queue, then closes it — each such close counts
+    /// in the `drains` stat. Once every connection is gone (or `timeout`
+    /// elapses, whichever is first) the server shuts down fully. Returns
+    /// `true` if every connection drained within the timeout, plus the
+    /// final counter snapshot (taken after the drain, so it includes the
+    /// `drains` count itself).
+    pub fn drain(mut self, timeout: Duration) -> (bool, StatsSnapshot) {
+        self.drain.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.wake();
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let flushed = loop {
+            if self.inner.stats.open_connections.load(Ordering::Relaxed) == 0 {
+                break true;
+            }
+            if std::time::Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let stats = self.inner.snapshot();
+        self.shutdown_inner();
+        (flushed, stats)
+    }
+
     fn shutdown_inner(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -1049,8 +1151,10 @@ mod tests {
             stores: Mutex::new(HashMap::new()),
             cache: Some(Mutex::new(LruCache::new(8))),
             subs: Mutex::new(Vec::new()),
+            seen_subs: Mutex::new(std::collections::HashSet::new()),
             stats: ServerStats::default(),
             tamper: None,
+            max_push_bytes: crate::protocol::MAX_PAYLOAD as usize,
         }
     }
 

@@ -20,8 +20,10 @@ compile_error!(
 
 #[cfg(target_arch = "x86_64")]
 mod nr {
+    pub const RT_SIGPROCMASK: u64 = 14;
     pub const EPOLL_CTL: u64 = 233;
     pub const EPOLL_PWAIT: u64 = 281;
+    pub const SIGNALFD4: u64 = 289;
     pub const EPOLL_CREATE1: u64 = 291;
     pub const PRLIMIT64: u64 = 302;
 }
@@ -31,6 +33,8 @@ mod nr {
     pub const EPOLL_CTL: u64 = 21;
     pub const EPOLL_PWAIT: u64 = 22;
     pub const EPOLL_CREATE1: u64 = 20;
+    pub const SIGNALFD4: u64 = 74;
+    pub const RT_SIGPROCMASK: u64 = 135;
     pub const PRLIMIT64: u64 = 261;
 }
 
@@ -279,6 +283,83 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     }
     set(want, hard)?;
     Ok(want)
+}
+
+/// `SIGINT` (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill).
+pub const SIGTERM: i32 = 15;
+
+const SIG_BLOCK: u64 = 0;
+const SFD_CLOEXEC: u64 = 0o2000000;
+
+/// A signalfd: the listed signals, blocked for normal delivery, arrive as
+/// reads on this fd instead — which is how `adp serve` turns `SIGTERM` /
+/// Ctrl-C into a graceful drain without an async-signal-safe handler (no
+/// `libc`, no `signal(2)`; the whole mechanism is two syscalls).
+///
+/// Create it on the main thread **before** spawning any other thread:
+/// `rt_sigprocmask` masks only the calling thread, and threads inherit
+/// the mask at spawn — signals must be masked everywhere, or the kernel
+/// may deliver them to an unmasked thread (killing the process) instead
+/// of queueing them on the fd.
+pub struct SignalFd {
+    fd: OwnedFd,
+}
+
+impl SignalFd {
+    /// Blocks `signals` for this thread (future threads inherit the mask)
+    /// and returns a blocking fd that reads them instead.
+    pub fn new(signals: &[i32]) -> io::Result<SignalFd> {
+        let mut mask: u64 = 0;
+        for &sig in signals {
+            assert!((1..=64).contains(&sig), "bad signal number {sig}");
+            mask |= 1u64 << (sig - 1);
+        }
+        check(unsafe {
+            syscall6(
+                nr::RT_SIGPROCMASK,
+                SIG_BLOCK,
+                &mask as *const u64 as u64,
+                0, // oldset: NULL
+                8, // sigsetsize
+                0,
+                0,
+            )
+        })?;
+        let fd = check(unsafe {
+            syscall6(
+                nr::SIGNALFD4,
+                u64::MAX, // -1: new fd
+                &mask as *const u64 as u64,
+                8, // sigsetsize
+                SFD_CLOEXEC,
+                0,
+                0,
+            )
+        })?;
+        Ok(SignalFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+        })
+    }
+
+    /// Blocks until one of the masked signals arrives; returns its number.
+    /// (`read(2)` on a signalfd writes a 128-byte `signalfd_siginfo`
+    /// whose leading `u32` is the signal number — `std`'s `File` read is
+    /// exactly that syscall, no extra binding needed.)
+    pub fn wait(&self) -> io::Result<i32> {
+        use std::io::Read;
+        let mut info = [0u8; 128];
+        let mut f = std::fs::File::from(self.fd.try_clone()?);
+        f.read_exact(&mut info)?;
+        let signo = u32::from_ne_bytes(info[0..4].try_into().expect("4 bytes"));
+        Ok(signo as i32)
+    }
+
+    /// The raw fd (e.g. to register with an [`Epoll`]).
+    pub fn as_raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,13 @@
 use adp_core::prelude::*;
 use adp_core::publisher::Publisher;
 use adp_core::wire;
+use adp_faults::{FaultPlan, FaultProxy};
 use adp_relation::{Column, KeyRange, Record, Schema, SelectQuery, Table, Value, ValueType};
 use adp_server::follow::apply_segment;
-use adp_server::{FollowError, FollowStart, LogFollower, RemoteVerifier, Server, ServerConfig};
+use adp_server::{
+    FollowError, FollowEvent, FollowStart, LogFollower, RemoteVerifier, ResilientFollower,
+    RetryPolicy, Server, ServerConfig,
+};
 use adp_store::log::encode_record;
 use adp_store::{LogRecord, Store};
 use proptest::prelude::*;
@@ -24,6 +28,7 @@ use rand::SeedableRng;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 const BATCHES: usize = 5;
 
@@ -235,14 +240,9 @@ proptest! {
     }
 }
 
-/// The resume path over a real socket: a mirror that followed part of
-/// the log reconnects with `have = head` and receives exactly the
-/// missing backlog — converging to the same digest as a fresh bootstrap.
-#[test]
-fn reconnect_with_resume_over_the_wire() {
+/// Starts an upstream server whose store holds the fixture's full log.
+fn upstream_server() -> (adp_server::ServerHandle, PathBuf) {
     let fx = fixture();
-
-    // Upstream: owner's store with all five batches in its log.
     let up_dir = fresh_dir();
     Store::create_at(&up_dir, fx.base_st.clone(), 0).unwrap();
     let mut upstream = Server::new(ServerConfig::default());
@@ -253,6 +253,114 @@ fn reconnect_with_resume_over_the_wire() {
             up_handle.apply_update(0, &r.ops, &r.resigned).unwrap();
         }
     }
+    (up_handle, up_dir)
+}
+
+/// Chaos driver: a [`ResilientFollower`] mirrors the upstream through a
+/// [`FaultProxy`] driven by `seed`'s [`FaultPlan`] — drops, delays,
+/// stale duplicates, mid-frame closes, connection refusals — and must
+/// converge to the owner's exact digest with **zero manual
+/// intervention**: every recovery action below (reset + refetch from the
+/// mirror's own cursor) is what the self-healing loop does on its own.
+/// A flaky network may delay convergence; it must never corrupt it.
+fn chaos_converges(seed: u64) -> Result<(), TestCaseError> {
+    let (up_handle, up_dir) = upstream_server();
+
+    // Fault the first few connections, then let the link heal — like a
+    // real outage, the chaos window is finite.
+    let plan = FaultPlan::new(seed).with_faulty_conns(4).with_horizon(2048);
+    let proxy = FaultProxy::start(up_handle.addr(), plan).unwrap();
+
+    let (handle, dir) = mirror_server();
+    let retry = RetryPolicy {
+        max_retries: 4,
+        base: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        seed,
+    };
+    let mut follower = ResilientFollower::new(proxy.addr(), 0, retry).unwrap();
+    follower.set_segment_timeout(Some(Duration::from_millis(150)));
+    // A swallowed handshake reply must cost one backoff step, not the
+    // 30s default.
+    follower.set_handshake_timeout(Duration::from_millis(500));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut head = handle.table_epoch(0).unwrap();
+    while head < BATCHES as u64 {
+        prop_assert!(
+            Instant::now() < deadline,
+            "chaos seed {} did not converge within 30s (head {})",
+            seed,
+            head
+        );
+        let records = match follower.next_event(Some(head)) {
+            Ok(FollowEvent::Backlog(r)) | Ok(FollowEvent::Segment(r)) => r,
+            // The upstream never compacts here: a snapshot can only be a
+            // desynced stream. Quiet windows (dropped backlog) and
+            // exhausted budgets heal the same way: drop the connection
+            // and refetch from the cursor.
+            Ok(FollowEvent::Snapshot(_)) | Err(_) => {
+                follower.reset();
+                continue;
+            }
+        };
+        match apply_segment(&handle, 0, &records) {
+            Ok(new_head) => head = new_head,
+            // Torn, gapped, or duplicated delivery is refused typed and
+            // atomically — refetch from the (unchanged) cursor.
+            Err(_) => {
+                follower.reset();
+                head = handle.table_epoch(0).unwrap();
+            }
+        }
+    }
+    assert_digest_identical(&handle)?;
+
+    handle.shutdown();
+    proxy.stop();
+    up_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&up_dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary fault plans converge digest-identically.
+    #[test]
+    fn arbitrary_fault_plans_converge(seed in any::<u64>()) {
+        chaos_converges(seed)?;
+    }
+}
+
+/// The CI fault-matrix grid: committed seeds, so every PR replays the
+/// exact same chaos byte-for-byte (`FaultPlan` and the retry jitter are
+/// both deterministic in the seed). If one of these ever fails, the seed
+/// reproduces it locally: `chaos_converges(SEED)`.
+#[test]
+fn committed_chaos_seeds_converge() {
+    for seed in [
+        0x8A05_0001,
+        0x8A05_0002,
+        0x8A05_0003,
+        0xDEAD_BEEF,
+        0x0BAD_CAFE,
+        0xFEED_F00D,
+    ] {
+        chaos_converges(seed).unwrap_or_else(|e| panic!("seed {seed:#x}: {e:?}"));
+    }
+}
+
+/// The resume path over a real socket: a mirror that followed part of
+/// the log reconnects with `have = head` and receives exactly the
+/// missing backlog — converging to the same digest as a fresh bootstrap.
+#[test]
+fn reconnect_with_resume_over_the_wire() {
+    let fx = fixture();
+
+    // Upstream: owner's store with all five batches in its log.
+    let (up_handle, up_dir) = upstream_server();
 
     // Mirror that got through two records before "disconnecting".
     let (handle, dir) = mirror_server();

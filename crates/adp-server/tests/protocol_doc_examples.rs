@@ -12,14 +12,14 @@ use adp_server::ErrorCode;
 #[test]
 fn ping_frame_example() {
     let bytes = encode_frame(&Frame::Ping);
-    assert_eq!(bytes, [0xAD, 0x50, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x05, 0x01, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §2 — pong differs only in the frame-type byte.
 #[test]
 fn pong_frame_example() {
     let bytes = encode_frame(&Frame::Pong);
-    assert_eq!(bytes, [0xAD, 0x50, 0x04, 0x02, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x05, 0x02, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
@@ -47,7 +47,7 @@ fn query_request_frame_example() {
     let expected: &[u8] = &[
         // header
         0xAD, 0x50,             // magic
-        0x04,                   // version
+        0x05,                   // version
         0x03,                   // frame type: QueryRequest
         0x20, 0x00, 0x00, 0x00, // payload length = 32
         // payload
@@ -76,7 +76,7 @@ fn query_response_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x04, // magic, version, QueryResponse
+        0xAD, 0x50, 0x05, 0x04, // magic, version, QueryResponse
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x04, 0x00, 0x00, 0x00, // result blob length = 4
@@ -99,7 +99,7 @@ fn error_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x05, 0x09, // magic, version, Error
         0x17, 0x00, 0x00, 0x00, // payload length = 23
         // payload
         0x02,                   // code: UnknownTable
@@ -123,7 +123,7 @@ fn frame_deadline_error_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x05, 0x09, // magic, version, Error
         0x1C, 0x00, 0x00, 0x00, // payload length = 28
         // payload
         0x01,                   // code: BadFrame
@@ -136,15 +136,16 @@ fn frame_deadline_error_example() {
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
 
-/// PROTOCOL.md §7 "Stats" — request is empty; the response is thirteen
+/// PROTOCOL.md §7 "Stats" — request is empty; the response is sixteen
 /// little-endian `u64` counters (version 2 appended `invalidations`;
 /// version 3 appended `open_connections`, `queue_depth`, `idle_reaped`;
-/// version 4 appended `subscriptions`, `deltas_pushed`).
+/// version 4 appended `subscriptions`, `deltas_pushed`; version 5
+/// appended `reconnects`, `resyncs`, `drains`).
 #[test]
 fn stats_frames_example() {
     assert_eq!(
         encode_frame(&Frame::StatsRequest),
-        [0xAD, 0x50, 0x04, 0x07, 0x00, 0x00, 0x00, 0x00]
+        [0xAD, 0x50, 0x05, 0x07, 0x00, 0x00, 0x00, 0x00]
     );
     let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
         connections: 1,
@@ -160,16 +161,23 @@ fn stats_frames_example() {
         errors: 0,
         subscriptions: 1,
         deltas_pushed: 1,
+        reconnects: 1,
+        resyncs: 0,
+        drains: 2,
     });
     let bytes = encode_frame(&frame);
-    assert_eq!(bytes.len(), 8 + 13 * 8);
-    assert_eq!(bytes[..8], [0xAD, 0x50, 0x04, 0x08, 0x68, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes.len(), 8 + 16 * 8);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x05, 0x08, 0x80, 0x00, 0x00, 0x00]);
     // The §7 worked example's first counters: connections = 1, queries = 2.
     assert_eq!(bytes[8..16], 1u64.to_le_bytes());
     assert_eq!(bytes[16..24], 2u64.to_le_bytes());
-    // ... and the two version-4 counters at the tail.
+    // ... the two version-4 counters ...
     assert_eq!(bytes[96..104], 1u64.to_le_bytes());
     assert_eq!(bytes[104..112], 1u64.to_le_bytes());
+    // ... and the three version-5 counters at the tail.
+    assert_eq!(bytes[112..120], 1u64.to_le_bytes()); // reconnects
+    assert_eq!(bytes[120..128], 0u64.to_le_bytes()); // resyncs
+    assert_eq!(bytes[128..136], 2u64.to_le_bytes()); // drains
     assert_eq!(decode_frame(&bytes).unwrap(), frame);
 }
 
@@ -185,7 +193,7 @@ fn follow_log_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0A, // magic, version, FollowLog
+        0xAD, 0x50, 0x05, 0x0A, // magic, version, FollowLog
         0x05, 0x00, 0x00, 0x00, // payload length = 5
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -202,7 +210,7 @@ fn follow_log_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0A, // magic, version, FollowLog
+        0xAD, 0x50, 0x05, 0x0A, // magic, version, FollowLog
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -225,7 +233,7 @@ fn log_segment_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0B, // magic, version, LogSegment
+        0xAD, 0x50, 0x05, 0x0B, // magic, version, LogSegment
         0x08, 0x00, 0x00, 0x00, // payload length = 8
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -248,7 +256,7 @@ fn subscribe_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0D, // magic, version, Subscribe
+        0xAD, 0x50, 0x05, 0x0D, // magic, version, Subscribe
         0x24, 0x00, 0x00, 0x00, // payload length = 36
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -282,7 +290,7 @@ fn delta_vo_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0E, // magic, version, DeltaVo
+        0xAD, 0x50, 0x05, 0x0E, // magic, version, DeltaVo
         0x2D, 0x00, 0x00, 0x00, // payload length = 45
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -308,7 +316,7 @@ fn delta_vo_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0E, // magic, version, DeltaVo
+        0xAD, 0x50, 0x05, 0x0E, // magic, version, DeltaVo
         0x10, 0x00, 0x00, 0x00, // payload length = 16
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -319,6 +327,29 @@ fn delta_vo_frame_examples() {
     assert_eq!(decode_frame(&bytes).unwrap(), ack);
 }
 
+/// PROTOCOL.md §11 "ResyncRequired" — the server could not ship a delta
+/// for subscription 1 (it outgrew the frame limit); the subscription is
+/// terminated and the client must re-subscribe at epoch ≥ 3.
+#[test]
+fn resync_required_frame_example() {
+    let frame = Frame::ResyncRequired {
+        sub_id: 1,
+        epoch: 3,
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x05, 0x10, // magic, version, ResyncRequired
+        0x0C, 0x00, 0x00, 0x00, // payload length = 12
+        // payload
+        0x01, 0x00, 0x00, 0x00, // sub_id = 1
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // epoch = 3
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
 /// PROTOCOL.md §10 "Unsubscribe" — cancel subscription 1.
 #[test]
 fn unsubscribe_frame_example() {
@@ -327,7 +358,7 @@ fn unsubscribe_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x04, 0x0F, // magic, version, Unsubscribe
+        0xAD, 0x50, 0x05, 0x0F, // magic, version, Unsubscribe
         0x04, 0x00, 0x00, 0x00, // payload length = 4
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1

@@ -1,18 +1,21 @@
-//! Lifecycle of a verified subscription (protocol v4, docs/PROTOCOL.md
+//! Lifecycle of a verified subscription (protocol v5, docs/PROTOCOL.md
 //! §10): register → baseline verifies → owner batch lands → an
 //! incremental `DeltaVo` arrives and verifies without refetching →
 //! unsubscribe acks and the registry entry dies. Plus the unhappy paths:
 //! malformed registrations are typed errors, a slow subscriber is
-//! backpressured (delivered late, in order) rather than dropped, and a
+//! backpressured (delivered late, in order) rather than dropped, a
 //! quiet subscriber is reaped by the idle timeout with its registry
-//! entry cleaned up — all observable through `StatsSnapshot`.
+//! entry cleaned up, and a delta too large to ship terminates the
+//! subscription with a typed `ResyncRequired` push (§11) that a
+//! self-healing subscriber honors with a fresh verified baseline — all
+//! observable through `StatsSnapshot`.
 
 use adp_core::prelude::*;
 use adp_relation::{
     Column, CompareOp, KeyRange, Predicate, Record, Schema, SelectQuery, Table, Value, ValueType,
 };
 use adp_server::protocol::{encode_frame, read_frame, ErrorCode, Frame};
-use adp_server::{RemoteSubscriber, Server, ServerConfig, ServerHandle};
+use adp_server::{RemoteError, RemoteSubscriber, RetryPolicy, Server, ServerConfig, ServerHandle};
 use adp_store::Store;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -365,6 +368,106 @@ fn quiet_subscriber_reaped_and_registry_cleaned() {
     );
 
     drop(sub);
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+/// An unshippable delta is not silently dropped: the server terminates
+/// the subscription with a `ResyncRequired` push, and a subscriber with
+/// no retry policy surfaces it as a typed error instead of stalling
+/// forever on a stale mirror. `max_push_bytes` shrinks "unshippable"
+/// from the 64 MiB frame limit to something a tiny batch exceeds.
+#[test]
+fn oversize_delta_pushes_typed_resync_signal() {
+    let mut fx = fixture(
+        "resync-fatal",
+        ServerConfig {
+            max_push_bytes: 64,
+            ..ServerConfig::default()
+        },
+    );
+    // The baseline is the registration *response*, not a fan-out push,
+    // so it ships regardless of the push bound.
+    let mut sub = RemoteSubscriber::subscribe(
+        fx.handle.addr(),
+        fx.cert.clone(),
+        0,
+        11,
+        KeyRange::closed(1_000, 5_000),
+    )
+    .unwrap();
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 1));
+
+    fx.update(vec![Mutation::Insert(rec(400, 2_400))]);
+    match sub.poll_delta(Duration::from_secs(5)) {
+        Err(RemoteError::UnexpectedFrame(msg)) => {
+            assert!(
+                msg.contains("re-subscription"),
+                "error must name the remedy, got: {msg}"
+            );
+        }
+        other => panic!("expected the typed resync error, got {other:?}"),
+    }
+    // Server side: the failure is counted and the registry entry is gone
+    // — no further pushes can land on the dead subscription.
+    assert!(wait_for(&fx.handle, |s| s.resyncs == 1 && s.subscriptions == 0));
+    // Only the registration baseline ever shipped.
+    assert_eq!(fx.handle.stats().deltas_pushed, 1);
+
+    fx.handle.shutdown();
+    let _ = fs::remove_dir_all(&fx.dir);
+}
+
+/// The self-healing path for the same failure: a subscriber with a retry
+/// policy honors `ResyncRequired` by re-subscribing for a fresh verified
+/// baseline at least as new as the epoch the server could not ship — the
+/// mirror ends up current with no manual intervention, and both sides
+/// count the resync.
+#[test]
+fn resync_required_self_heals_with_fresh_baseline() {
+    let mut fx = fixture(
+        "resync-heal",
+        ServerConfig {
+            max_push_bytes: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let mut sub = RemoteSubscriber::subscribe_with_retry(
+        fx.handle.addr(),
+        fx.cert.clone(),
+        0,
+        12,
+        KeyRange::closed(1_000, 5_000),
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        },
+    )
+    .unwrap();
+    let baseline_epoch = sub.epoch();
+    assert!(wait_for(&fx.handle, |s| s.subscriptions == 1));
+
+    let epoch = fx.update(vec![Mutation::Insert(rec(401, 2_401))]);
+    let healed = sub
+        .poll_delta(Duration::from_secs(5))
+        .unwrap()
+        .expect("the resync must resolve to a fresh baseline");
+    // The fresh baseline reflects the delta the server could not ship:
+    // its epoch floor is the epoch named in the ResyncRequired frame.
+    assert!(healed >= epoch);
+    assert!(healed > baseline_epoch);
+    assert!(sub.keys().contains(&2_401));
+    assert_eq!(sub.resyncs(), 1);
+    assert_eq!(sub.reconnects(), 1);
+    // Server side: one resync counted, and the re-registration of a
+    // previously seen sub id is recognized as a reconnect.
+    assert!(wait_for(&fx.handle, |s| {
+        s.resyncs == 1 && s.reconnects == 1 && s.subscriptions == 1
+    }));
+
+    sub.unsubscribe().unwrap();
     fx.handle.shutdown();
     let _ = fs::remove_dir_all(&fx.dir);
 }

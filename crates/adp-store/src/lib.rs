@@ -62,6 +62,9 @@ pub mod store;
 
 pub use log::LogRecord;
 pub use store::{Store, LOG_FILE, SNAPSHOT_FILE};
+// Re-exported so store users can inject I/O faults without naming the
+// fault crate themselves.
+pub use adp_faults::{FaultyIo, RealIo, StoreIo};
 
 use adp_core::owner::OwnerError;
 #[allow(unused_imports)] // rustdoc links

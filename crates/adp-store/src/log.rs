@@ -255,6 +255,49 @@ pub fn decode_records(mut body: &[u8]) -> Result<Vec<LogRecord>, StoreError> {
     Ok(out)
 }
 
+/// Like [`decode_records`], but treats an **incomplete final frame** as a
+/// torn append — the state a crash (or `kill -9`) mid-`append_record`
+/// leaves behind — rather than an error. Returns the records before the
+/// tear plus `Some(offset)` of where the torn tail starts in `body`, so
+/// the caller can truncate it away before appending again.
+///
+/// Only *incompleteness* is forgiven: the append discipline writes a
+/// record's bytes sequentially, so a crash leaves a strict byte prefix.
+/// A *complete* frame that fails its CRC or payload decode cannot be
+/// produced by a torn append and is still a typed error — corruption and
+/// tampering stay loud. An absurd length prefix (beyond
+/// [`MAX_RECORD_LEN`]) is unparseable-past and can only arise from a torn
+/// prefix under that discipline, so it is treated as the tear.
+pub fn decode_records_recovering(
+    body: &[u8],
+) -> Result<(Vec<LogRecord>, Option<usize>), StoreError> {
+    const REC: &str = "log record frame";
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < body.len() {
+        let rest = &body[off..];
+        if rest.len() < 4 {
+            return Ok((out, Some(off)));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            return Ok((out, Some(off)));
+        }
+        let len = len as usize;
+        if rest.len() < 4 + len + 4 {
+            return Ok((out, Some(off)));
+        }
+        let payload = &rest[4..4 + len];
+        let stored = u32::from_le_bytes(rest[4 + len..4 + len + 4].try_into().unwrap());
+        if crc32_multi(&[&rest[0..4], payload]) != stored {
+            return Err(StoreError::CrcMismatch { context: REC });
+        }
+        out.push(decode_payload(payload)?);
+        off += 4 + len + 4;
+    }
+    Ok((out, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +391,53 @@ mod tests {
         let mut bad = body.clone();
         bad.push(0xEE);
         assert!(decode_records(&bad).is_err());
+    }
+
+    #[test]
+    fn recovering_decode_drops_exactly_the_torn_tail() {
+        let full = encode_record(&sample_record(0));
+        let mut body = full.clone();
+        body.extend_from_slice(&encode_record(&sample_record(1)));
+
+        // No tear: identical to the strict decoder.
+        let (recs, torn) = decode_records_recovering(&body).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(torn, None);
+
+        // Every possible crash prefix of the second record recovers the
+        // first and reports the tear at the boundary.
+        for cut in 1..body.len() - full.len() {
+            let torn_body = &body[..full.len() + cut];
+            let (recs, torn) = decode_records_recovering(torn_body).unwrap();
+            assert_eq!(recs.len(), 1, "cut at +{cut}");
+            assert_eq!(recs[0], sample_record(0));
+            assert_eq!(torn, Some(full.len()), "cut at +{cut}");
+        }
+    }
+
+    #[test]
+    fn recovering_decode_still_rejects_corruption() {
+        let body = encode_record(&sample_record(3));
+        // A complete frame with a flipped payload byte is corruption,
+        // not a tear.
+        let mut bad = body.clone();
+        bad[6] ^= 0x01;
+        assert!(decode_records_recovering(&bad).is_err());
+        // A flipped CRC likewise.
+        let mut bad = body.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(decode_records_recovering(&bad).is_err());
+    }
+
+    #[test]
+    fn recovering_decode_treats_absurd_length_as_tear() {
+        let mut body = encode_record(&sample_record(0));
+        let at = body.len();
+        body.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        body.extend_from_slice(&[0u8; 32]);
+        let (recs, torn) = decode_records_recovering(&body).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(torn, Some(at));
     }
 }

@@ -16,11 +16,15 @@
 //!   so an interrupted compaction costs nothing but the next cleanup.
 
 use crate::format::{decode_snapshot, encode_snapshot};
-use crate::log::{check_log_header, decode_records, encode_record, log_header, LogRecord};
+use crate::log::{
+    check_log_header, decode_records, decode_records_recovering, encode_record, log_header,
+    LogRecord, LOG_HEADER_LEN,
+};
 use crate::StoreError;
 use adp_core::owner::BatchReport;
 use adp_core::prelude::{Mutation, Owner, SignedTable};
 use adp_crypto::Signature;
+use adp_faults::{crash_point, RealIo, StoreIo};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -92,6 +96,9 @@ pub struct Store {
     base_seq: u64,
     /// Sequence number the next appended record will carry.
     next_seq: u64,
+    /// Every durability-relevant filesystem operation goes through this —
+    /// [`RealIo`] in production, a fault-injecting shim in tests.
+    io: Arc<dyn StoreIo>,
     _lock: DirLock,
 }
 
@@ -99,25 +106,16 @@ impl Store {
     /// Creates a new store directory holding `st` as its initial snapshot
     /// and an empty update log. Fails if a snapshot already exists there.
     pub fn create(dir: impl AsRef<Path>, st: SignedTable) -> Result<Store, StoreError> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
-        let lock = DirLock::acquire(&dir)?;
-        let snap_path = dir.join(SNAPSHOT_FILE);
-        if snap_path.exists() {
-            return Err(StoreError::Io(std::io::Error::new(
-                std::io::ErrorKind::AlreadyExists,
-                format!("{} already exists", snap_path.display()),
-            )));
-        }
-        write_atomically(&snap_path, &encode_snapshot(&st, 0))?;
-        write_atomically(&dir.join(LOG_FILE), &log_header())?;
-        Ok(Store {
-            dir,
-            table: Arc::new(st),
-            base_seq: 0,
-            next_seq: 0,
-            _lock: lock,
-        })
+        Store::create_with_io(dir, st, Arc::new(RealIo))
+    }
+
+    /// [`Store::create`] with an explicit [`StoreIo`] (fault injection).
+    pub fn create_with_io(
+        dir: impl AsRef<Path>,
+        st: SignedTable,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<Store, StoreError> {
+        Store::create_inner(dir, st, 0, io)
     }
 
     /// Like [`Store::create`], but the snapshot starts at `base_seq`
@@ -130,6 +128,25 @@ impl Store {
         st: SignedTable,
         base_seq: u64,
     ) -> Result<Store, StoreError> {
+        Store::create_inner(dir, st, base_seq, Arc::new(RealIo))
+    }
+
+    /// [`Store::create_at`] with an explicit [`StoreIo`].
+    pub fn create_at_with_io(
+        dir: impl AsRef<Path>,
+        st: SignedTable,
+        base_seq: u64,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<Store, StoreError> {
+        Store::create_inner(dir, st, base_seq, io)
+    }
+
+    fn create_inner(
+        dir: impl AsRef<Path>,
+        st: SignedTable,
+        base_seq: u64,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<Store, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let lock = DirLock::acquire(&dir)?;
@@ -140,13 +157,15 @@ impl Store {
                 format!("{} already exists", snap_path.display()),
             )));
         }
-        write_atomically(&snap_path, &encode_snapshot(&st, base_seq))?;
-        write_atomically(&dir.join(LOG_FILE), &log_header())?;
+        write_atomically(io.as_ref(), &snap_path, &encode_snapshot(&st, base_seq))?;
+        crash_point("store.create.between");
+        write_atomically(io.as_ref(), &dir.join(LOG_FILE), &log_header())?;
         Ok(Store {
             dir,
             table: Arc::new(st),
             base_seq,
             next_seq: base_seq,
+            io,
             _lock: lock,
         })
     }
@@ -161,14 +180,36 @@ impl Store {
     /// [`Store::audit`] (which serving paths run — see
     /// `Server::open_store` and `adp serve`/`adp query`) and, end to end,
     /// by client-side VO verification.
+    ///
+    /// Crash recovery is automatic for the two states a process death can
+    /// leave behind (see `docs/ROBUSTNESS.md`): a **torn log tail** (death
+    /// mid-append) is rolled back to the last complete record, and a
+    /// **missing log file** (death between `create`'s snapshot and log
+    /// writes) is re-created empty. Both recoveries only ever discard an
+    /// *uncommitted* suffix — a record whose append never returned.
     pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        Store::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// [`Store::open`] with an explicit [`StoreIo`] (fault injection).
+    pub fn open_with_io(dir: impl AsRef<Path>, io: Arc<dyn StoreIo>) -> Result<Store, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         let lock = DirLock::acquire(&dir)?;
-        let snap_bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+        let snap_bytes = io.read(&dir.join(SNAPSHOT_FILE))?;
         let (mut table, base_seq) = decode_snapshot(&snap_bytes)?;
-        let log_bytes = fs::read(dir.join(LOG_FILE))?;
+        let log_path = dir.join(LOG_FILE);
+        let log_bytes = match io.read(&log_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // `create` died between writing the snapshot and the log
+                // header; the committed state is exactly the snapshot.
+                write_atomically(io.as_ref(), &log_path, &log_header())?;
+                log_header().to_vec()
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
         let body = check_log_header(&log_bytes)?;
-        let records = decode_records(body)?;
+        let (records, torn_at) = decode_records_recovering(body)?;
         let mut next_seq = base_seq;
         for rec in &records {
             if rec.seq < base_seq {
@@ -186,11 +227,17 @@ impl Store {
             table.replay_batch(&rec.ops, &rec.resigned)?;
             next_seq += 1;
         }
+        if let Some(off) = torn_at {
+            // Roll the torn tail (an append that never returned) back so
+            // later appends land after complete records only.
+            io.truncate(&log_path, (LOG_HEADER_LEN + off) as u64)?;
+        }
         Ok(Store {
             dir,
             table: Arc::new(table),
             base_seq,
             next_seq,
+            io,
             _lock: lock,
         })
     }
@@ -234,7 +281,7 @@ impl Store {
     /// `baseline_compare` churn experiment charges per batch
     /// (`docs/EVALUATION.md` §"Update churn").
     pub fn log_bytes(&self) -> Result<u64, StoreError> {
-        Ok(fs::metadata(self.dir.join(LOG_FILE))?.len())
+        Ok(self.io.file_len(&self.dir.join(LOG_FILE))?)
     }
 
     /// The framed bytes of every log record with `seq >= from_seq`, in
@@ -247,7 +294,7 @@ impl Store {
         if from_seq < self.base_seq {
             return Ok(None);
         }
-        let log_bytes = fs::read(self.dir.join(LOG_FILE))?;
+        let log_bytes = self.io.read(&self.dir.join(LOG_FILE))?;
         let records = decode_records(check_log_header(&log_bytes)?)?;
         let mut out = Vec::new();
         for rec in &records {
@@ -315,11 +362,15 @@ impl Store {
     /// records folded away.
     pub fn compact(&mut self) -> Result<u64, StoreError> {
         let folded = self.log_record_count();
+        crash_point("store.compact.before_snapshot");
         write_atomically(
+            self.io.as_ref(),
             &self.dir.join(SNAPSHOT_FILE),
             &encode_snapshot(&self.table, self.next_seq),
         )?;
-        write_atomically(&self.dir.join(LOG_FILE), &log_header())?;
+        crash_point("store.compact.after_snapshot");
+        write_atomically(self.io.as_ref(), &self.dir.join(LOG_FILE), &log_header())?;
+        crash_point("store.compact.after_log");
         self.base_seq = self.next_seq;
         Ok(folded)
     }
@@ -330,20 +381,18 @@ impl Store {
     }
 
     fn append_record(&self, rec: &LogRecord) -> Result<(), StoreError> {
-        let mut f = fs::OpenOptions::new()
-            .append(true)
-            .open(self.dir.join(LOG_FILE))?;
-        let committed_len = f.metadata()?.len();
-        let result = f
-            .write_all(&encode_record(rec))
-            .and_then(|()| f.sync_data());
-        if let Err(e) = result {
+        crash_point("store.append.before");
+        let path = self.dir.join(LOG_FILE);
+        let committed_len = self.io.file_len(&path)?;
+        if let Err(e) = self.io.append_sync(&path, &encode_record(rec)) {
             // Roll a torn append back so the log stays parseable: later
-            // appends must never land after partial garbage.
-            let _ = f.set_len(committed_len);
-            let _ = f.sync_data();
+            // appends must never land after partial garbage. (If the
+            // rollback itself is interrupted, `open` truncates the torn
+            // tail on the next start.)
+            let _ = self.io.truncate(&path, committed_len);
             return Err(StoreError::Io(e));
         }
+        crash_point("store.append.after");
         Ok(())
     }
 }
@@ -353,16 +402,12 @@ impl Store {
 /// previous version intact, and the rename itself is durable on power
 /// loss (the rename lives in the directory inode, which must be synced
 /// separately from the file).
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+fn write_atomically(io: &dyn StoreIo, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_data()?;
-    }
-    fs::rename(&tmp, path)?;
+    io.write_sync(&tmp, bytes)?;
+    io.rename(&tmp, path)?;
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::File::open(parent)?.sync_all()?;
+        io.sync_dir(parent)?;
     }
     Ok(())
 }

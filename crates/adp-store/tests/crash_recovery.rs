@@ -1,0 +1,323 @@
+//! The crash-recovery torture matrix: a supervised child process dies —
+//! `abort()`, i.e. no cleanup, the on-disk equivalent of `kill -9` — at
+//! named crash points and at arbitrary mid-write instructions while
+//! applying batches and compacting, and the parent asserts that **every**
+//! death leaves a store that (a) opens, (b) passes a full signature
+//! audit, and (c) is byte-identical to a committed prefix of the batch
+//! stream. This extends PR 4's byte-flip proptests from corrupt *files*
+//! to whole-process death.
+//!
+//! Mechanics: the parent re-execs this very test binary with
+//! `ADP_TORTURE_DIR` (plus `ADP_CRASH_POINT` or the write-op crash vars)
+//! set; the child runs [`torture_child`], which builds the deterministic
+//! fixture workload and dies wherever the environment says. Both sides
+//! share one seed, so the parent can recompute the expected table at any
+//! committed prefix and compare encoded snapshots byte for byte.
+
+use adp_core::prelude::*;
+use adp_faults::{DiskFault, FaultPlan, FaultyIo, RealIo, StoreIo};
+use adp_relation::{Column, Record, Schema, Table, Value, ValueType};
+use adp_store::format::encode_snapshot;
+use adp_store::{Store, StoreError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const DIR_ENV: &str = "ADP_TORTURE_DIR";
+const CRASH_OP_ENV: &str = "ADP_TORTURE_CRASH_WRITE_OP";
+const CRASH_KEEP_ENV: &str = "ADP_TORTURE_CRASH_KEEP";
+
+/// Batches the child applies; the parent replays the same stream.
+const BATCHES: u64 = 3;
+/// The child compacts after this many batches (then applies the rest).
+const COMPACT_AFTER: u64 = 2;
+
+fn owner_and_table() -> (Owner, SignedTable) {
+    let mut rng = StdRng::seed_from_u64(0xDEAD_C0DE);
+    let owner = Owner::new(512, &mut rng);
+    let schema = Schema::new(
+        vec![
+            Column::new("k", ValueType::Int),
+            Column::new("v", ValueType::Text),
+        ],
+        "k",
+    );
+    let mut t = Table::new("torture", schema);
+    for i in 0..5i64 {
+        t.insert(Record::new(vec![
+            Value::Int(100 + i * 13),
+            Value::from(format!("base{i}")),
+        ]))
+        .unwrap();
+    }
+    let st = owner
+        .sign_table(t, Domain::new(0, 10_000), SchemeConfig::default())
+        .unwrap();
+    (owner, st)
+}
+
+/// The deterministic mutation stream: batch `i` inserts one row and,
+/// from batch 1 on, deletes the row batch `i - 1` inserted.
+fn batch(i: u64) -> Vec<Mutation> {
+    let mut ops = vec![Mutation::Insert(Record::new(vec![
+        Value::Int(1_000 + i as i64),
+        Value::from(format!("b{i}")),
+    ]))];
+    if i > 0 {
+        ops.push(Mutation::Delete {
+            key: 1_000 + i as i64 - 1,
+            replica: 0,
+        });
+    }
+    ops
+}
+
+/// The expected signed table after `seq` committed batches.
+fn expected_table_at(seq: u64) -> SignedTable {
+    let (owner, mut st) = owner_and_table();
+    for i in 0..seq {
+        owner.apply_batch(&mut st, batch(i)).unwrap();
+    }
+    st
+}
+
+/// The child's workload: create, apply, compact mid-stream, apply the
+/// rest. Crash points / the faulty I/O decide where (whether) it dies.
+///
+/// This is an `#[ignore]`d test so ordinary runs skip it; the parent
+/// invokes it by name with the environment armed.
+#[test]
+#[ignore = "torture child: only meaningful when spawned by the matrix"]
+fn torture_child() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return;
+    };
+    let io: Arc<dyn StoreIo> = match std::env::var(CRASH_OP_ENV) {
+        Ok(op) => {
+            let op: u64 = op.parse().unwrap();
+            let keep: u32 = std::env::var(CRASH_KEEP_ENV)
+                .map(|k| k.parse().unwrap())
+                .unwrap_or(0);
+            Arc::new(FaultyIo::new(
+                FaultPlan::clean().force_disk(op, DiskFault::CrashHere { keep }),
+            ))
+        }
+        Err(_) => Arc::new(RealIo),
+    };
+    let (owner, st) = owner_and_table();
+    let mut store = Store::create_with_io(&dir, st, io).unwrap();
+    for i in 0..BATCHES {
+        if i == COMPACT_AFTER {
+            store.compact().unwrap();
+        }
+        store.apply_batch(&owner, batch(i)).unwrap();
+    }
+    // Reached only when the armed crash never fired (e.g. a write-op
+    // index past the workload's op count): exit cleanly.
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "adp-torture-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the torture child with `envs`; returns true if it died by
+/// signal (the armed crash fired), false if it exited cleanly.
+fn run_child(dir: &Path, envs: &[(&str, String)]) -> bool {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "torture_child",
+        "--exact",
+        "--ignored",
+        "--test-threads",
+        "1",
+        // Without this, libtest buffers the child's stderr in memory and
+        // the abort marker dies with the process.
+        "--nocapture",
+    ])
+    .env(DIR_ENV, dir);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().unwrap();
+    if out.status.code() == Some(0) {
+        return false;
+    }
+    // libtest reports a crashed test as a failure even when the whole
+    // process aborted; either way a nonzero/signal status means the
+    // armed crash fired. Sanity-check the abort marker to be sure we
+    // are not masking an ordinary test failure.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("aborting"),
+        "child failed without hitting the armed crash:\n{stderr}"
+    );
+    true
+}
+
+/// Opens the post-crash store and asserts the recovery invariants:
+/// it opens, audits, and equals a committed prefix byte for byte.
+fn assert_committed_prefix(dir: &Path, context: &str) {
+    let snap_exists = dir.join(adp_store::SNAPSHOT_FILE).exists();
+    if !snap_exists {
+        // Death before `create` committed its snapshot: the store never
+        // existed. The only acceptable outcome is a clean not-found, not
+        // a half-created directory that opens into garbage.
+        match Store::open(dir) {
+            Err(StoreError::Io(e)) => {
+                assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound,
+                    "{context}: unexpected open error before creation committed"
+                );
+            }
+            Err(e) => panic!("{context}: unexpected error {e}"),
+            Ok(_) => panic!("{context}: opened a store whose creation never committed"),
+        }
+        return;
+    }
+    let store = Store::open(dir)
+        .unwrap_or_else(|e| panic!("{context}: store failed to open after crash: {e}"));
+    assert!(store.audit(), "{context}: audit failed after crash");
+    let seq = store.next_seq();
+    assert!(
+        seq <= BATCHES,
+        "{context}: recovered past the applied stream (seq {seq})"
+    );
+    let expected = expected_table_at(seq);
+    assert_eq!(
+        encode_snapshot(store.table(), seq),
+        encode_snapshot(&expected, seq),
+        "{context}: recovered table is not byte-identical to prefix {seq}"
+    );
+}
+
+/// The named-crash-point matrix: every append boundary of every batch,
+/// every compaction boundary, and the create gap.
+#[test]
+fn kill_matrix_named_crash_points() {
+    let mut points: Vec<String> = vec!["store.create.between".into()];
+    for k in 0..BATCHES {
+        points.push(format!("store.append.before@{k}"));
+        points.push(format!("store.append.after@{k}"));
+    }
+    for p in [
+        "store.compact.before_snapshot",
+        "store.compact.after_snapshot",
+        "store.compact.after_log",
+    ] {
+        points.push(p.into());
+    }
+    for point in points {
+        let dir = fresh_dir("point");
+        let crashed = run_child(&dir, &[(adp_faults::CRASH_ENV, point.clone())]);
+        assert!(crashed, "crash point {point} never fired");
+        assert_committed_prefix(&dir, &format!("crash point {point}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The mid-write matrix: die at every write-class I/O operation the
+/// workload performs, leaving 0 bytes (death before the write lands)
+/// and again leaving a 5-byte torn prefix.
+#[test]
+fn kill_matrix_mid_write() {
+    // Count the workload's write ops with a clean probe run first, so
+    // the matrix stays exact if the workload changes.
+    let probe_dir = fresh_dir("probe");
+    let probe_io = Arc::new(FaultyIo::new(FaultPlan::clean()));
+    {
+        let (owner, st) = owner_and_table();
+        let mut store =
+            Store::create_with_io(&probe_dir, st, Arc::clone(&probe_io) as Arc<dyn StoreIo>)
+                .unwrap();
+        for i in 0..BATCHES {
+            if i == COMPACT_AFTER {
+                store.compact().unwrap();
+            }
+            store.apply_batch(&owner, batch(i)).unwrap();
+        }
+    }
+    let total_ops = probe_io.ops();
+    let _ = std::fs::remove_dir_all(&probe_dir);
+    assert!(total_ops > 0);
+
+    for op in 0..total_ops {
+        for keep in [0u32, 5] {
+            let dir = fresh_dir("op");
+            let crashed = run_child(
+                &dir,
+                &[
+                    (CRASH_OP_ENV, op.to_string()),
+                    (CRASH_KEEP_ENV, keep.to_string()),
+                ],
+            );
+            assert!(crashed, "write-op crash {op} (keep {keep}) never fired");
+            assert_committed_prefix(&dir, &format!("write-op {op} keep {keep}"));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A crash past the workload's final write op never fires: the child
+/// completes, and the store equals the full stream.
+#[test]
+fn crash_past_the_end_is_a_clean_run() {
+    let dir = fresh_dir("clean");
+    let crashed = run_child(&dir, &[(CRASH_OP_ENV, "10000".to_string())]);
+    assert!(!crashed);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.next_seq(), BATCHES);
+    assert!(store.audit());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Transient (non-fatal) injected faults: the store must reject the
+/// batch, keep serving the old state, and accept the retry once the
+/// fault clears — and a reopen must agree.
+#[test]
+fn transient_disk_faults_roll_back_and_recover() {
+    for fault in [
+        DiskFault::Enospc,
+        DiskFault::FailFsync,
+        DiskFault::ShortWrite { keep: 6 },
+    ] {
+        let dir = fresh_dir("transient");
+        let (owner, st) = owner_and_table();
+        // Ops 0..6 are create's; op 6 is batch 0's append.
+        let io = Arc::new(FaultyIo::new(FaultPlan::clean().force_disk(6, fault)));
+        let mut store =
+            Store::create_with_io(&dir, st, Arc::clone(&io) as Arc<dyn StoreIo>).unwrap();
+        let before = encode_snapshot(store.table(), 0);
+        let err = store.apply_batch(&owner, batch(0)).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{fault:?}: {err}");
+        assert_eq!(store.next_seq(), 0, "{fault:?} advanced the sequence");
+        assert_eq!(
+            encode_snapshot(store.table(), 0),
+            before,
+            "{fault:?} mutated the live table"
+        );
+        // The fault was one-shot: the retry commits.
+        store.apply_batch(&owner, batch(0)).unwrap();
+        assert_eq!(store.next_seq(), 1);
+        drop(store);
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.next_seq(), 1, "{fault:?}: reopen disagrees");
+        assert!(reopened.audit());
+        assert_eq!(
+            encode_snapshot(reopened.table(), 1),
+            encode_snapshot(&expected_table_at(1), 1),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
