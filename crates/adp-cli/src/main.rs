@@ -90,6 +90,7 @@ fn main() -> ExitCode {
     let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("publish") => cmd_publish(&parse_flags(&args[1..])).map_err(CliError::from),
         Some("query") => cmd_query(&parse_flags(&args[1..])).map_err(CliError::from),
+        Some("sql") => cmd_sql(&parse_flags(&args[1..])),
         Some("verify") => cmd_verify(&parse_flags(&args[1..])).map_err(CliError::from),
         Some("serve") => cmd_serve(&parse_flags(&args[1..])).map_err(CliError::from),
         Some("rquery") => cmd_rquery(&parse_flags(&args[1..])).map_err(CliError::from),
@@ -129,6 +130,8 @@ fn print_usage() {
          adp publish --csv FILE --key COLUMN --domain L..U --out DIR [--seed N] [--bits N]\n\
          \x20           [--store DIR]\n\
          adp query   (--dir DIR | --store DIR) --range A..B [--project c1,c2] --out DIR\n\
+         adp sql     --csv FILE --key COLUMN --domain L..U --query SQL\n\
+         \x20           [--seed N] [--bits N]\n\
          adp verify  --cert FILE --range A..B [--project c1,c2] --answer DIR\n\
          adp serve   (--dir DIR | --store DIR) [--addr HOST:PORT] [--table N]\n\
          \x20           [--workers N] [--cache N] [--drain-secs N]\n\
@@ -447,6 +450,117 @@ fn write_answer_dir(
         csv_out.push('\n');
     }
     fs::write(out.join("result.csv"), csv_out).map_err(|e| e.to_string())
+}
+
+// -------------------------------------------------------------------- sql
+
+/// Parses, plans, and executes a SQL statement against a CSV signed
+/// in-process: one command that walks the whole verified pipeline. The
+/// statement's FROM name is the CSV's file stem. The EXPLAIN block shows
+/// the cost-model comparison (naive vs chosen plan) and the rewrite
+/// passes that produced the winner; execution then goes through the same
+/// encode → verify loop a remote session uses, so no row is printed
+/// unless the answer verified against the certificate.
+fn cmd_sql(flags: &Flags) -> Result<(), CliError> {
+    use adp_core::plan::{compute_plan_answer, encode_plan_answer, verify_plan};
+
+    let csv_path = need(flags, "csv")?;
+    let key_col = need(flags, "key")?;
+    let (l, u) = parse_range_pair(need(flags, "domain")?)?;
+    let sql = need(flags, "query")?.to_string();
+    let seed: u64 = flags.get("seed").map_or(Ok(0xCAFE), |s| {
+        s.parse().map_err(|_| "bad --seed".to_string())
+    })?;
+    let bits: usize = flags
+        .get("bits")
+        .map_or(Ok(512), |s| s.parse().map_err(|_| "bad --bits".to_string()))?;
+
+    let (table, _) = load_csv_table(Path::new(csv_path), key_col)?;
+    let rows = table.len() as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owner = Owner::new(bits, &mut rng);
+    let signed = owner
+        .sign_table(table, Domain::new(l, u), SchemeConfig::default())
+        .map_err(|e| e.to_string())?;
+    let cert = owner.certificate(&signed);
+
+    let mut catalog = Catalog::new();
+    catalog.add(CatalogTable::from_certificate(0, &cert, rows));
+
+    let stmt = parse(&sql).map_err(|e| e.to_string())?;
+    let planned = Planner::default()
+        .plan(&stmt, &catalog)
+        .map_err(|e| e.to_string())?;
+
+    println!("EXPLAIN {sql}");
+    println!(
+        "  naive  cost: {:>8.0} VO bytes + {:>6.2} ms verify  (score {:.0})",
+        planned.naive_cost.vo_bytes,
+        planned.naive_cost.verify_ms,
+        planned.naive_cost.score()
+    );
+    println!(
+        "  chosen cost: {:>8.0} VO bytes + {:>6.2} ms verify  (score {:.0})",
+        planned.chosen_cost.vo_bytes,
+        planned.chosen_cost.verify_ms,
+        planned.chosen_cost.score()
+    );
+    println!(
+        "  passes applied: {}",
+        if planned.passes_applied.is_empty() {
+            "(none — naive plan already cheapest)".to_string()
+        } else {
+            planned.passes_applied.join(", ")
+        }
+    );
+    for line in planned.optimized.to_string().lines() {
+        println!("    {line}");
+    }
+
+    // The same answer/verify loop a remote session runs, over local bytes.
+    let answer = compute_plan_answer(&planned.chosen.wire, |id| (id == 0).then_some(&signed))
+        .map_err(|e| e.to_string())?;
+    let (result_bytes, vo_bytes) = encode_plan_answer(&answer);
+    let verified = verify_plan(
+        &planned.chosen.wire,
+        |id| (id == 0).then_some(&cert),
+        &result_bytes,
+        &vo_bytes,
+    )
+    .map_err(|e| CliError::Fatal(format!("verification failed: {e}")))?;
+    let out = planned
+        .chosen
+        .finish(verified.rows)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "verified: {} rows, {} signatures ({} result bytes + {} VO bytes on the wire)",
+        verified.rows_verified,
+        verified.signatures_verified,
+        result_bytes.len(),
+        vo_bytes.len()
+    );
+    match &out.aggregate {
+        Some((label, value)) => {
+            let shown = match value {
+                AggregateValue::Count(n) => n.to_string(),
+                AggregateValue::Sum(s) => s.to_string(),
+                AggregateValue::Min(m) | AggregateValue::Max(m) => {
+                    m.map_or("NULL".to_string(), |v| v.to_string())
+                }
+                AggregateValue::Avg(a) => a.map_or("NULL".to_string(), |v| format!("{v:.3}")),
+            };
+            println!("{label} = {shown}");
+        }
+        None => {
+            println!("{}", out.columns.join(","));
+            for r in &out.rows {
+                let line: Vec<String> = r.values().iter().map(value_to_text).collect();
+                println!("{}", line.join(","));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn value_to_text(v: &Value) -> String {

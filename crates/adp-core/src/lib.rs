@@ -66,9 +66,12 @@ pub mod errors;
 pub mod gdigest;
 pub mod join;
 pub mod owner;
+pub mod passes;
+pub mod plan;
 pub mod publisher;
 pub mod repr;
 pub mod scheme;
+pub mod sql;
 pub mod verifier;
 pub mod vo;
 pub mod wire;
@@ -79,8 +82,11 @@ pub mod prelude {
     pub use crate::domain::{Domain, QueryBounds};
     pub use crate::errors::VerifyError;
     pub use crate::owner::{BatchReport, Certificate, Mutation, Owner, SignedTable, UpdateReport};
+    pub use crate::passes::{default_passes, Pass, Planned, Planner};
+    pub use crate::plan::{Catalog, CatalogTable, PhysicalPlan, Plan, PlanError, WirePlan};
     pub use crate::publisher::Publisher;
     pub use crate::scheme::{Mode, SchemeConfig};
+    pub use crate::sql::{parse, SqlError, Statement};
     pub use crate::verifier::{verify_select, verify_select_wire, VerifyReport};
     pub use crate::vo::QueryVO;
 }

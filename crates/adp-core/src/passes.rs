@@ -1,0 +1,600 @@
+//! Named, composable, semantics-preserving rewrite passes over the
+//! logical [`Plan`] IR, plus the cost-driven [`Planner`] that strings
+//! them together.
+//!
+//! Every pass is pinned by at least one algebraic law in
+//! `tests/planner_laws.rs`, checking both *result multiset equality*
+//! pre/post rewrite and *verifiability preservation* (the rewritten
+//! plan's VO still verifies against the owner's certificate). The law
+//! names follow their relational-algebra analogues:
+//!
+//! | pass                  | law(s)                                   |
+//! |-----------------------|------------------------------------------|
+//! | `filter-merge`        | filter merge, selection commutativity    |
+//! | `join-order`          | join commutativity (declared pk-fk)      |
+//! | `predicate-pushdown`  | selection pushdown                       |
+//! | `projection-pruning`  | projection pushdown / idempotence        |
+//! | `distinct-elimination`| distinct elimination on key-bearing output|
+//!
+//! The planner does not pick the cheapest *scan* — it prices every
+//! candidate with [`crate::plan::estimate_cost`] (formulas (4)/(5) VO
+//! bytes + verification time) and picks the plan with the cheapest
+//! **proof**.
+
+use crate::costmodel::CostParams;
+use crate::plan::{
+    estimate_cost, lower, physical, Catalog, PhysicalPlan, Plan, PlanCost, PlanError, ProjectList,
+};
+use crate::sql::Statement;
+use adp_relation::{CompareOp, KeyRange};
+
+/// One rewrite pass. Passes are total: on shapes they do not understand
+/// they return the plan unchanged.
+pub trait Pass {
+    /// Stable kebab-case identifier (shows up in EXPLAIN output and CI).
+    fn name(&self) -> &'static str;
+    /// The algebraic law pinning this pass in `planner_laws.rs`.
+    fn law(&self) -> &'static str;
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan;
+}
+
+fn op_rank(op: CompareOp) -> u8 {
+    match op {
+        CompareOp::Eq => 0,
+        CompareOp::Ne => 1,
+        CompareOp::Lt => 2,
+        CompareOp::Le => 3,
+        CompareOp::Gt => 4,
+        CompareOp::Ge => 5,
+    }
+}
+
+/// The sort key of the table a join-free subtree scans, if known.
+fn side_key_name<'a>(plan: &Plan, catalog: &'a Catalog) -> Option<&'a str> {
+    let t = catalog.table(plan.scan_table()?)?;
+    Some(t.schema.key_name())
+}
+
+/// The side's *effective* key range: its scan range intersected with any
+/// range-convertible key predicates sitting in filters above it.
+fn effective_side_range(plan: &Plan, catalog: &Catalog) -> KeyRange {
+    fn walk(plan: &Plan, key: &str, acc: &mut KeyRange) {
+        match plan {
+            Plan::Scan { range, .. } => *acc = acc.intersect(range),
+            Plan::Filter { input, predicates } => {
+                for p in predicates {
+                    if p.column == key {
+                        if let Some(kr) = KeyRange::from_predicate(p) {
+                            *acc = acc.intersect(&kr);
+                        }
+                    }
+                }
+                walk(input, key, acc);
+            }
+            Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. } => walk(input, key, acc),
+            Plan::Join { .. } => {}
+        }
+    }
+    let mut acc = KeyRange::all();
+    if let Some(key) = side_key_name(plan, catalog) {
+        walk(plan, key, &mut acc);
+    }
+    acc
+}
+
+/// Merges adjacent Filter nodes and canonically orders their predicates
+/// (selection is commutative; the proof does not care in which order the
+/// conjuncts were written).
+pub struct FilterMerge;
+
+impl Pass for FilterMerge {
+    fn name(&self) -> &'static str {
+        "filter-merge"
+    }
+    fn law(&self) -> &'static str {
+        "filter merge / selection commutativity"
+    }
+    #[allow(clippy::only_used_in_recursion)] // `catalog` is fixed by the trait
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan {
+        match plan {
+            Plan::Filter { input, predicates } => {
+                let inner = self.apply(input, catalog);
+                let mut preds = Vec::new();
+                let below = if let Plan::Filter {
+                    input: below,
+                    predicates: inner_preds,
+                } = inner
+                {
+                    preds.extend(inner_preds);
+                    *below
+                } else {
+                    inner
+                };
+                preds.extend(predicates.iter().cloned());
+                preds.sort_by(|a, b| {
+                    (a.column.as_str(), op_rank(a.op), format!("{:?}", a.value)).cmp(&(
+                        b.column.as_str(),
+                        op_rank(b.op),
+                        format!("{:?}", b.value),
+                    ))
+                });
+                Plan::Filter {
+                    input: Box::new(below),
+                    predicates: preds,
+                }
+            }
+            other => map_children(other, &|p| self.apply(p, catalog)),
+        }
+    }
+}
+
+/// Reorients a pk-fk join so the declared foreign-key side is the outer
+/// scan (the only orientation Section 4.3 can prove); with mutually
+/// declared integrity, picks the side with the narrower effective key
+/// range — the orientation with the cheaper proof.
+pub struct JoinOrder;
+
+impl Pass for JoinOrder {
+    fn name(&self) -> &'static str {
+        "join-order"
+    }
+    fn law(&self) -> &'static str {
+        "join commutativity (declared pk-fk)"
+    }
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan {
+        match plan {
+            Plan::Join { outer, inner } => {
+                let swap = match (
+                    outer.scan_table().and_then(|t| catalog.table(t)),
+                    inner.scan_table().and_then(|t| catalog.table(t)),
+                ) {
+                    (Some(ot), Some(it)) => {
+                        let outer_is_fk = ot.fk_into.as_deref() == Some(it.name.as_str());
+                        let inner_is_fk = it.fk_into.as_deref() == Some(ot.name.as_str());
+                        if outer_is_fk == inner_is_fk {
+                            // Mutually declared (or undeclared): outer
+                            // should be the side with the narrower
+                            // effective range — smaller q in formula (4).
+                            // Only safe to swap when both are declared.
+                            inner_is_fk
+                                && range_width(&effective_side_range(inner, catalog))
+                                    < range_width(&effective_side_range(outer, catalog))
+                        } else {
+                            inner_is_fk
+                        }
+                    }
+                    _ => false,
+                };
+                if swap {
+                    Plan::Join {
+                        outer: inner.clone(),
+                        inner: outer.clone(),
+                    }
+                } else {
+                    plan.clone()
+                }
+            }
+            other => map_children(other, &|p| self.apply(p, catalog)),
+        }
+    }
+}
+
+fn range_width(r: &KeyRange) -> u128 {
+    use std::ops::Bound;
+    let lo = match r.lo {
+        Bound::Unbounded => i64::MIN as i128,
+        Bound::Included(v) => v as i128,
+        Bound::Excluded(v) => v as i128 + 1,
+    };
+    let hi = match r.hi {
+        Bound::Unbounded => i64::MAX as i128,
+        Bound::Included(v) => v as i128,
+        Bound::Excluded(v) => v as i128 - 1,
+    };
+    (hi - lo + 1).max(0) as u128
+}
+
+/// Folds range-convertible key predicates into the scan's key range —
+/// the verified analogue of selection pushdown: the publisher then proves
+/// the narrow range instead of the client downloading (and paying VO
+/// bytes for) the whole domain. Over a join, also transfers the inner
+/// side's key range onto the outer scan: on every joined pair
+/// `R.fk = S.pk`, so a bound on one is a bound on the other.
+pub struct PredicatePushdown;
+
+impl Pass for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate-pushdown"
+    }
+    fn law(&self) -> &'static str {
+        "selection pushdown"
+    }
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan {
+        match plan {
+            Plan::Filter { input, predicates } => {
+                let inner = self.apply(input, catalog);
+                if let Plan::Scan { table, range } = &inner {
+                    if let Some(key) = catalog.table(table).map(|t| t.schema.key_name()) {
+                        let mut new_range = *range;
+                        let mut kept = Vec::new();
+                        for p in predicates {
+                            match (p.column == key, KeyRange::from_predicate(p)) {
+                                (true, Some(kr)) => new_range = new_range.intersect(&kr),
+                                _ => kept.push(p.clone()),
+                            }
+                        }
+                        let scan = Plan::Scan {
+                            table: table.clone(),
+                            range: new_range,
+                        };
+                        return if kept.is_empty() {
+                            scan
+                        } else {
+                            Plan::Filter {
+                                input: Box::new(scan),
+                                predicates: kept,
+                            }
+                        };
+                    }
+                }
+                Plan::Filter {
+                    input: Box::new(inner),
+                    predicates: predicates.clone(),
+                }
+            }
+            Plan::Join { outer, inner } => {
+                let mut outer = self.apply(outer, catalog);
+                let mut inner = self.apply(inner, catalog);
+                // Range transfer: move the inner side's scan range onto
+                // the outer scan (fk = pk on every surviving pair).
+                if let Some(ir) = scan_range(&inner) {
+                    if ir != KeyRange::all() {
+                        if let Some(or) = scan_range_mut(&mut outer) {
+                            *or = or.intersect(&ir);
+                            if let Some(irm) = scan_range_mut(&mut inner) {
+                                *irm = KeyRange::all();
+                            }
+                        }
+                    }
+                }
+                Plan::Join {
+                    outer: Box::new(outer),
+                    inner: Box::new(inner),
+                }
+            }
+            other => map_children(other, &|p| self.apply(p, catalog)),
+        }
+    }
+}
+
+fn scan_range(plan: &Plan) -> Option<KeyRange> {
+    match plan {
+        Plan::Scan { range, .. } => Some(*range),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. } => scan_range(input),
+        Plan::Join { .. } => None,
+    }
+}
+
+fn scan_range_mut(plan: &mut Plan) -> Option<&mut KeyRange> {
+    match plan {
+        Plan::Scan { range, .. } => Some(range),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. } => scan_range_mut(input),
+        Plan::Join { .. } => None,
+    }
+}
+
+/// Collapses nested projections, drops `Project *`, and deduplicates
+/// repeated columns (output is named-tuple-shaped; a repeated name adds
+/// no information but widens the result the user must download).
+pub struct ProjectionPruning;
+
+impl Pass for ProjectionPruning {
+    fn name(&self) -> &'static str {
+        "projection-pruning"
+    }
+    fn law(&self) -> &'static str {
+        "projection pushdown / idempotence"
+    }
+    #[allow(clippy::only_used_in_recursion)] // `catalog` is fixed by the trait
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan {
+        match plan {
+            Plan::Project { input, list } => {
+                let inner = self.apply(input, catalog);
+                match list {
+                    ProjectList::All => inner,
+                    ProjectList::Columns(cols) => {
+                        let mut dedup = Vec::new();
+                        for c in cols {
+                            if !dedup.contains(c) {
+                                dedup.push(c.clone());
+                            }
+                        }
+                        // Collapse Project over Project: the outer list
+                        // (already resolved at lowering) wins.
+                        let below = match inner {
+                            Plan::Project { input: below, .. } => *below,
+                            other => other,
+                        };
+                        Plan::Project {
+                            input: Box::new(below),
+                            list: ProjectList::Columns(dedup),
+                        }
+                    }
+                }
+            }
+            other => map_children(other, &|p| self.apply(p, catalog)),
+        }
+    }
+}
+
+/// Drops DISTINCT when the projected output contains the sort key: keys
+/// are unique, so no duplicates can exist and the duplicate-elimination
+/// proofs of Section 4.2 are pure overhead.
+pub struct DistinctElimination;
+
+impl Pass for DistinctElimination {
+    fn name(&self) -> &'static str {
+        "distinct-elimination"
+    }
+    fn law(&self) -> &'static str {
+        "distinct elimination on key-bearing output"
+    }
+    fn apply(&self, plan: &Plan, catalog: &Catalog) -> Plan {
+        match plan {
+            Plan::Distinct { input } => {
+                let inner = self.apply(input, catalog);
+                if output_includes_key(&inner, catalog) {
+                    inner
+                } else {
+                    Plan::Distinct {
+                        input: Box::new(inner),
+                    }
+                }
+            }
+            other => map_children(other, &|p| self.apply(p, catalog)),
+        }
+    }
+}
+
+/// Does the subtree's *requested* projection include the scanned table's
+/// sort key? (No projection / `*` trivially does.)
+fn output_includes_key(plan: &Plan, catalog: &Catalog) -> bool {
+    let Some(key) = side_key_name(plan, catalog) else {
+        return false;
+    };
+    fn requested(plan: &Plan) -> Option<&ProjectList> {
+        match plan {
+            Plan::Project { list, .. } => Some(list),
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. } => requested(input),
+            Plan::Scan { .. } | Plan::Join { .. } => None,
+        }
+    }
+    match requested(plan) {
+        None | Some(ProjectList::All) => true,
+        Some(ProjectList::Columns(cols)) => cols.iter().any(|c| c.column == key),
+    }
+}
+
+/// Structure-preserving recursion helper.
+fn map_children(plan: &Plan, f: &dyn Fn(&Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Filter { input, predicates } => Plan::Filter {
+            input: Box::new(f(input)),
+            predicates: predicates.clone(),
+        },
+        Plan::Project { input, list } => Plan::Project {
+            input: Box::new(f(input)),
+            list: list.clone(),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(f(input)),
+        },
+        Plan::Join { outer, inner } => Plan::Join {
+            outer: Box::new(f(outer)),
+            inner: Box::new(f(inner)),
+        },
+        Plan::Aggregate {
+            input,
+            func,
+            column,
+        } => Plan::Aggregate {
+            input: Box::new(f(input)),
+            func: *func,
+            column: column.clone(),
+        },
+    }
+}
+
+/// The default pass pipeline, in application order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(FilterMerge),
+        Box::new(JoinOrder),
+        Box::new(PredicatePushdown),
+        Box::new(ProjectionPruning),
+        Box::new(DistinctElimination),
+    ]
+}
+
+/// The outcome of planning one statement.
+#[derive(Clone, Debug)]
+pub struct Planned {
+    /// The naive lowering (full-domain scan, client-side residue).
+    pub naive: PhysicalPlan,
+    pub naive_cost: PlanCost,
+    /// The cost-chosen plan actually sent to the server.
+    pub chosen: PhysicalPlan,
+    pub chosen_cost: PlanCost,
+    /// The logical plan after the full pipeline (for EXPLAIN).
+    pub optimized: Plan,
+    /// Names of the passes contributing to the chosen candidate.
+    pub passes_applied: Vec<&'static str>,
+}
+
+/// The VO-aware query planner.
+#[derive(Default)]
+pub struct Planner {
+    pub params: CostParams,
+}
+
+impl Planner {
+    pub fn new(params: CostParams) -> Self {
+        Planner { params }
+    }
+
+    /// Lowers, rewrites, and prices a statement, returning both the naive
+    /// and the cheapest-proof candidate.
+    pub fn plan(&self, stmt: &Statement, catalog: &Catalog) -> Result<Planned, PlanError> {
+        let logical = lower(stmt, catalog)?;
+        let naive = physical(&logical, catalog)?;
+        let naive_cost = estimate_cost(&naive.wire, catalog, &self.params);
+        let mut best = naive.clone();
+        let mut best_cost = naive_cost;
+        let mut best_passes: Vec<&'static str> = Vec::new();
+        let mut cur = logical;
+        let mut applied: Vec<&'static str> = Vec::new();
+        for pass in default_passes() {
+            let next = pass.apply(&cur, catalog);
+            if next == cur {
+                continue;
+            }
+            cur = next;
+            applied.push(pass.name());
+            let phys = physical(&cur, catalog)?;
+            let cost = estimate_cost(&phys.wire, catalog, &self.params);
+            // `<=`: equal-cost rewrites still simplify the plan.
+            if cost.score() <= best_cost.score() {
+                best = phys;
+                best_cost = cost;
+                best_passes = applied.clone();
+            }
+        }
+        Ok(Planned {
+            naive,
+            naive_cost,
+            chosen: best,
+            chosen_cost: best_cost,
+            optimized: cur,
+            passes_applied: best_passes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::plan::{CatalogTable, WirePlan};
+    use crate::sql::parse;
+    use adp_relation::{Column, Schema, ValueType};
+
+    fn catalog() -> Catalog {
+        let emp = Schema::new(
+            vec![
+                Column::new("salary", ValueType::Int),
+                Column::new("dept", ValueType::Text),
+            ],
+            "salary",
+        );
+        let grades = Schema::new(
+            vec![
+                Column::new("level", ValueType::Int),
+                Column::new("title", ValueType::Text),
+            ],
+            "level",
+        );
+        let mut c = Catalog::new();
+        c.add(CatalogTable {
+            name: "emp".to_string(),
+            id: 0,
+            schema: emp,
+            domain: Domain::new(0, 100_000),
+            rows: 5_000,
+            base: 2,
+            fk_into: None,
+        });
+        c.add(CatalogTable {
+            name: "grades".to_string(),
+            id: 1,
+            schema: grades,
+            domain: Domain::new(0, 100_000),
+            rows: 50,
+            base: 2,
+            fk_into: None,
+        });
+        c.declare_fk("emp", "grades");
+        c
+    }
+
+    #[test]
+    fn planner_pushes_range_and_beats_naive() {
+        let cat = catalog();
+        let stmt = parse("SELECT * FROM emp WHERE salary BETWEEN 2000 AND 2400").unwrap();
+        let planned = Planner::default().plan(&stmt, &cat).unwrap();
+        let WirePlan::Select { query, .. } = &planned.chosen.wire else {
+            panic!()
+        };
+        assert_eq!(query.range, KeyRange::closed(2000, 2400));
+        assert!(planned.chosen.residual.is_empty());
+        assert!(planned.chosen_cost.score() < planned.naive_cost.score());
+        assert!(planned.passes_applied.contains(&"predicate-pushdown"));
+        // The naive plan kept the predicate client-side over a full scan.
+        let WirePlan::Select { query: nq, .. } = &planned.naive.wire else {
+            panic!()
+        };
+        assert_eq!(nq.range, KeyRange::all());
+        assert_eq!(planned.naive.residual.len(), 2);
+    }
+
+    #[test]
+    fn join_order_puts_declared_fk_side_outer() {
+        let cat = catalog();
+        // grades is listed first, but emp is the declared fk side.
+        let stmt = parse(
+            "SELECT emp.dept, grades.title FROM grades INNER JOIN emp ON grades.level = emp.salary \
+             WHERE emp.salary BETWEEN 100 AND 200",
+        )
+        .unwrap();
+        let planned = Planner::default().plan(&stmt, &cat).unwrap();
+        let WirePlan::PkFkJoin {
+            fk_table,
+            pk_table,
+            fk_range,
+            ..
+        } = &planned.chosen.wire
+        else {
+            panic!("expected join, got {:?}", planned.chosen.wire)
+        };
+        assert_eq!((*fk_table, *pk_table), (0, 1));
+        assert_eq!(fk_range, &KeyRange::closed(100, 200));
+        assert!(planned.passes_applied.contains(&"join-order"));
+    }
+
+    #[test]
+    fn distinct_eliminated_when_key_projected() {
+        let cat = catalog();
+        let stmt = parse("SELECT DISTINCT salary, dept FROM emp").unwrap();
+        let planned = Planner::default().plan(&stmt, &cat).unwrap();
+        let WirePlan::Select { query, .. } = &planned.chosen.wire else {
+            panic!()
+        };
+        assert!(!query.distinct, "distinct should be eliminated");
+        let kept = parse("SELECT DISTINCT dept FROM emp").unwrap();
+        let planned = Planner::default().plan(&kept, &cat).unwrap();
+        let WirePlan::Select { query, .. } = &planned.chosen.wire else {
+            panic!()
+        };
+        assert!(query.distinct, "distinct on non-key output must survive");
+    }
+}

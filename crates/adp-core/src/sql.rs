@@ -1,0 +1,809 @@
+//! A small SQL frontend for the verified query pipeline.
+//!
+//! The grammar covers exactly the shapes the signature-chain scheme can
+//! prove (and nothing it cannot): single-table SELECT with range and
+//! equality predicates, pk-fk INNER JOIN (Section 4.3), DISTINCT
+//! (Section 4.2), and client-side aggregates over verified results
+//! (COUNT/SUM/MIN/MAX/AVG). Statements lower to the logical plan IR in
+//! [`crate::plan`], which the pass-based optimizer in [`crate::passes`]
+//! rewrites before execution.
+//!
+//! ```text
+//! statement  := SELECT [DISTINCT] select_list FROM ident
+//!               [INNER? JOIN ident ON colref = colref]
+//!               [WHERE condition (AND condition)*]
+//! select_list:= '*' | aggregate | colref (',' colref)*
+//! aggregate  := COUNT '(' ('*' | colref) ')'
+//!             | (SUM|MIN|MAX|AVG) '(' colref ')'
+//! colref     := ident ['.' ident]
+//! condition  := colref op literal | colref BETWEEN int AND int
+//! op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! literal    := ['-'] int | 'text' | TRUE | FALSE
+//! ```
+//!
+//! The parser is a hand-rolled recursive-descent over a separate lexer;
+//! it never panics on any input (fuzzed in `tests/sql_parser_fuzz.rs`),
+//! and `parse → to_string → parse` is a fixed point on the AST.
+
+use adp_relation::{CompareOp, Value};
+
+/// A parse failure, with the byte offset of the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.pos, self.msg)
+    }
+}
+impl std::error::Error for SqlError {}
+
+fn err<T>(pos: usize, msg: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError {
+        pos,
+        msg: msg.into(),
+    })
+}
+
+/// A possibly table-qualified column reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Aggregate functions (computed client-side over the verified result,
+/// per Section 4.2's duplicate-retention argument).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// What the SELECT clause asks for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *`
+    Star,
+    /// `SELECT COUNT(*)`, `SELECT SUM(col)`, …
+    Aggregate {
+        func: AggFunc,
+        arg: Option<ColumnRef>,
+    },
+    /// `SELECT a, t.b, …`
+    Columns(Vec<ColumnRef>),
+}
+
+/// `INNER JOIN table ON left = right`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    pub table: String,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// One WHERE conjunct.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Condition {
+    Compare {
+        col: ColumnRef,
+        op: CompareOp,
+        value: Value,
+    },
+    Between {
+        col: ColumnRef,
+        lo: i64,
+        hi: i64,
+    },
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statement {
+    pub distinct: bool,
+    pub select: SelectList,
+    pub from: String,
+    pub join: Option<JoinClause>,
+    pub conditions: Vec<Condition>,
+}
+
+fn fmt_value(v: &Value, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match v {
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Bool(true) => write!(f, "TRUE"),
+        Value::Bool(false) => write!(f, "FALSE"),
+        // Not producible by the grammar; printed as an (unreparsable)
+        // hex literal only for diagnostics.
+        Value::Bytes(b) => {
+            write!(f, "X'")?;
+            for byte in b {
+                write!(f, "{byte:02x}")?;
+            }
+            write!(f, "'")
+        }
+    }
+}
+
+fn op_sql(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Ne => "<>",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+    }
+}
+
+impl std::fmt::Display for Statement {
+    /// Canonical pretty-print: uppercase keywords, single spaces, `<>`
+    /// for not-equals. Reparsing the output yields an equal AST.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.select {
+            SelectList::Star => write!(f, "*")?,
+            SelectList::Aggregate { func, arg } => {
+                write!(f, "{}(", func.name())?;
+                match arg {
+                    Some(c) => write!(f, "{c}")?,
+                    None => write!(f, "*")?,
+                }
+                write!(f, ")")?;
+            }
+            SelectList::Columns(cols) => {
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " INNER JOIN {} ON {} = {}", j.table, j.left, j.right)?;
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            write!(f, " {} ", if i == 0 { "WHERE" } else { "AND" })?;
+            match c {
+                Condition::Compare { col, op, value } => {
+                    write!(f, "{col} {} ", op_sql(*op))?;
+                    fmt_value(value, f)?;
+                }
+                Condition::Between { col, lo, hi } => {
+                    write!(f, "{col} BETWEEN {lo} AND {hi}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Keyword(&'static str),
+    Int(i64),
+    Str(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Minus,
+    Op(CompareOp),
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "INNER", "JOIN", "ON", "WHERE", "AND", "BETWEEN", "COUNT", "SUM",
+    "MIN", "MAX", "AVG", "TRUE", "FALSE",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'.' => {
+                toks.push((Tok::Dot, i));
+                i += 1;
+            }
+            b'(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            b'-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((Tok::Op(CompareOp::Eq), i));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(CompareOp::Ne), i));
+                    i += 2;
+                } else {
+                    return err(i, "expected '=' after '!'");
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    toks.push((Tok::Op(CompareOp::Le), i));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    toks.push((Tok::Op(CompareOp::Ne), i));
+                    i += 2;
+                }
+                _ => {
+                    toks.push((Tok::Op(CompareOp::Lt), i));
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(CompareOp::Ge), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(CompareOp::Gt), i));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // String literal; '' escapes a quote.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return err(start, "unterminated string literal"),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar, not one byte.
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push((Tok::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut n: i128 = 0;
+                while let Some(d @ b'0'..=b'9') = bytes.get(i) {
+                    n = n * 10 + (d - b'0') as i128;
+                    if n > i64::MAX as i128 + 1 {
+                        return err(start, "integer literal out of range");
+                    }
+                    i += 1;
+                }
+                if n > i64::MAX as i128 {
+                    // Only representable as the operand of a unary minus;
+                    // the parser checks that context.
+                    if toks.last().map(|(t, _)| t) == Some(&Tok::Minus) {
+                        toks.pop();
+                        toks.push((Tok::Int(i64::MIN), start - 1));
+                        continue;
+                    }
+                    return err(start, "integer literal out of range");
+                }
+                toks.push((Tok::Int(n as i64), start));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while let Some(c) = bytes.get(i) {
+                    if c.is_ascii_alphanumeric() || *c == b'_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let upper = word.to_ascii_uppercase();
+                match KEYWORDS.iter().find(|k| **k == upper) {
+                    Some(k) => toks.push((Tok::Keyword(k), start)),
+                    None => toks.push((Tok::Ident(word.to_string()), start)),
+                }
+            }
+            _ => {
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                return err(i, format!("unrecognized character '{ch}'"));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, p)| *p).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        match self.peek() {
+            Some(Tok::Keyword(k)) if *k == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => err(self.here(), format!("expected {kw}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &'static str) -> bool {
+        if matches!(self.peek(), Some(Tok::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            _ => err(self.here(), format!("expected {what}")),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident("column name")?;
+        if matches!(self.peek(), Some(Tok::Dot)) {
+            self.pos += 1;
+            let col = self.ident("column name after '.'")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64, SqlError> {
+        let neg = if matches!(self.peek(), Some(Tok::Minus)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let Some(Tok::Int(n)) = self.bump() else {
+                    unreachable!()
+                };
+                if neg {
+                    n.checked_neg()
+                        .ok_or(())
+                        .or_else(|_| err(self.here(), "integer literal out of range"))
+                } else {
+                    Ok(n)
+                }
+            }
+            _ => err(self.here(), "expected integer literal"),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.peek() {
+            Some(Tok::Minus | Tok::Int(_)) => Ok(Value::Int(self.int_literal()?)),
+            Some(Tok::Str(_)) => {
+                let Some(Tok::Str(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Value::Text(s))
+            }
+            Some(Tok::Keyword("TRUE")) => {
+                self.pos += 1;
+                Ok(Value::Bool(true))
+            }
+            Some(Tok::Keyword("FALSE")) => {
+                self.pos += 1;
+                Ok(Value::Bool(false))
+            }
+            _ => err(self.here(), "expected literal"),
+        }
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, SqlError> {
+        if matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            return Ok(SelectList::Star);
+        }
+        // Aggregate?
+        let agg = match self.peek() {
+            Some(Tok::Keyword("COUNT")) => Some(AggFunc::Count),
+            Some(Tok::Keyword("SUM")) => Some(AggFunc::Sum),
+            Some(Tok::Keyword("MIN")) => Some(AggFunc::Min),
+            Some(Tok::Keyword("MAX")) => Some(AggFunc::Max),
+            Some(Tok::Keyword("AVG")) => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            self.pos += 1;
+            match self.peek() {
+                Some(Tok::LParen) => {
+                    self.pos += 1;
+                }
+                _ => return err(self.here(), format!("expected '(' after {}", func.name())),
+            }
+            let arg = if matches!(self.peek(), Some(Tok::Star)) {
+                self.pos += 1;
+                if func != AggFunc::Count {
+                    return err(
+                        self.here(),
+                        format!("{}(*) is not valid; only COUNT(*)", func.name()),
+                    );
+                }
+                None
+            } else {
+                Some(self.colref()?)
+            };
+            match self.peek() {
+                Some(Tok::RParen) => {
+                    self.pos += 1;
+                }
+                _ => return err(self.here(), "expected ')'"),
+            }
+            return Ok(SelectList::Aggregate { func, arg });
+        }
+        // Column list.
+        if !matches!(self.peek(), Some(Tok::Ident(_))) {
+            return err(self.here(), "expected select list");
+        }
+        let mut cols = vec![self.colref()?];
+        while matches!(self.peek(), Some(Tok::Comma)) {
+            self.pos += 1;
+            cols.push(self.colref()?);
+        }
+        Ok(SelectList::Columns(cols))
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        if !matches!(self.peek(), Some(Tok::Ident(_))) {
+            return err(self.here(), "expected condition");
+        }
+        let col = self.colref()?;
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.int_literal()?;
+            self.keyword("AND")
+                .or_else(|_| err(self.here(), "expected AND in BETWEEN"))?;
+            let hi = self.int_literal()?;
+            return Ok(Condition::Between { col, lo, hi });
+        }
+        let op = match self.peek() {
+            Some(Tok::Op(_)) => {
+                let Some(Tok::Op(op)) = self.bump() else {
+                    unreachable!()
+                };
+                op
+            }
+            _ => return err(self.here(), "expected comparison operator"),
+        };
+        let value = self.literal()?;
+        Ok(Condition::Compare { col, op, value })
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.select_list()?;
+        self.keyword("FROM")?;
+        let from = self.ident("table name")?;
+        let join = if self.eat_keyword("INNER") {
+            self.keyword("JOIN")?;
+            Some(self.join_clause()?)
+        } else if self.eat_keyword("JOIN") {
+            Some(self.join_clause()?)
+        } else {
+            None
+        };
+        let mut conditions = Vec::new();
+        if self.eat_keyword("WHERE") {
+            conditions.push(self.condition()?);
+            while self.eat_keyword("AND") {
+                conditions.push(self.condition()?);
+            }
+        }
+        if self.pos != self.toks.len() {
+            return err(self.here(), "trailing input after statement");
+        }
+        Ok(Statement {
+            distinct,
+            select,
+            from,
+            join,
+            conditions,
+        })
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause, SqlError> {
+        let table = self.ident("table name after JOIN")?;
+        self.keyword("ON")?;
+        let left = self.colref()?;
+        match self.peek() {
+            Some(Tok::Op(CompareOp::Eq)) => {
+                self.pos += 1;
+            }
+            _ => return err(self.here(), "expected '=' in join condition"),
+        }
+        let right = self.colref()?;
+        Ok(JoinClause { table, left, right })
+    }
+}
+
+/// Parses one statement. Never panics; all failures are [`SqlError`]s.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let toks = lex(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: sql.len(),
+    };
+    p.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) -> Statement {
+        let ast = parse(sql).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty-print of {sql:?} unparsable: {printed:?}: {e}"));
+        assert_eq!(ast, reparsed, "fixed point violated for {sql:?}");
+        ast
+    }
+
+    #[test]
+    fn parses_star_select() {
+        let ast = roundtrip("select * from emp");
+        assert_eq!(ast.select, SelectList::Star);
+        assert_eq!(ast.from, "emp");
+        assert!(ast.join.is_none() && ast.conditions.is_empty() && !ast.distinct);
+    }
+
+    #[test]
+    fn parses_projection_distinct_where() {
+        let ast = roundtrip(
+            "SELECT DISTINCT name, dept FROM emp WHERE salary BETWEEN 1000 AND 9000 AND dept = 'eng'",
+        );
+        assert!(ast.distinct);
+        assert_eq!(
+            ast.select,
+            SelectList::Columns(vec![ColumnRef::bare("name"), ColumnRef::bare("dept")])
+        );
+        assert_eq!(ast.conditions.len(), 2);
+        assert_eq!(
+            ast.conditions[0],
+            Condition::Between {
+                col: ColumnRef::bare("salary"),
+                lo: 1000,
+                hi: 9000
+            }
+        );
+        assert_eq!(
+            ast.conditions[1],
+            Condition::Compare {
+                col: ColumnRef::bare("dept"),
+                op: CompareOp::Eq,
+                value: Value::from("eng")
+            }
+        );
+    }
+
+    #[test]
+    fn parses_join_and_aggregates() {
+        let ast = roundtrip(
+            "SELECT o.item, i.price FROM orders INNER JOIN items ON o.item = i.id WHERE o.item >= 10",
+        );
+        let j = ast.join.unwrap();
+        assert_eq!(j.table, "items");
+        assert_eq!(j.left, ColumnRef::qualified("o", "item"));
+        let agg = roundtrip("SELECT COUNT(*) FROM emp WHERE salary < 5000");
+        assert_eq!(
+            agg.select,
+            SelectList::Aggregate {
+                func: AggFunc::Count,
+                arg: None
+            }
+        );
+        let sum = roundtrip("SELECT SUM(salary) FROM emp");
+        assert_eq!(
+            sum.select,
+            SelectList::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(ColumnRef::bare("salary"))
+            }
+        );
+    }
+
+    #[test]
+    fn bare_join_keyword_and_ne_forms() {
+        let a = roundtrip("SELECT * FROM r JOIN s ON r.k = s.k");
+        assert!(a.join.is_some());
+        let b = parse("SELECT * FROM t WHERE a != 3").unwrap();
+        let c = parse("SELECT * FROM t WHERE a <> 3").unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn negative_and_extreme_integers() {
+        let ast = roundtrip("SELECT * FROM t WHERE k >= -42");
+        assert_eq!(
+            ast.conditions[0],
+            Condition::Compare {
+                col: ColumnRef::bare("k"),
+                op: CompareOp::Ge,
+                value: Value::Int(-42)
+            }
+        );
+        let min = roundtrip("SELECT * FROM t WHERE k = -9223372036854775808");
+        assert_eq!(
+            min.conditions[0],
+            Condition::Compare {
+                col: ColumnRef::bare("k"),
+                op: CompareOp::Eq,
+                value: Value::Int(i64::MIN)
+            }
+        );
+        assert!(parse("SELECT * FROM t WHERE k = 9223372036854775808").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let ast = roundtrip("SELECT * FROM t WHERE name = 'O''Brien'");
+        assert_eq!(
+            ast.conditions[0],
+            Condition::Compare {
+                col: ColumnRef::bare("name"),
+                op: CompareOp::Eq,
+                value: Value::from("O'Brien")
+            }
+        );
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let cases: &[(&str, &str)] = &[
+            ("", "SQL error at byte 0: expected SELECT"),
+            ("SELECT", "SQL error at byte 6: expected select list"),
+            ("SELECT * FROM", "SQL error at byte 13: expected table name"),
+            (
+                "SELECT * FROM t WHERE",
+                "SQL error at byte 21: expected condition",
+            ),
+            (
+                "SELECT * FROM t WHERE x ! 3",
+                "SQL error at byte 24: expected '=' after '!'",
+            ),
+            (
+                "SELECT * FROM t WHERE x = 'oops",
+                "SQL error at byte 26: unterminated string literal",
+            ),
+            (
+                "SELECT * FROM t extra",
+                "SQL error at byte 16: trailing input after statement",
+            ),
+            (
+                "SELECT SUM(*) FROM t",
+                "SQL error at byte 12: SUM(*) is not valid; only COUNT(*)",
+            ),
+            (
+                "SELECT * FROM t WHERE x # 3",
+                "SQL error at byte 24: unrecognized character '#'",
+            ),
+        ];
+        for (sql, want) in cases {
+            let got = parse(sql).unwrap_err().to_string();
+            assert_eq!(&got, want, "for {sql:?}");
+        }
+    }
+}

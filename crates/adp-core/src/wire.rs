@@ -853,6 +853,109 @@ fn read_query(r: &mut Reader) -> Result<SelectQuery, WireError> {
     })
 }
 
+fn write_record(w: &mut Writer, rec: &Record) {
+    w.u32(rec.arity() as u32);
+    for v in rec.values() {
+        w.value(v);
+    }
+}
+
+fn read_record(r: &mut Reader) -> Result<Record, WireError> {
+    let arity = r.u32()? as usize;
+    if arity > 1 << 16 {
+        return Err(WireError("record arity too large"));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(r.value()?);
+    }
+    Ok(Record::new(values))
+}
+
+/// Encodes a pk-fk join result (Section 4.3): the outer rows followed by
+/// the distinct matched inner rows.
+pub fn encode_join_result(result: &crate::join::PkFkJoinResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&encode_records(&result.outer_rows));
+    w.bytes(&encode_records(&result.inner_rows));
+    w.into_bytes()
+}
+
+/// Decodes a pk-fk join result; rejects trailing bytes.
+pub fn decode_join_result(data: &[u8]) -> Result<crate::join::PkFkJoinResult, WireError> {
+    let mut r = Reader::new(data);
+    let outer_rows = decode_records(r.bytes()?)?;
+    let inner_rows = decode_records(r.bytes()?)?;
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(crate::join::PkFkJoinResult {
+        outer_rows,
+        inner_rows,
+    })
+}
+
+/// Encodes a pk-fk join VO: the outer-side [`QueryVO`] plus one inner
+/// record proof per distinct foreign key.
+pub fn encode_join_vo(vo: &crate::join::PkFkJoinVO) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&encode_vo(&vo.outer));
+    w.u32(vo.inner.len() as u32);
+    for p in &vo.inner {
+        write_record(&mut w, &p.record);
+        write_chains(&mut w, &p.chains);
+        write_attrs(&mut w, &p.attrs);
+        w.bytes(&p.prev_g);
+        w.bytes(&p.next_g);
+    }
+    match &vo.inner_signatures {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            write_signatures(&mut w, s);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a pk-fk join VO; rejects trailing bytes.
+pub fn decode_join_vo(data: &[u8]) -> Result<crate::join::PkFkJoinVO, WireError> {
+    let mut r = Reader::new(data);
+    let outer = decode_vo(r.bytes()?)?;
+    let n = r.u32()? as usize;
+    if n > 1 << 24 {
+        return Err(WireError("too many inner proofs"));
+    }
+    let mut inner = Vec::with_capacity(n);
+    for _ in 0..n {
+        let record = read_record(&mut r)?;
+        let chains = read_chains(&mut r)?;
+        let attrs = read_attrs(&mut r)?;
+        let prev_g = r.bytes()?.to_vec();
+        let next_g = r.bytes()?.to_vec();
+        inner.push(crate::join::InnerRecordProof {
+            record,
+            chains,
+            attrs,
+            prev_g,
+            next_g,
+        });
+    }
+    let inner_signatures = match r.u8()? {
+        0 => None,
+        1 => Some(read_signatures(&mut r)?),
+        _ => return Err(WireError("bad option tag")),
+    };
+    if !r.done() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(crate::join::PkFkJoinVO {
+        outer,
+        inner,
+        inner_signatures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,238 @@
+//! Fuzz hardening for the SQL frontend: the parser is part of the
+//! *client's* attack surface (a statement can come from anywhere), so it
+//! must never panic — on any byte sequence — and its pretty-printer must
+//! be a section of the parser: `parse → to_string → parse` lands on an
+//! equal AST whenever the first parse succeeds.
+//!
+//! Three layers: raw-bytes fuzz (never panics), mutation fuzz over valid
+//! statements (never panics; survivors still round-trip), and a pinned
+//! error corpus (positions and messages are API — EXPLAIN tooling and the
+//! CLI print them verbatim, so drift is a breaking change).
+
+use adp_core::sql::parse;
+use proptest::prelude::*;
+
+/// Renders a syntactically valid statement from fuzz-chosen parts. Covers
+/// every grammar production: DISTINCT, all aggregate functions, qualified
+/// and bare column refs, every comparison operator, BETWEEN, negative
+/// integers, quoted text (including escaped quotes), and booleans.
+fn valid_stmt((distinct, sel, join, conds): (bool, u8, bool, Vec<(u8, u8, i64)>)) -> String {
+    let select = match sel % 8 {
+        0 => "*".to_string(),
+        1 => "a".to_string(),
+        2 => "a, t.b, c".to_string(),
+        3 => "COUNT(*)".to_string(),
+        4 => "COUNT(a)".to_string(),
+        5 => "SUM(t.a)".to_string(),
+        6 => "MIN(a)".to_string(),
+        _ => "AVG(b)".to_string(),
+    };
+    let distinct = distinct && !(3..8).contains(&(sel % 8));
+    let mut sql = format!(
+        "SELECT {}{select} FROM t",
+        if distinct { "DISTINCT " } else { "" }
+    );
+    if join {
+        sql.push_str(" INNER JOIN s ON t.k = s.k");
+    }
+    for (i, &(col, op, n)) in conds.iter().enumerate() {
+        sql.push_str(if i == 0 { " WHERE " } else { " AND " });
+        let col = match col % 4 {
+            0 => "k",
+            1 => "t.k",
+            2 => "s.v",
+            _ => "flag",
+        };
+        let cond = match op % 9 {
+            0 => format!("{col} = {n}"),
+            1 => format!("{col} <> {n}"),
+            2 => format!("{col} != {n}"),
+            3 => format!("{col} < {n}"),
+            4 => format!("{col} <= {n}"),
+            5 => format!("{col} > {n}"),
+            6 => format!("{col} >= {n}"),
+            7 => format!("{col} BETWEEN {} AND {n}", n.saturating_sub(10)),
+            _ => match n.rem_euclid(3) {
+                0 => format!("{col} = 'it''s'"),
+                1 => format!("{col} = TRUE"),
+                _ => format!("{col} = 'text'"),
+            },
+        };
+        sql.push_str(&cond);
+    }
+    sql
+}
+
+fn valid_parts() -> impl Strategy<Value = (bool, u8, bool, Vec<(u8, u8, i64)>)> {
+    (
+        any::<bool>(),
+        any::<u8>(),
+        any::<bool>(),
+        proptest::strategy::vec((any::<u8>(), any::<u8>(), -1_000i64..=1_000), 0..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Layer 1a: completely arbitrary bytes (lossily decoded) never panic
+    /// the parser. The outcome is free; the process surviving is the test.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::strategy::vec(any::<u8>(), 0..120)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse(&s);
+    }
+
+    /// Layer 1b: arbitrary printable ASCII — denser in token-shaped
+    /// garbage than raw bytes, so it exercises the lexer's operator and
+    /// literal paths harder.
+    #[test]
+    fn arbitrary_printable_never_panics(s in "[ -~]{0,100}") {
+        let _ = parse(&s);
+    }
+
+    /// Layer 2a: generated valid statements parse, and the parse →
+    /// pretty-print → reparse loop is a fixed point on the AST.
+    #[test]
+    fn pretty_print_reparse_fixed_point(parts in valid_parts()) {
+        let sql = valid_stmt(parts);
+        let ast = match parse(&sql) {
+            Ok(ast) => ast,
+            Err(e) => return Err(TestCaseError::fail(format!("{sql:?} must parse: {e}"))),
+        };
+        let printed = ast.to_string();
+        let reparsed = match parse(&printed) {
+            Ok(ast) => ast,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "pretty-print {printed:?} of {sql:?} must reparse: {e}"
+                )))
+            }
+        };
+        prop_assert!(
+            reparsed == ast,
+            "AST drift through pretty-print of {sql:?}:\n  {ast:?}\nvs {reparsed:?}"
+        );
+        // And the printed form itself is canonical (idempotent print).
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Layer 2b: single-byte mutations of valid statements never panic,
+    /// and any mutant that still parses still round-trips.
+    #[test]
+    fn mutated_statements_never_panic(
+        parts in valid_parts(),
+        pos in any::<u16>(),
+        byte in any::<u8>(),
+    ) {
+        let mut sql = valid_stmt(parts).into_bytes();
+        let idx = pos as usize % sql.len();
+        sql[idx] = byte;
+        let s = String::from_utf8_lossy(&sql);
+        if let Ok(ast) = parse(&s) {
+            let reparsed = parse(&ast.to_string()).map_err(|e| {
+                TestCaseError::fail(format!("mutant {s:?} printed unparsable form: {e}"))
+            })?;
+            prop_assert!(reparsed == ast, "AST drift on mutant {s:?}");
+        }
+    }
+}
+
+/// Layer 3: the pinned error corpus. Byte positions and messages are
+/// stable API — the CLI and EXPLAIN tooling show them verbatim.
+#[test]
+fn pinned_error_corpus() {
+    let corpus: [(&str, usize, &str); 19] = [
+        ("", 0, "expected SELECT"),
+        ("SELECT", 6, "expected select list"),
+        ("SELECT *", 8, "expected FROM"),
+        ("SELECT * FROM", 13, "expected table name"),
+        ("SELEKT * FROM t", 0, "expected SELECT"),
+        ("SELECT * FROM t WHERE", 21, "expected condition"),
+        (
+            "SELECT * FROM t WHERE k BETWEEN 1",
+            33,
+            "expected AND in BETWEEN",
+        ),
+        (
+            "SELECT * FROM t WHERE k BETWEEN 1 AND",
+            37,
+            "expected integer literal",
+        ),
+        ("SELECT * FROM t WHERE k = ", 26, "expected literal"),
+        (
+            "SELECT * FROM t WHERE k <> 'unterminated",
+            27,
+            "unterminated string literal",
+        ),
+        ("SELECT COUNT( FROM t", 14, "expected column name"),
+        (
+            "SELECT SUM(*) FROM t",
+            12,
+            "SUM(*) is not valid; only COUNT(*)",
+        ),
+        (
+            "SELECT * FROM t INNER JOIN",
+            26,
+            "expected table name after JOIN",
+        ),
+        (
+            "SELECT * FROM t INNER JOIN s ON",
+            31,
+            "expected column name",
+        ),
+        (
+            "SELECT * FROM t INNER JOIN s ON a.k = ",
+            38,
+            "expected column name",
+        ),
+        (
+            "SELECT * FROM t INNER JOIN s ON a.k < b.k",
+            36,
+            "expected '=' in join condition",
+        ),
+        ("SELECT a,, b FROM t", 9, "expected column name"),
+        (
+            "SELECT * FROM t trailing",
+            16,
+            "trailing input after statement",
+        ),
+        (
+            "SELECT * FROM t WHERE k = 99999999999999999999999",
+            26,
+            "integer literal out of range",
+        ),
+    ];
+    for (sql, pos, msg) in corpus {
+        let e = parse(sql).expect_err(sql);
+        assert_eq!(
+            (e.pos, e.msg.as_str()),
+            (pos, msg),
+            "corpus drift on {sql:?}"
+        );
+    }
+}
+
+/// The parser is permissive where lowering is strict: `DISTINCT COUNT(*)`
+/// is grammatical (rejected later with a *plan* error, which carries more
+/// context than a parse error could). Pin that split so it stays a
+/// deliberate choice.
+#[test]
+fn distinct_aggregate_parses_but_does_not_lower() {
+    let stmt = parse("SELECT DISTINCT COUNT(*) FROM t").unwrap();
+    assert!(stmt.distinct);
+    use adp_core::plan::{lower, Catalog, CatalogTable};
+    use adp_core::prelude::*;
+    use adp_relation::{Column, Schema, ValueType};
+    let mut catalog = Catalog::new();
+    catalog.add(CatalogTable {
+        name: "t".to_string(),
+        id: 0,
+        schema: Schema::new(vec![Column::new("k", ValueType::Int)], "k"),
+        domain: Domain::new(0, 100),
+        rows: 1,
+        base: 2,
+        fk_into: None,
+    });
+    assert!(lower(&stmt, &catalog).is_err());
+}

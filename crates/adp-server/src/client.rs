@@ -14,9 +14,12 @@ use crate::retry::RetryPolicy;
 use adp_core::client::{SessionStats, VerifiedResult};
 use adp_core::errors::VerifyError;
 use adp_core::owner::Certificate;
+use adp_core::passes::{Planned, Planner};
+use adp_core::plan::{verify_plan, Catalog, CatalogTable, SqlRows, WirePlan};
+use adp_core::sql::parse;
 use adp_core::verifier::verify_select_wire;
 use adp_relation::{KeyRange, Record, SelectQuery};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -39,6 +42,9 @@ pub enum RemoteError {
     /// The answer arrived but failed verification — from the user's point
     /// of view, the publisher is cheating (or serving a different table).
     Verify(VerifyError),
+    /// The SQL text could not be parsed or planned client-side (nothing
+    /// was sent to the server).
+    Sql(String),
 }
 
 impl fmt::Display for RemoteError {
@@ -52,6 +58,7 @@ impl fmt::Display for RemoteError {
                 write!(f, "unexpected reply frame: {detail}")
             }
             RemoteError::Verify(e) => write!(f, "verification failed: {e}"),
+            RemoteError::Sql(e) => write!(f, "sql error: {e}"),
         }
     }
 }
@@ -244,6 +251,21 @@ impl RemoteClient {
         }
     }
 
+    /// Executes a planned query (v6 `PlannedQuery` frame), returning the
+    /// *unverified* encoded `(result, vo)` blobs. Use [`SqlSession`] or
+    /// [`RemoteVerifier::query_sql`] unless you are measuring or proxying.
+    pub fn query_planned_raw(
+        &mut self,
+        plan: &WirePlan,
+    ) -> Result<(Vec<u8>, Vec<u8>), RemoteError> {
+        let request = Frame::PlannedQuery { plan: plan.clone() };
+        match self.call(&request)? {
+            Frame::PlannedResponse { result, vo } => Ok((result, vo)),
+            Frame::Error { code, message } => Err(RemoteError::Server { code, message }),
+            _ => Err(RemoteError::UnexpectedFrame("expected PlannedResponse")),
+        }
+    }
+
     /// Answers N queries in one round-trip. Outcomes come back in request
     /// order; per-item failures do not fail the batch.
     #[allow(clippy::type_complexity)]
@@ -360,6 +382,31 @@ impl RemoteVerifier {
             .collect()
     }
 
+    /// Parses, plans, executes, and verifies one SQL statement against the
+    /// bound table — the single-table convenience over [`SqlSession`]
+    /// (which also handles joins across several served tables). The
+    /// planner prices candidates with the default cost parameters and a
+    /// nominal row estimate; the *verification* is exact regardless.
+    pub fn query_sql(&mut self, sql: &str) -> Result<SqlOutcome, RemoteError> {
+        let mut catalog = Catalog::new();
+        catalog.add(CatalogTable::from_certificate(
+            self.table_id,
+            &self.cert,
+            1024,
+        ));
+        let planned = plan_sql(sql, &catalog)?;
+        let outcome = run_planned(&mut self.client, planned, |id| {
+            (id == self.table_id).then_some(&self.cert)
+        })?;
+        self.stats.queries += 1;
+        self.stats.rows_verified += outcome.rows_verified;
+        self.stats.result_bytes += outcome.result_bytes;
+        self.stats.vo_bytes += outcome.vo_bytes;
+        self.stats.signatures_verified += outcome.signatures_verified;
+        self.stats.verify_time += outcome.verify_time;
+        Ok(outcome)
+    }
+
     fn verify_and_account(
         &mut self,
         query: &SelectQuery,
@@ -383,6 +430,157 @@ impl RemoteVerifier {
             result_bytes: result_bytes.len(),
             vo_bytes: vo_bytes.len(),
         })
+    }
+}
+
+/// The verified outcome of one `query_sql` round-trip.
+#[derive(Clone, Debug)]
+pub struct SqlOutcome {
+    /// Finished output: verified rows after client-side residue, plus the
+    /// aggregate value if the statement asked for one.
+    pub output: SqlRows,
+    /// The full planning record: naive vs chosen plan, their costs, and
+    /// the passes that produced the winner (EXPLAIN material).
+    pub planned: Planned,
+    /// Encoded result bytes that crossed the wire.
+    pub result_bytes: usize,
+    /// Encoded VO bytes that crossed the wire.
+    pub vo_bytes: usize,
+    /// Rows covered by the verified proof (before residual filtering).
+    pub rows_verified: usize,
+    /// Signatures checked during verification.
+    pub signatures_verified: usize,
+    /// Wall-clock verification time.
+    pub verify_time: Duration,
+}
+
+/// Parses and plans one statement (client-side only; no I/O).
+fn plan_sql(sql: &str, catalog: &Catalog) -> Result<Planned, RemoteError> {
+    let stmt = parse(sql).map_err(|e| RemoteError::Sql(e.to_string()))?;
+    Planner::default()
+        .plan(&stmt, catalog)
+        .map_err(|e| RemoteError::Sql(e.to_string()))
+}
+
+/// Sends the chosen plan, verifies the multi-relation VO against the
+/// trusted certificates, and applies the client-side residue.
+fn run_planned<'a, F>(
+    client: &mut RemoteClient,
+    planned: Planned,
+    cert_of: F,
+) -> Result<SqlOutcome, RemoteError>
+where
+    F: Fn(u32) -> Option<&'a Certificate>,
+{
+    let (result_bytes, vo_bytes) = client.query_planned_raw(&planned.chosen.wire)?;
+    let start = Instant::now();
+    let verified = verify_plan(&planned.chosen.wire, cert_of, &result_bytes, &vo_bytes)?;
+    let verify_time = start.elapsed();
+    let output = planned
+        .chosen
+        .finish(verified.rows)
+        .map_err(|e| RemoteError::Sql(e.to_string()))?;
+    Ok(SqlOutcome {
+        output,
+        planned,
+        result_bytes: result_bytes.len(),
+        vo_bytes: vo_bytes.len(),
+        rows_verified: verified.rows_verified,
+        signatures_verified: verified.signatures_verified,
+        verify_time,
+    })
+}
+
+/// A verifying SQL client over one connection and any number of served
+/// tables: the remote face of the `adp-core` SQL frontend.
+///
+/// Register each table's owner certificate (with a row estimate for the
+/// cost model) and any declared referential integrity, then
+/// [`SqlSession::query_sql`]: the statement is parsed and planned
+/// locally, the **cheapest-proof** plan goes to the server as a v6
+/// `PlannedQuery` frame, and the multi-relation VO that comes back is
+/// verified against the certificates alone — the server is untrusted
+/// end to end, exactly as with [`RemoteVerifier`].
+pub struct SqlSession {
+    client: RemoteClient,
+    catalog: Catalog,
+    certs: HashMap<u32, Certificate>,
+    planner: Planner,
+    stats: SessionStats,
+}
+
+impl SqlSession {
+    /// Wraps an existing connection; no tables yet.
+    pub fn new(client: RemoteClient) -> Self {
+        SqlSession {
+            client,
+            catalog: Catalog::new(),
+            certs: HashMap::new(),
+            planner: Planner::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Connects with no tables registered.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self::new(RemoteClient::connect(addr)?))
+    }
+
+    /// Registers a served table under its wire id: the certificate is what
+    /// answers verify against; `rows` is the cost model's cardinality
+    /// estimate (it affects plan choice, never soundness).
+    pub fn add_table(&mut self, table_id: u32, cert: Certificate, rows: u64) -> &mut Self {
+        cert.public_key.precompute();
+        self.catalog
+            .add(CatalogTable::from_certificate(table_id, &cert, rows));
+        self.certs.insert(table_id, cert);
+        self
+    }
+
+    /// Declares `from`'s sort key a foreign key into `to`'s sort key
+    /// (owner-attested referential integrity — what licenses the planner
+    /// to orient a pk-fk join). Returns false if `from` is unregistered.
+    pub fn declare_fk(&mut self, from: &str, to: &str) -> bool {
+        self.catalog.declare_fk(from, to)
+    }
+
+    /// The planner's current catalog (for EXPLAIN tooling).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Direct access to the underlying frame client.
+    pub fn client_mut(&mut self) -> &mut RemoteClient {
+        &mut self.client
+    }
+
+    /// Cumulative verification accounting across `query_sql` calls.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Parses and plans a statement without executing it (EXPLAIN).
+    pub fn plan(&self, sql: &str) -> Result<Planned, RemoteError> {
+        let stmt = parse(sql).map_err(|e| RemoteError::Sql(e.to_string()))?;
+        self.planner
+            .plan(&stmt, &self.catalog)
+            .map_err(|e| RemoteError::Sql(e.to_string()))
+    }
+
+    /// Parses, plans, executes, and verifies one SQL statement. A forged
+    /// or tampered answer — on either relation of a join — surfaces as
+    /// [`RemoteError::Verify`], never as wrong rows.
+    pub fn query_sql(&mut self, sql: &str) -> Result<SqlOutcome, RemoteError> {
+        let planned = self.plan(sql)?;
+        let certs = &self.certs;
+        let outcome = run_planned(&mut self.client, planned, |id| certs.get(&id))?;
+        self.stats.queries += 1;
+        self.stats.rows_verified += outcome.rows_verified;
+        self.stats.result_bytes += outcome.result_bytes;
+        self.stats.vo_bytes += outcome.vo_bytes;
+        self.stats.signatures_verified += outcome.signatures_verified;
+        self.stats.verify_time += outcome.verify_time;
+        Ok(outcome)
     }
 }
 

@@ -80,8 +80,10 @@ pub mod server;
 pub mod sys;
 
 pub use cache::LruCache;
-pub use client::{RemoteClient, RemoteError, RemoteSubscriber, RemoteVerifier};
+pub use client::{
+    RemoteClient, RemoteError, RemoteSubscriber, RemoteVerifier, SqlOutcome, SqlSession,
+};
 pub use follow::{FollowError, FollowEvent, FollowStart, LogFollower, ResilientFollower};
 pub use protocol::{ErrorCode, Frame, ProtoError, StatsSnapshot};
 pub use retry::RetryPolicy;
-pub use server::{Server, ServerConfig, ServerHandle, TamperFn, UpdateError};
+pub use server::{PlannedTamperFn, Server, ServerConfig, ServerHandle, TamperFn, UpdateError};

@@ -22,6 +22,7 @@
 //! cap *checked before allocation*), and the client treats response bytes
 //! the same way — a malicious publisher controls them.
 
+use adp_core::plan::{decode_wire_plan, encode_wire_plan, WirePlan};
 use adp_core::wire::{self, Reader, WireError, Writer};
 use adp_relation::SelectQuery;
 use std::fmt;
@@ -49,8 +50,11 @@ pub const MAGIC: [u8; 2] = [0xAD, 0x50];
 /// whose delta could not be shipped must re-subscribe for a fresh
 /// baseline instead of silently stalling) and the
 /// `reconnects`/`resyncs`/`drains` stats fields backing the self-healing
-/// clients and graceful drain.
-pub const VERSION: u8 = 0x05;
+/// clients and graceful drain; `0x06` added planned queries — the
+/// `PlannedQuery`/`PlannedResponse` frames that carry an optimizer-chosen
+/// [`WirePlan`] (joins and narrowed scans the SQL planner produces) to
+/// the server and its multi-relation VO back.
+pub const VERSION: u8 = 0x06;
 
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -100,6 +104,11 @@ pub mod frame_type {
     /// the client must re-subscribe for a fresh verified baseline. New
     /// in version 5.
     pub const RESYNC_REQUIRED: u8 = 0x10;
+    /// A planned query: an optimizer-chosen wire plan (select or pk-fk
+    /// join). New in version 6.
+    pub const PLANNED_QUERY: u8 = 0x11;
+    /// Answer to a planned query. New in version 6.
+    pub const PLANNED_RESPONSE: u8 = 0x12;
 }
 
 /// Error codes carried by [`Frame::Error`] and batch error items.
@@ -343,6 +352,24 @@ pub enum Frame {
         /// verified state is strictly older than this).
         epoch: u64,
     },
+    /// Execute an optimizer-chosen plan — a narrowed select or a pk-fk
+    /// join the legacy `QueryRequest` frame cannot express. Table ids
+    /// inside the plan refer to the server's registry, exactly as in
+    /// `QueryRequest`.
+    PlannedQuery {
+        /// The plan to execute (`adp_core::plan::encode_wire_plan`).
+        plan: WirePlan,
+    },
+    /// Answer to [`Frame::PlannedQuery`]. For a `Select` plan the blobs
+    /// are the `QueryResponse` encodings; for a `PkFkJoin` plan they are
+    /// `wire::encode_join_result` / `wire::encode_join_vo` bytes, feeding
+    /// `adp_core::plan::verify_plan` unchanged.
+    PlannedResponse {
+        /// Encoded result rows (shape depends on the plan).
+        result: Vec<u8>,
+        /// Encoded verification object (shape depends on the plan).
+        vo: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -365,6 +392,8 @@ impl Frame {
             Frame::DeltaVo { .. } => frame_type::DELTA_VO,
             Frame::Unsubscribe { .. } => frame_type::UNSUBSCRIBE,
             Frame::ResyncRequired { .. } => frame_type::RESYNC_REQUIRED,
+            Frame::PlannedQuery { .. } => frame_type::PLANNED_QUERY,
+            Frame::PlannedResponse { .. } => frame_type::PLANNED_RESPONSE,
         }
     }
 }
@@ -532,6 +561,13 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.u32(*sub_id);
             w.u64(*epoch);
         }
+        Frame::PlannedQuery { plan } => {
+            w.bytes(&encode_wire_plan(plan));
+        }
+        Frame::PlannedResponse { result, vo } => {
+            w.bytes(result);
+            w.bytes(vo);
+        }
     }
     w.into_bytes()
 }
@@ -685,6 +721,13 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError
         frame_type::RESYNC_REQUIRED => Frame::ResyncRequired {
             sub_id: r.u32()?,
             epoch: r.u64()?,
+        },
+        frame_type::PLANNED_QUERY => Frame::PlannedQuery {
+            plan: decode_wire_plan(r.bytes()?)?,
+        },
+        frame_type::PLANNED_RESPONSE => Frame::PlannedResponse {
+            result: r.bytes()?.to_vec(),
+            vo: r.bytes()?.to_vec(),
         },
         other => return Err(ProtoError::UnknownFrameType(other)),
     };
@@ -921,6 +964,25 @@ mod tests {
                 sub_id: 1,
                 epoch: 3,
             },
+            Frame::PlannedQuery {
+                plan: WirePlan::Select {
+                    table_id: 7,
+                    query: SelectQuery::range(KeyRange::closed(2_000, 9_000)),
+                },
+            },
+            Frame::PlannedQuery {
+                plan: WirePlan::PkFkJoin {
+                    fk_table: 0,
+                    pk_table: 1,
+                    fk_range: KeyRange::closed(100, 500),
+                    fk_projection: adp_relation::Projection::All,
+                    pk_projection: adp_relation::Projection::Columns(vec!["title".into()]),
+                },
+            },
+            Frame::PlannedResponse {
+                result: vec![1, 2, 3],
+                vo: vec![4, 5],
+            },
         ]
     }
 
@@ -975,7 +1037,7 @@ mod tests {
     fn ping_frame_fixed_vector_matches_protocol_doc() {
         assert_eq!(
             encode_frame(&Frame::Ping),
-            vec![0xAD, 0x50, 0x05, 0x01, 0, 0, 0, 0]
+            vec![0xAD, 0x50, 0x06, 0x01, 0, 0, 0, 0]
         );
     }
 
@@ -1008,9 +1070,10 @@ mod tests {
     #[test]
     fn bad_version_rejected() {
         // Older versions are refused too: the StatsResponse layout
-        // changed in v2, v3, v4, and v5, so a v5 speaker must not
-        // silently accept earlier peers.
-        for old in [0x01, 0x02, 0x03, 0x04] {
+        // changed in v2, v3, v4, and v5, and v6 added frame types a v5
+        // peer would reject, so a v6 speaker must not silently accept
+        // earlier peers.
+        for old in [0x01, 0x02, 0x03, 0x04, 0x05] {
             let mut bytes = encode_frame(&Frame::Ping);
             bytes[2] = old;
             assert!(matches!(

@@ -35,8 +35,8 @@ use crate::protocol::{
     self, encode_frame, frame_type, ErrorCode, Frame, StatsSnapshot, HEADER_LEN, MAGIC, VERSION,
 };
 use crate::server::{
-    answer, encode_batch_frame, follow_job, lock_recover, subscribe_job, AnswerBlob, BatchAnswer,
-    Inner, ServerConfig, ServerStats,
+    answer, answer_planned, encode_batch_frame, follow_job, lock_recover, subscribe_job,
+    AnswerBlob, BatchAnswer, Inner, ServerConfig, ServerStats,
 };
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use adp_relation::SelectQuery;
@@ -152,13 +152,23 @@ impl WriteChunk {
 /// A `QueryResponse` frame as chunks, byte-identical to
 /// `protocol::write_query_response` but borrowing the blobs.
 fn query_response_chunks(blob: &AnswerBlob) -> Vec<WriteChunk> {
+    response_chunks(frame_type::QUERY_RESPONSE, blob)
+}
+
+/// A `PlannedResponse` frame as chunks (same two-blob payload layout).
+fn planned_response_chunks(blob: &AnswerBlob) -> Vec<WriteChunk> {
+    response_chunks(frame_type::PLANNED_RESPONSE, blob)
+}
+
+fn response_chunks(type_byte: u8, blob: &AnswerBlob) -> Vec<WriteChunk> {
     let (result_len, vo_len) = (blob.0.len(), blob.1.len());
-    // `answer` already bounded result+vo+8 by MAX_PAYLOAD.
+    // `answer` / `answer_planned` already bounded result+vo+8 by
+    // MAX_PAYLOAD.
     let payload_len = (8 + result_len + vo_len) as u32;
     let mut head = Vec::with_capacity(HEADER_LEN + 4);
     head.extend_from_slice(&MAGIC);
     head.push(VERSION);
-    head.push(frame_type::QUERY_RESPONSE);
+    head.push(type_byte);
     head.extend_from_slice(&payload_len.to_le_bytes());
     head.extend_from_slice(&(result_len as u32).to_le_bytes());
     vec![
@@ -182,6 +192,9 @@ enum Req {
     Query {
         table_id: u32,
         query: SelectQuery,
+    },
+    Planned {
+        plan: adp_core::plan::WirePlan,
     },
     Batch {
         items: Vec<(u32, SelectQuery)>,
@@ -912,6 +925,7 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
                             Frame::FollowLog { table_id, have } => {
                                 Req::FollowLog { table_id, have }
                             }
+                            Frame::PlannedQuery { plan } => Req::Planned { plan },
                             Frame::Pong
                             | Frame::QueryResponse { .. }
                             | Frame::BatchResponse { .. }
@@ -920,6 +934,7 @@ fn parse_frames(core: &ShardCore, conn: &mut Conn) {
                             | Frame::LogSegment { .. }
                             | Frame::Snapshot { .. }
                             | Frame::DeltaVo { .. }
+                            | Frame::PlannedResponse { .. }
                             | Frame::ResyncRequired { .. } => Req::BadDirection,
                         });
                     }
@@ -1019,6 +1034,17 @@ fn answer_guarded(
     .unwrap_or_else(|_| Err((ErrorCode::Internal, "query panicked".into())))
 }
 
+/// [`answer_planned`] with the same panic guard as [`answer_guarded`]
+/// (the join path in particular panics on a referential-integrity
+/// violation between the two served tables).
+fn answer_planned_guarded(
+    inner: &Inner,
+    plan: &adp_core::plan::WirePlan,
+) -> Result<AnswerBlob, (ErrorCode, String)> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| answer_planned(inner, plan)))
+        .unwrap_or_else(|_| Err((ErrorCode::Internal, "planned query panicked".into())))
+}
+
 /// Drains the connection's request FIFO: cheap frames answer in place;
 /// a query or batch goes to the worker pool and marks the connection
 /// in-flight, parking the FIFO until the answer completes back.
@@ -1080,6 +1106,27 @@ fn dispatch(core: &ShardCore, conn: &mut Conn, token: u64) {
                     }
                     let chunks = match item {
                         Ok(blob) => query_response_chunks(&blob),
+                        Err((code, message)) => {
+                            vec![WriteChunk::owned(encode_frame(&Frame::Error {
+                                code,
+                                message,
+                            }))]
+                        }
+                    };
+                    shard.push(Msg::Complete(token, chunks));
+                });
+            }
+            Req::Planned { plan } => {
+                conn.inflight = true;
+                let inner = Arc::clone(&core.inner);
+                let shard = Arc::clone(&core.me);
+                core.pool.execute(move || {
+                    let item = answer_planned_guarded(&inner, &plan);
+                    if item.is_err() {
+                        ServerStats::bump(&inner.stats.errors);
+                    }
+                    let chunks = match item {
+                        Ok(blob) => planned_response_chunks(&blob),
                         Err((code, message)) => {
                             vec![WriteChunk::owned(encode_frame(&Frame::Error {
                                 code,

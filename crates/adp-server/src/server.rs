@@ -27,6 +27,9 @@ use crate::protocol::{self, ErrorCode, Frame, StatsSnapshot};
 use crate::reactor::{self, Msg, ShardHandle, WriteChunk};
 use adp_core::delta;
 use adp_core::owner::{Mutation, SignedTable};
+use adp_core::plan::{
+    compute_plan_answer, encode_plan_answer, PlanAnswer, PlanAnswerError, WirePlan,
+};
 use adp_core::publisher::Publisher;
 use adp_core::vo::QueryVO;
 use adp_core::wire::{self, Writer};
@@ -184,6 +187,14 @@ pub type TamperFn = dyn for<'a> Fn(&Publisher<'a>, &SelectQuery, Vec<Record>, Qu
     + Send
     + Sync;
 
+/// A response-tampering hook for the planned-query path: receives the
+/// plan and the honest [`PlanAnswer`] and returns what actually goes on
+/// the wire. Same fault-injection role as [`TamperFn`], but for the v6
+/// `PlannedQuery` frames (join and narrowed-scan shapes the legacy hook
+/// never sees). A server with this hook mounted bypasses the VO cache on
+/// the planned path.
+pub type PlannedTamperFn = dyn Fn(&WirePlan, PlanAnswer) -> PlanAnswer + Send + Sync;
+
 /// Encoded `(result, vo)` pair as cached and written to sockets.
 pub(crate) type AnswerBlob = Arc<(Vec<u8>, Vec<u8>)>;
 
@@ -274,6 +285,7 @@ pub(crate) struct Inner {
     seen_subs: Mutex<std::collections::HashSet<(u32, u32)>>,
     pub(crate) stats: ServerStats,
     tamper: Option<Box<TamperFn>>,
+    planned_tamper: Option<Box<PlannedTamperFn>>,
     /// [`ServerConfig::max_push_bytes`], checked on the fan-out path.
     max_push_bytes: usize,
 }
@@ -335,12 +347,19 @@ impl Inner {
     }
 }
 
-/// Cache key: `(table_id, canonical query)`. The range is replaced by its
-/// domain-normalized closed form so syntactically different ranges with
-/// identical semantics share an entry; trivially-empty ranges collapse to
-/// one key per (filters, projection, distinct) combination.
+/// Cache key for the legacy query path: `(table_id, canonical query)`.
+/// The range is replaced by its domain-normalized closed form so
+/// syntactically different ranges with identical semantics share an
+/// entry; trivially-empty ranges collapse to one key per (filters,
+/// projection, distinct) combination.
+///
+/// The leading kind byte (`0x01` legacy, `0x02` planned) keeps the two
+/// key families disjoint: without it, a planned `Select` over the same
+/// canonical range could collide with a legacy entry even though the two
+/// responses use different frame encodings.
 fn cache_key(table_id: u32, st: &SignedTable, query: &SelectQuery) -> Vec<u8> {
     let mut w = Writer::new();
+    w.u8(0x01);
     w.u32(table_id);
     let canonical = match st.domain().normalize(&query.range) {
         Some(bounds) => {
@@ -360,6 +379,104 @@ fn cache_key(table_id: u32, st: &SignedTable, query: &SelectQuery) -> Vec<u8> {
     };
     w.bytes(&wire::encode_query(&canonical));
     w.into_bytes()
+}
+
+/// Cache key for the planned-query path: kind byte `0x02`, the epoch of
+/// every table the plan touches, then the plan's canonical fingerprint.
+/// Two *distinct* plans over the same key range (different filters,
+/// projections, DISTINCT, or shape) therefore never share an entry —
+/// their fingerprints differ — and entries from a superseded epoch can
+/// never be returned: the key itself moves on with the epoch, so a stale
+/// entry simply ages out of the LRU.
+fn planned_cache_key(plan: &WirePlan, slots: &[(u32, Arc<SignedTable>, u64)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(0x02);
+    w.u32(slots.len() as u32);
+    for (id, _, epoch) in slots {
+        w.u32(*id);
+        w.u64(*epoch);
+    }
+    w.bytes(&plan.fingerprint());
+    w.into_bytes()
+}
+
+/// Answers one planned query (the v6 `PlannedQuery` frame): resolves
+/// every table the plan references, consults the VO cache under the
+/// plan-fingerprint key, computes the (select or pk-fk join) answer, and
+/// encodes it with [`encode_plan_answer`]. Mirrors [`answer`], with the
+/// planned tamper hook in place of the legacy one.
+pub(crate) fn answer_planned(
+    inner: &Inner,
+    plan: &WirePlan,
+) -> Result<AnswerBlob, (ErrorCode, String)> {
+    let ids: Vec<u32> = match plan {
+        WirePlan::Select { table_id, .. } => vec![*table_id],
+        WirePlan::PkFkJoin {
+            fk_table, pk_table, ..
+        } => vec![*fk_table, *pk_table],
+    };
+    let slots: Vec<(u32, Arc<SignedTable>, u64)> = {
+        let tables = read_recover(&inner.tables);
+        let mut slots = Vec::with_capacity(ids.len());
+        for id in ids {
+            let slot = tables
+                .get(&id)
+                .ok_or_else(|| (ErrorCode::UnknownTable, format!("no table with id {id}")))?;
+            slots.push((id, Arc::clone(&slot.st), slot.epoch));
+        }
+        slots
+    };
+    let cache = inner
+        .cache
+        .as_ref()
+        .filter(|_| inner.tamper.is_none() && inner.planned_tamper.is_none());
+    let key = cache.map(|_| planned_cache_key(plan, &slots));
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        // Epochs live in the key, so any hit is current by construction.
+        if let Some(hit) = lock_recover(cache).get(key) {
+            ServerStats::bump(&inner.stats.cache_hits);
+            ServerStats::bump(&inner.stats.queries);
+            return Ok(Arc::clone(&hit.blob));
+        }
+        ServerStats::bump(&inner.stats.cache_misses);
+    }
+    let resolve = |id: u32| {
+        slots
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, st, _)| &**st)
+    };
+    let answer = compute_plan_answer(plan, resolve).map_err(|e| match e {
+        PlanAnswerError::UnknownTable(id) => {
+            (ErrorCode::UnknownTable, format!("no table with id {id}"))
+        }
+        PlanAnswerError::Publish(e) => (ErrorCode::BadQuery, e.to_string()),
+    })?;
+    let answer = match &inner.planned_tamper {
+        Some(tamper) => tamper(plan, answer),
+        None => answer,
+    };
+    let (result, vo) = encode_plan_answer(&answer);
+    let blob: AnswerBlob = Arc::new((result, vo));
+    let framed_len = blob.0.len() as u64 + blob.1.len() as u64 + 8;
+    if framed_len > crate::protocol::MAX_PAYLOAD as u64 {
+        return Err((
+            ErrorCode::Internal,
+            format!("answer of {framed_len} bytes exceeds the frame payload cap"),
+        ));
+    }
+    if let (Some(key), Some(cache)) = (key, cache) {
+        lock_recover(cache).insert(
+            key,
+            CachedAnswer {
+                // Unused on this path: freshness is part of the key.
+                epoch: 0,
+                blob: Arc::clone(&blob),
+            },
+        );
+    }
+    ServerStats::bump(&inner.stats.queries);
+    Ok(blob)
 }
 
 /// Answers one query, consulting the VO cache unless a tamper hook is
@@ -454,6 +571,7 @@ pub struct Server {
     tables: HashMap<u32, TableSlot>,
     stores: HashMap<u32, Store>,
     tamper: Option<Box<TamperFn>>,
+    planned_tamper: Option<Box<PlannedTamperFn>>,
 }
 
 impl Server {
@@ -464,6 +582,7 @@ impl Server {
             tables: HashMap::new(),
             stores: HashMap::new(),
             tamper: None,
+            planned_tamper: None,
         }
     }
 
@@ -533,6 +652,16 @@ impl Server {
         self
     }
 
+    /// Mounts a fault-injection hook on the planned-query path (see
+    /// [`PlannedTamperFn`]); disables the VO cache for planned answers.
+    pub fn set_tamper_planned(
+        &mut self,
+        tamper: impl Fn(&WirePlan, PlanAnswer) -> PlanAnswer + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.planned_tamper = Some(Box::new(tamper));
+        self
+    }
+
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
     /// in background threads: the reactor shards plus the worker pool —
     /// thread count never grows with connection count. The returned
@@ -550,6 +679,7 @@ impl Server {
             seen_subs: Mutex::new(std::collections::HashSet::new()),
             stats: ServerStats::default(),
             tamper: self.tamper,
+            planned_tamper: self.planned_tamper,
             max_push_bytes: self.config.max_push_bytes,
         });
         let pool = Arc::new(ThreadPool::new(self.config.workers));
@@ -1154,6 +1284,7 @@ mod tests {
             seen_subs: Mutex::new(std::collections::HashSet::new()),
             stats: ServerStats::default(),
             tamper: None,
+            planned_tamper: None,
             max_push_bytes: crate::protocol::MAX_PAYLOAD as usize,
         }
     }
@@ -1193,5 +1324,56 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.cache_entries, 1);
+    }
+
+    /// Regression: two *distinct* plans over the same key range must never
+    /// share a cached VO. The planned key is the plan fingerprint (plus
+    /// epochs), and the legacy key family is disjoint by its kind byte —
+    /// so a legacy query, a planned plain select, and a planned DISTINCT
+    /// select over the identical canonical range produce three cache
+    /// entries and zero cross-hits.
+    #[test]
+    fn distinct_plans_over_same_range_never_share_a_cached_vo() {
+        let inner = Arc::new(test_inner());
+        let range = KeyRange::closed(0, 100);
+        let q = SelectQuery::range(range);
+
+        let legacy = answer(&inner, 0, &q).unwrap();
+        let plain = answer_planned(
+            &inner,
+            &WirePlan::Select {
+                table_id: 0,
+                query: q.clone(),
+            },
+        )
+        .unwrap();
+        let distinct = answer_planned(
+            &inner,
+            &WirePlan::Select {
+                table_id: 0,
+                query: q.clone().distinct(),
+            },
+        )
+        .unwrap();
+
+        let snap = inner.snapshot();
+        assert_eq!(snap.cache_hits, 0, "no plan may hit another plan's entry");
+        assert_eq!(snap.cache_misses, 3);
+        assert_eq!(snap.cache_entries, 3);
+        // Each answer was computed independently — no shared blob.
+        assert!(!Arc::ptr_eq(&plain, &distinct));
+        assert!(!Arc::ptr_eq(&legacy, &plain));
+
+        // Re-asking each is a hit on its own entry, still no crosstalk.
+        let plain2 = answer_planned(
+            &inner,
+            &WirePlan::Select {
+                table_id: 0,
+                query: q.clone(),
+            },
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(&plain, &plain2));
+        assert_eq!(inner.snapshot().cache_hits, 1);
     }
 }

@@ -12,14 +12,14 @@ use adp_server::ErrorCode;
 #[test]
 fn ping_frame_example() {
     let bytes = encode_frame(&Frame::Ping);
-    assert_eq!(bytes, [0xAD, 0x50, 0x05, 0x01, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x06, 0x01, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §2 — pong differs only in the frame-type byte.
 #[test]
 fn pong_frame_example() {
     let bytes = encode_frame(&Frame::Pong);
-    assert_eq!(bytes, [0xAD, 0x50, 0x05, 0x02, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes, [0xAD, 0x50, 0x06, 0x02, 0x00, 0x00, 0x00, 0x00]);
 }
 
 /// PROTOCOL.md §4 "Values" — canonical value encodings (shared with the
@@ -47,7 +47,7 @@ fn query_request_frame_example() {
     let expected: &[u8] = &[
         // header
         0xAD, 0x50,             // magic
-        0x05,                   // version
+        0x06,                   // version
         0x03,                   // frame type: QueryRequest
         0x20, 0x00, 0x00, 0x00, // payload length = 32
         // payload
@@ -76,7 +76,7 @@ fn query_response_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x04, // magic, version, QueryResponse
+        0xAD, 0x50, 0x06, 0x04, // magic, version, QueryResponse
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x04, 0x00, 0x00, 0x00, // result blob length = 4
@@ -99,7 +99,7 @@ fn error_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x06, 0x09, // magic, version, Error
         0x17, 0x00, 0x00, 0x00, // payload length = 23
         // payload
         0x02,                   // code: UnknownTable
@@ -123,7 +123,7 @@ fn frame_deadline_error_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x09, // magic, version, Error
+        0xAD, 0x50, 0x06, 0x09, // magic, version, Error
         0x1C, 0x00, 0x00, 0x00, // payload length = 28
         // payload
         0x01,                   // code: BadFrame
@@ -145,7 +145,7 @@ fn frame_deadline_error_example() {
 fn stats_frames_example() {
     assert_eq!(
         encode_frame(&Frame::StatsRequest),
-        [0xAD, 0x50, 0x05, 0x07, 0x00, 0x00, 0x00, 0x00]
+        [0xAD, 0x50, 0x06, 0x07, 0x00, 0x00, 0x00, 0x00]
     );
     let frame = Frame::StatsResponse(adp_server::StatsSnapshot {
         connections: 1,
@@ -167,7 +167,7 @@ fn stats_frames_example() {
     });
     let bytes = encode_frame(&frame);
     assert_eq!(bytes.len(), 8 + 16 * 8);
-    assert_eq!(bytes[..8], [0xAD, 0x50, 0x05, 0x08, 0x80, 0x00, 0x00, 0x00]);
+    assert_eq!(bytes[..8], [0xAD, 0x50, 0x06, 0x08, 0x80, 0x00, 0x00, 0x00]);
     // The §7 worked example's first counters: connections = 1, queries = 2.
     assert_eq!(bytes[8..16], 1u64.to_le_bytes());
     assert_eq!(bytes[16..24], 2u64.to_le_bytes());
@@ -193,7 +193,7 @@ fn follow_log_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0A, // magic, version, FollowLog
+        0xAD, 0x50, 0x06, 0x0A, // magic, version, FollowLog
         0x05, 0x00, 0x00, 0x00, // payload length = 5
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -210,7 +210,7 @@ fn follow_log_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0A, // magic, version, FollowLog
+        0xAD, 0x50, 0x06, 0x0A, // magic, version, FollowLog
         0x0D, 0x00, 0x00, 0x00, // payload length = 13
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -233,7 +233,7 @@ fn log_segment_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0B, // magic, version, LogSegment
+        0xAD, 0x50, 0x06, 0x0B, // magic, version, LogSegment
         0x08, 0x00, 0x00, 0x00, // payload length = 8
         // payload
         0x07, 0x00, 0x00, 0x00, // table_id = 7
@@ -256,7 +256,7 @@ fn subscribe_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0D, // magic, version, Subscribe
+        0xAD, 0x50, 0x06, 0x0D, // magic, version, Subscribe
         0x24, 0x00, 0x00, 0x00, // payload length = 36
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -290,7 +290,7 @@ fn delta_vo_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0E, // magic, version, DeltaVo
+        0xAD, 0x50, 0x06, 0x0E, // magic, version, DeltaVo
         0x2D, 0x00, 0x00, 0x00, // payload length = 45
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -316,7 +316,7 @@ fn delta_vo_frame_examples() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0E, // magic, version, DeltaVo
+        0xAD, 0x50, 0x06, 0x0E, // magic, version, DeltaVo
         0x10, 0x00, 0x00, 0x00, // payload length = 16
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -340,7 +340,7 @@ fn resync_required_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x10, // magic, version, ResyncRequired
+        0xAD, 0x50, 0x06, 0x10, // magic, version, ResyncRequired
         0x0C, 0x00, 0x00, 0x00, // payload length = 12
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
@@ -358,10 +358,110 @@ fn unsubscribe_frame_example() {
     #[rustfmt::skip]
     let expected: &[u8] = &[
         // header
-        0xAD, 0x50, 0x05, 0x0F, // magic, version, Unsubscribe
+        0xAD, 0x50, 0x06, 0x0F, // magic, version, Unsubscribe
         0x04, 0x00, 0x00, 0x00, // payload length = 4
         // payload
         0x01, 0x00, 0x00, 0x00, // sub_id = 1
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §12 "PlannedQuery" (version 6) — the worked example: the
+/// optimizer-chosen single-table plan for
+/// `SELECT * FROM t WHERE 2000 <= K <= 9000` against table 7. The plan
+/// blob nests the same 24-byte query blob as the §5 QueryRequest example.
+#[test]
+fn planned_query_frame_example() {
+    let frame = Frame::PlannedQuery {
+        plan: adp_core::plan::WirePlan::Select {
+            table_id: 7,
+            query: SelectQuery::range(KeyRange::closed(2_000, 9_000)),
+        },
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50,             // magic
+        0x06,                   // version
+        0x11,                   // frame type: PlannedQuery
+        0x25, 0x00, 0x00, 0x00, // payload length = 37
+        // payload
+        0x21, 0x00, 0x00, 0x00, // plan blob length = 33
+        // plan blob
+        0x01,                   // plan tag: Select
+        0x07, 0x00, 0x00, 0x00, // table_id = 7
+        0x18, 0x00, 0x00, 0x00, // query blob length = 24
+        // query blob (identical to the §5 example)
+        0x01, 0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lo: Included(2000)
+        0x01, 0x28, 0x23, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // hi: Included(9000)
+        0x00, 0x00, 0x00, 0x00, // 0 filters
+        0x00,                   // projection: All
+        0x00,                   // distinct: false
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §12 "PlannedQuery" — the join plan: emp (table 0, the fk
+/// side) joined into dept (table 1) over fk keys `[10, 20]`, all columns
+/// from the fk side, only `dname` from the pk side.
+#[test]
+fn planned_join_frame_example() {
+    let frame = Frame::PlannedQuery {
+        plan: adp_core::plan::WirePlan::PkFkJoin {
+            fk_table: 0,
+            pk_table: 1,
+            fk_range: KeyRange::closed(10, 20),
+            fk_projection: adp_relation::Projection::All,
+            pk_projection: adp_relation::Projection::Columns(vec!["dname".to_string()]),
+        },
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x06, 0x11, // magic, version, PlannedQuery
+        0x2E, 0x00, 0x00, 0x00, // payload length = 46
+        // payload
+        0x2A, 0x00, 0x00, 0x00, // plan blob length = 42
+        // plan blob
+        0x02,                   // plan tag: PkFkJoin
+        0x00, 0x00, 0x00, 0x00, // fk_table = 0
+        0x01, 0x00, 0x00, 0x00, // pk_table = 1
+        0x01, 0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // fk lo: Included(10)
+        0x01, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // fk hi: Included(20)
+        0x00,                   // fk projection: All
+        0x01,                   // pk projection: Columns
+        0x01, 0x00, 0x00, 0x00, // 1 column
+        0x05, 0x00, 0x00, 0x00, // name length = 5
+        b'd', b'n', b'a', b'm', b'e',
+    ];
+    assert_eq!(bytes, expected);
+    assert_eq!(decode_frame(&bytes).unwrap(), frame);
+}
+
+/// PROTOCOL.md §12 "PlannedResponse" — same shape as a QueryResponse
+/// (two length-prefixed blobs) under frame type 0x12; shown here for a
+/// trivially-empty select plan.
+#[test]
+fn planned_response_frame_example() {
+    let frame = Frame::PlannedResponse {
+        result: wire::encode_records(&[]),
+        vo: wire::encode_vo(&adp_core::vo::QueryVO::TriviallyEmpty),
+    };
+    let bytes = encode_frame(&frame);
+    #[rustfmt::skip]
+    let expected: &[u8] = &[
+        // header
+        0xAD, 0x50, 0x06, 0x12, // magic, version, PlannedResponse
+        0x0D, 0x00, 0x00, 0x00, // payload length = 13
+        // payload
+        0x04, 0x00, 0x00, 0x00, // result blob length = 4
+        0x00, 0x00, 0x00, 0x00, //   encode_records([]): 0 records
+        0x01, 0x00, 0x00, 0x00, // vo blob length = 1
+        0x00,                   //   encode_vo(TriviallyEmpty): tag 0
     ];
     assert_eq!(bytes, expected);
     assert_eq!(decode_frame(&bytes).unwrap(), frame);

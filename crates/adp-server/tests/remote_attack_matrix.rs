@@ -7,9 +7,11 @@
 //! than being saved by a codec error).
 //!
 //! Cells mirror `adp-core/tests/attack_matrix.rs` for the three
-//! select-query shapes the protocol carries (joins are not on the wire
-//! yet). Applicability is asserted, not assumed: an attack the tamper
-//! harness refuses on an expected-applicable shape fails the test.
+//! select-query shapes the legacy query frame carries. Applicability is
+//! asserted, not assumed: an attack the tamper harness refuses on an
+//! expected-applicable shape fails the test. The protocol-v6 planned
+//! path (SQL joins and aggregates) gets its own forgery leg in
+//! [`planned_sql_forgeries`] below.
 
 use adp_core::prelude::*;
 use adp_core::publisher::malicious::{tamper, Attack};
@@ -374,5 +376,284 @@ mod forged_replication {
         up_handle.shutdown();
         let _ = fs::remove_dir_all(&owner_dir);
         let _ = fs::remove_dir_all(&mirror_dir);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Forged planned answers: the Section 3.2 cheating strategies replayed
+// against the protocol-v6 `PlannedQuery` path — SQL joins and aggregates
+// planned client-side, answered by a server whose `set_tamper_planned`
+// hook forges the un-encoded `PlanAnswer` before it hits the wire. Every
+// forgery must surface as `RemoteError::Verify` on the `SqlSession`,
+// never as wrong rows or a wrong aggregate.
+
+mod planned_sql_forgeries {
+    use super::*;
+    use adp_core::plan::PlanAnswer;
+    use adp_core::vo::QueryVO;
+    use adp_relation::check_referential_integrity;
+    use adp_server::SqlSession;
+
+    /// Employees sorted on their dept fk: 6 rows over depts {10,20,30,40}.
+    fn emp_table() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+                Column::new("dept", ValueType::Int),
+            ],
+            "dept",
+        );
+        let mut t = Table::new("emp", schema);
+        for (id, name, dept) in [
+            (5i64, "A", 10i64),
+            (1, "D", 10),
+            (2, "C", 20),
+            (3, "E", 20),
+            (4, "B", 30),
+            (6, "F", 40),
+        ] {
+            t.insert(Record::new(vec![
+                Value::Int(id),
+                Value::from(name),
+                Value::Int(dept),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    /// Departments keyed on dept id: 5 rows, one never joined.
+    fn dept_table() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("dept", ValueType::Int),
+                Column::new("dname", ValueType::Text),
+                Column::new("budget", ValueType::Int),
+            ],
+            "dept",
+        );
+        let mut t = Table::new("dept", schema);
+        for (d, n, b) in [
+            (10i64, "eng", 500i64),
+            (20, "sales", 300),
+            (30, "hr", 100),
+            (40, "ops", 200),
+            (50, "legal", 50),
+        ] {
+            t.insert(Record::new(vec![
+                Value::Int(d),
+                Value::from(n),
+                Value::Int(b),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    struct JoinFixture {
+        emp: Arc<SignedTable>,
+        dept: Arc<SignedTable>,
+        emp_cert: Certificate,
+        dept_cert: Certificate,
+    }
+
+    fn join_fixture() -> &'static JoinFixture {
+        static FIX: OnceLock<JoinFixture> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xF0_66E);
+            let owner = Owner::new(512, &mut rng);
+            let emp_raw = emp_table();
+            let dept_raw = dept_table();
+            check_referential_integrity(&emp_raw, &dept_raw).unwrap();
+            let emp = owner
+                .sign_table(emp_raw, Domain::new(0, 1_000), SchemeConfig::default())
+                .unwrap();
+            let dept = owner
+                .sign_table(dept_raw, Domain::new(0, 1_000), SchemeConfig::default())
+                .unwrap();
+            let emp_cert = owner.certificate(&emp);
+            let dept_cert = owner.certificate(&dept);
+            JoinFixture {
+                emp: Arc::new(emp),
+                dept: Arc::new(dept),
+                emp_cert,
+                dept_cert,
+            }
+        })
+    }
+
+    /// The four Section 3.2 strategies, adapted to planned answers.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Forgery {
+        /// Omit one interior result row; leave the VO untouched.
+        DropRow,
+        /// Replace one returned row's attribute with a forged value.
+        SubstituteRow,
+        /// Truncate the VO's proof list; leave the result untouched.
+        TruncateVo,
+        /// Drop the boundary row *and* its proof entry together — the
+        /// "consistent subset" a cheating publisher would love to serve.
+        BoundaryDrop,
+    }
+
+    const FORGERIES: [Forgery; 4] = [
+        Forgery::DropRow,
+        Forgery::SubstituteRow,
+        Forgery::TruncateVo,
+        Forgery::BoundaryDrop,
+    ];
+
+    fn substitute(rec: &Record, slot: usize) -> Record {
+        let mut vals = rec.values().to_vec();
+        vals[slot] = Value::from("forged");
+        Record::new(vals)
+    }
+
+    /// Applies `f` to the un-encoded answer. Returns `None` if the shape
+    /// makes the forgery impossible (empty result etc.) so the harness can
+    /// assert the attack actually fired.
+    fn forge(f: Forgery, answer: &PlanAnswer) -> Option<PlanAnswer> {
+        let mut forged = answer.clone();
+        match (&mut forged, f) {
+            (PlanAnswer::Select { rows, .. }, Forgery::DropRow) => {
+                if rows.len() < 2 {
+                    return None;
+                }
+                rows.remove(1);
+            }
+            (PlanAnswer::Select { rows, .. }, Forgery::SubstituteRow) => {
+                let r = rows.first()?;
+                rows[0] = substitute(r, 1);
+            }
+            (PlanAnswer::Select { vo, .. }, Forgery::TruncateVo) => match vo {
+                QueryVO::Range(r) => {
+                    r.entries.pop()?;
+                }
+                _ => return None,
+            },
+            (PlanAnswer::Select { rows, vo }, Forgery::BoundaryDrop) => match vo {
+                QueryVO::Range(r) => {
+                    rows.pop()?;
+                    r.entries.pop()?;
+                }
+                _ => return None,
+            },
+            (PlanAnswer::Join { result, .. }, Forgery::DropRow) => {
+                if result.outer_rows.len() < 2 {
+                    return None;
+                }
+                result.outer_rows.remove(1);
+            }
+            (PlanAnswer::Join { result, .. }, Forgery::SubstituteRow) => {
+                let r = result.inner_rows.first()?;
+                result.inner_rows[0] = substitute(r, 1);
+            }
+            (PlanAnswer::Join { vo, .. }, Forgery::TruncateVo) => {
+                vo.inner.pop()?;
+            }
+            (PlanAnswer::Join { result, vo }, Forgery::BoundaryDrop) => match &mut vo.outer {
+                QueryVO::Range(r) => {
+                    result.outer_rows.pop()?;
+                    r.entries.pop()?;
+                }
+                _ => return None,
+            },
+        }
+        Some(forged)
+    }
+
+    /// One planned join and one planned aggregate, both through a server
+    /// forging `forgery` on every planned answer. Both must be rejected by
+    /// client-side verification; the hook proves it really forged.
+    fn run_forgery(forgery: Forgery) {
+        let fix = join_fixture();
+        let forged = Arc::new(AtomicUsize::new(0));
+        let forged_in_hook = Arc::clone(&forged);
+        let mut server = Server::new(ServerConfig::default());
+        server.add_shared_table(0, Arc::clone(&fix.emp));
+        server.add_shared_table(1, Arc::clone(&fix.dept));
+        server.set_tamper_planned(move |_plan, answer| match forge(forgery, &answer) {
+            Some(bad) => {
+                forged_in_hook.fetch_add(1, Ordering::SeqCst);
+                bad
+            }
+            None => answer,
+        });
+        let handle = server.serve("127.0.0.1:0").unwrap();
+
+        let mut s = SqlSession::connect(handle.addr()).unwrap();
+        s.add_table(0, fix.emp_cert.clone(), 6);
+        s.add_table(1, fix.dept_cert.clone(), 5);
+        s.declare_fk("emp", "dept");
+
+        let statements = [
+            // Planned pk-fk join: 5 pairs over depts {10, 20, 30}.
+            "SELECT emp.name, dept.dname FROM emp \
+             INNER JOIN dept ON emp.dept = dept.dept \
+             WHERE emp.dept BETWEEN 10 AND 30",
+            // Planned aggregate (select wire shape): COUNT over 5 rows.
+            "SELECT COUNT(*) FROM emp WHERE dept BETWEEN 10 AND 30",
+        ];
+        for sql in statements {
+            let before = forged.load(Ordering::SeqCst);
+            let verdict = s.query_sql(sql);
+            assert!(
+                forged.load(Ordering::SeqCst) > before,
+                "{forgery:?} must apply to {sql:?}"
+            );
+            match verdict {
+                Err(RemoteError::Verify(_)) => {}
+                other => panic!(
+                    "{forgery:?} on {sql:?} must be rejected by plan \
+                     verification, got {other:?}"
+                ),
+            }
+        }
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn forged_planned_answers_all_rejected() {
+        for forgery in FORGERIES {
+            run_forgery(forgery);
+        }
+    }
+
+    /// The hook itself may not break honesty: with no forgery mounted the
+    /// same statements verify (guards against the harness passing because
+    /// *everything* fails).
+    #[test]
+    fn honest_planned_answers_still_verify() {
+        let fix = join_fixture();
+        let mut server = Server::new(ServerConfig::default());
+        server.add_shared_table(0, Arc::clone(&fix.emp));
+        server.add_shared_table(1, Arc::clone(&fix.dept));
+        server.set_tamper_planned(|_plan, answer| answer);
+        let handle = server.serve("127.0.0.1:0").unwrap();
+
+        let mut s = SqlSession::connect(handle.addr()).unwrap();
+        s.add_table(0, fix.emp_cert.clone(), 6);
+        s.add_table(1, fix.dept_cert.clone(), 5);
+        s.declare_fk("emp", "dept");
+
+        let join = s
+            .query_sql(
+                "SELECT emp.name, dept.dname FROM emp \
+                 INNER JOIN dept ON emp.dept = dept.dept \
+                 WHERE emp.dept BETWEEN 10 AND 30",
+            )
+            .unwrap();
+        assert_eq!(join.output.rows.len(), 5);
+        let agg = s
+            .query_sql("SELECT COUNT(*) FROM emp WHERE dept BETWEEN 10 AND 30")
+            .unwrap();
+        assert!(matches!(
+            agg.output.aggregate.as_ref().unwrap().1,
+            AggregateValue::Count(5)
+        ));
+
+        handle.shutdown();
     }
 }
